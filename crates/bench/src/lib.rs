@@ -1,0 +1,190 @@
+//! Experiment harness support: seed-averaged runs, confidence intervals,
+//! and the standard scenario builders shared by every figure.
+
+use aspen_join::prelude::*;
+use aspen_join::Algorithm;
+use sensor_net::{NodeId, Topology};
+use sensor_query::JoinQuerySpec;
+use sensor_workload::WorkloadData;
+
+/// Number of seeds averaged per data point (the paper averages 9 runs).
+pub const FULL_SEEDS: u64 = 9;
+/// Reduced seed count for quick runs.
+pub const QUICK_SEEDS: u64 = 3;
+
+/// Mean and 95% confidence half-interval of a sample.
+pub fn mean_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    // t-quantile: 2.31 for n=9 (the paper's run count); conservative for
+    // smaller samples.
+    (mean, 2.31 * (var / n).sqrt())
+}
+
+pub fn kb(bytes: f64) -> f64 {
+    bytes / 1024.0
+}
+
+pub fn mb(bytes: f64) -> f64 {
+    bytes / (1024.0 * 1024.0)
+}
+
+/// The standard 100-node, 7-neighbor evaluation network.
+pub fn standard_topology(seed: u64) -> Topology {
+    sensor_net::random_with_degree(100, 7.0, seed)
+}
+
+/// The algorithm set of Figures 2-3.
+pub fn figure2_algorithms() -> Vec<(Algorithm, InnetOptions)> {
+    vec![
+        (Algorithm::Naive, InnetOptions::PLAIN),
+        (Algorithm::Base, InnetOptions::PLAIN),
+        (Algorithm::Ght, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::CMG),
+        (Algorithm::Innet, InnetOptions::CMPG),
+    ]
+}
+
+/// Scenario builder for the synthetic experiments.
+pub struct Bench {
+    pub query: fn(usize) -> JoinQuerySpec,
+    pub window: usize,
+    pub n_pairs: usize,
+    pub cycles: u32,
+}
+
+impl Bench {
+    pub fn scenario(
+        &self,
+        rates: Rates,
+        assumed: Sigma,
+        algo: Algorithm,
+        opts: InnetOptions,
+        seed: u64,
+    ) -> Scenario {
+        self.scenario_with_schedule(Schedule::Uniform(rates), assumed, algo, opts, seed)
+    }
+
+    pub fn scenario_with_schedule(
+        &self,
+        schedule: Schedule,
+        assumed: Sigma,
+        algo: Algorithm,
+        opts: InnetOptions,
+        seed: u64,
+    ) -> Scenario {
+        let topo = standard_topology(seed);
+        let mut data = WorkloadData::new(&topo, schedule, seed);
+        if self.n_pairs > 0 {
+            data = data.with_pairs(self.n_pairs);
+        }
+        let mut sim = SimConfig::default().with_seed(seed);
+        if opts.path_collapse {
+            sim = sim.with_snooping(true);
+        }
+        Scenario {
+            topo,
+            data,
+            spec: (self.query)(self.window),
+            cfg: AlgoConfig::new(algo, assumed).with_innet_options(opts),
+            sim,
+            num_trees: 3,
+        }
+    }
+
+    /// Run across seeds and return the per-seed stats.
+    pub fn run_seeds(
+        &self,
+        rates: Rates,
+        assumed: Sigma,
+        algo: Algorithm,
+        opts: InnetOptions,
+        seeds: u64,
+    ) -> Vec<RunStats> {
+        let jobs: Vec<u64> = (0..seeds).map(|s| 1000 + s).collect();
+        parallel_map(jobs, |&s| {
+            self.scenario(rates, assumed, algo, opts, s).run(self.cycles)
+        })
+    }
+}
+
+/// Simple parallel map over independent jobs (the paper ran its sweeps on
+/// a 20-machine cluster; we use the local cores).
+pub fn parallel_map<T: Send + Sync, R: Send>(jobs: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job completed"))
+        .collect()
+}
+
+/// The victim for Fig 14: the busiest in-network join node of a run.
+pub fn pick_victim(run: &aspen_join::Run) -> Option<NodeId> {
+    run.busiest_join_node()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_basics() {
+        let (m, ci) = mean_ci(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!(ci > 0.0);
+        assert_eq!(mean_ci(&[]), (0.0, 0.0));
+        assert_eq!(mean_ci(&[5.0]).1, 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u32> = (0..37).collect();
+        let out = parallel_map(jobs, |&x| x * 2);
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bench_scenario_runs() {
+        let b = Bench {
+            query: sensor_workload::query1,
+            window: 3,
+            n_pairs: 0,
+            cycles: 5,
+        };
+        let stats = b.run_seeds(
+            Rates::new(2, 2, 5),
+            Sigma::new(0.5, 0.5, 0.2),
+            Algorithm::Naive,
+            InnetOptions::PLAIN,
+            2,
+        );
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].total_traffic_bytes() > 0);
+    }
+}

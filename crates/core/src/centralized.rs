@@ -1,0 +1,157 @@
+//! Centralized optimization baseline (§4.3, Figures 6-7).
+//!
+//! The comparison point for the paper's decentralized initiation: every
+//! node ships its connectivity and static attributes to the base, which
+//! computes globally optimal join-node placements and floods the plan
+//! back. The model below charges exactly those flows over the primary
+//! routing tree and reports the base-station congestion and latency that
+//! Figure 6 contrasts with the distributed scheme.
+
+use crate::cost::{pair_cost_at, Sigma};
+use sensor_net::{NodeId, Topology};
+use sensor_routing::RoutingTree;
+
+/// Traffic and latency of the centralized initiation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralizedInit {
+    /// Total bytes transmitted network-wide.
+    pub total_bytes: u64,
+    /// Bytes through the base station (its TX + RX).
+    pub base_bytes: u64,
+    /// Transmission cycles until the last plan message is delivered.
+    pub latency_cycles: u64,
+}
+
+/// Per-node report size: neighbor list (2B each) + static excerpt + header.
+fn report_bytes(topo: &Topology, n: NodeId, header: u32) -> u64 {
+    (2 * topo.neighbors(n).len() as u32 + 24 + header) as u64
+}
+
+/// Simulate (analytically, hop-by-hop) the gather + scatter of centralized
+/// optimization over the primary tree.
+pub fn centralized_initiation(topo: &Topology, pairs: &[(NodeId, NodeId)]) -> CentralizedInit {
+    let tree = RoutingTree::build(topo, topo.base());
+    let header = 11u32;
+    let mut total = 0u64;
+    let mut base_bytes = 0u64;
+    let mut max_up = 0u64;
+    // Gather: every node reports connectivity + statics to the base.
+    for n in topo.node_ids() {
+        if n == topo.base() {
+            continue;
+        }
+        let hops = tree.depth(n) as u64;
+        let bytes = report_bytes(topo, n, header);
+        total += hops * bytes;
+        base_bytes += bytes; // received at the base
+        max_up = max_up.max(hops);
+    }
+    // Scatter: a plan message (pair, join node, path) to each endpoint.
+    let mut max_down = 0u64;
+    for &(s, t) in pairs {
+        for node in [s, t] {
+            let hops = tree.depth(node) as u64;
+            let bytes = (16 + header) as u64;
+            total += hops * bytes;
+            base_bytes += bytes; // transmitted by the base
+            max_down = max_down.max(hops);
+        }
+    }
+    CentralizedInit {
+        total_bytes: total,
+        base_bytes,
+        // Gather serializes through the base's single radio: the base
+        // receives one report per transmission cycle, then plans go out.
+        latency_cycles: (topo.len() as u64 - 1).max(max_up) + max_down,
+    }
+}
+
+/// Globally optimal placement: the join node may be *any* network node
+/// (not just one on a discovered path); distances are true shortest paths.
+/// Returns (join node, expected per-cycle cost).
+pub fn optimal_placement(
+    topo: &Topology,
+    s: NodeId,
+    t: NodeId,
+    sigma: Sigma,
+    w: usize,
+) -> (NodeId, f64) {
+    let from_s = topo.bfs_hops(s);
+    let from_t = topo.bfs_hops(t);
+    let from_r = topo.bfs_hops(topo.base());
+    let mut best = (s, f64::INFINITY);
+    for j in topo.node_ids() {
+        let (ds, dt, dr) = (
+            from_s[j.index()] as f64,
+            from_t[j.index()] as f64,
+            from_r[j.index()] as f64,
+        );
+        let c = pair_cost_at(sigma, w, ds, dt, dr);
+        if c < best.1 {
+            best = (j, c);
+        }
+    }
+    best
+}
+
+/// Expected execution traffic (tuple-hops) of serving `pairs` with the
+/// globally optimal placement, for Figure 7's "O" bars.
+pub fn optimal_execution_cost(
+    topo: &Topology,
+    pairs: &[(NodeId, NodeId)],
+    sigma: Sigma,
+    w: usize,
+) -> f64 {
+    pairs
+        .iter()
+        .map(|&(s, t)| optimal_placement(topo, s, t, sigma, w).1)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        sensor_net::random_with_degree(60, 7.0, 4)
+    }
+
+    #[test]
+    fn gather_dominates_base_traffic() {
+        let t = topo();
+        let init = centralized_initiation(&t, &[(NodeId(5), NodeId(40))]);
+        assert!(init.total_bytes > 0);
+        // Base handles at least one report per node.
+        assert!(init.base_bytes as usize >= (t.len() - 1) * 24);
+        assert!(init.latency_cycles as usize >= t.len() - 1);
+    }
+
+    #[test]
+    fn optimal_placement_beats_endpoints_sometimes() {
+        let t = topo();
+        let sigma = Sigma::new(1.0, 1.0, 0.05);
+        let (j, c) = optimal_placement(&t, NodeId(10), NodeId(50), sigma, 3);
+        // Optimal cost is no worse than placing at either endpoint.
+        let d = t.bfs_hops(NodeId(10));
+        let r = t.bfs_hops(t.base());
+        let at_s = pair_cost_at(
+            sigma,
+            3,
+            0.0,
+            t.bfs_hops(NodeId(50))[10] as f64,
+            r[10] as f64,
+        );
+        assert!(c <= at_s + 1e-9, "optimal {c} worse than at-s {at_s}");
+        let _ = (j, d);
+    }
+
+    #[test]
+    fn zero_sigma_t_places_at_source() {
+        // Fig 7's setting: σs=1, σt=σst=0 — cost reduces to σs·Dsj, so the
+        // optimum is the source itself with cost 0.
+        let t = topo();
+        let (j, c) = optimal_placement(&t, NodeId(7), NodeId(30), Sigma::new(1.0, 0.0, 0.0), 3);
+        assert_eq!(j, NodeId(7));
+        assert_eq!(c, 0.0);
+    }
+}

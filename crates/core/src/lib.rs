@@ -1,0 +1,66 @@
+//! Dynamic join optimization in multi-hop wireless sensor networks.
+//!
+//! This crate is the paper's contribution: a cost-model-driven, fully
+//! decentralized optimizer for windowed stream joins executing *inside*
+//! the network, with the complete algorithm matrix of the evaluation:
+//!
+//! | Strategy | Module entry point |
+//! |---|---|
+//! | Naive / Base (grouped at base) | [`shared::Algorithm`] |
+//! | GHT grouped join over GPSR | [`shared::Algorithm::Ght`] |
+//! | Yang+07 through-the-base | [`shared::Algorithm::Yang07`] |
+//! | Innet pairwise + cost placement (§3) | [`shared::Algorithm::Innet`] |
+//! | Multicast/merging, group opt, path collapse (§5, App. E) | [`shared::InnetOptions`] |
+//! | Adaptive learning + migration (§6) | [`learn`], [`node::adapt`] |
+//! | Failure recovery (§7) | [`node::adapt`] |
+//! | Centralized baseline (§4.3) | [`centralized`] |
+//!
+//! Typical usage goes through [`scenario::Scenario`]:
+//!
+//! ```
+//! use aspen_join::prelude::*;
+//!
+//! let topo = sensor_net::random_with_degree(60, 7.0, 1);
+//! let data = sensor_workload::WorkloadData::new(
+//!     &topo,
+//!     Schedule::Uniform(Rates::new(2, 2, 5)),
+//!     1,
+//! );
+//! let spec = sensor_workload::query1(3);
+//! let cfg = AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2))
+//!     .with_innet_options(InnetOptions::CMG);
+//! let scenario = Scenario {
+//!     topo,
+//!     data,
+//!     spec,
+//!     cfg,
+//!     sim: SimConfig::lossless(),
+//!     num_trees: 3,
+//! };
+//! let stats = scenario.run(10);
+//! assert!(stats.total_traffic_bytes() > 0);
+//! ```
+
+pub mod centralized;
+pub mod cost;
+pub mod learn;
+pub mod msg;
+pub mod multicast;
+pub mod node;
+pub mod scenario;
+pub mod shared;
+
+pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
+pub use msg::{Msg, Pair};
+pub use node::JoinNode;
+pub use scenario::{oracle_result_count, Run, RunStats, Scenario};
+pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::cost::Sigma;
+    pub use crate::scenario::{oracle_result_count, Run, RunStats, Scenario};
+    pub use crate::shared::{AlgoConfig, Algorithm, InnetOptions};
+    pub use sensor_sim::SimConfig;
+    pub use sensor_workload::{Rates, Schedule};
+}

@@ -1,0 +1,462 @@
+//! Adaptation: selectivity learning with join-node migration (§6) and
+//! best-effort failure recovery (§7).
+
+use super::{JoinNode, PairState};
+use crate::cost::{place_join_node, Placement, Sigma};
+use crate::msg::{side, Msg, Pair, Route};
+use sensor_net::NodeId;
+use sensor_query::Tuple;
+use sensor_routing::repair::repair_path;
+use sensor_sim::Ctx;
+
+impl JoinNode {
+    // ----- learning (§6) ----------------------------------------------------
+
+    /// Per-sampling-cycle learning bookkeeping at join nodes (and at the
+    /// base for its registered pairs).
+    pub(super) fn learning_tick(&mut self, ctx: &mut Ctx<'_, Msg>, cycle: u32) {
+        if !self.sh.cfg.innet.learning {
+            return;
+        }
+        let interval = self.sh.cfg.learn_interval.max(1);
+        for st in self.pairs.values_mut() {
+            st.stats.tick();
+        }
+        if let Some(b) = self.base.as_mut() {
+            for st in b.pairs.values_mut() {
+                st.stats.tick();
+            }
+        }
+        if cycle == 0 || cycle % interval != 0 {
+            return;
+        }
+        // Evaluate join-node pairs.
+        let here: Vec<Pair> = self.pairs.keys().copied().collect();
+        for pair in here {
+            self.evaluate_pair(ctx, pair, false);
+        }
+        let at_base: Vec<Pair> = self
+            .base
+            .as_ref()
+            .map(|b| b.pairs.keys().copied().collect())
+            .unwrap_or_default();
+        for pair in at_base {
+            self.evaluate_pair(ctx, pair, true);
+        }
+    }
+
+    /// Re-estimate a pair's selectivities; migrate the join node when the
+    /// estimates diverge >33% from the values the placement assumed.
+    fn evaluate_pair(&mut self, ctx: &mut Ctx<'_, Msg>, pair: Pair, at_base: bool) {
+        let w = self.sh.spec.window;
+        let threshold = self.sh.cfg.divergence_threshold;
+        let st = if at_base {
+            self.base.as_mut().and_then(|b| b.pairs.get_mut(&pair))
+        } else {
+            self.pairs.get_mut(&pair)
+        };
+        let Some(st) = st else { return };
+        if st.path.is_empty() {
+            // Fallback-pinned pair: nothing to re-place.
+            st.stats.reset();
+            return;
+        }
+        let Some(est) = st.stats.estimate(w) else {
+            st.stats.tick();
+            return;
+        };
+        if !st.assumed.diverged(&est, threshold) {
+            // Close enough: keep running, restart the local time span.
+            st.stats.reset();
+            return;
+        }
+        let placement = place_join_node(est, w, &st.hops);
+        let new_j_idx = match placement {
+            Placement::OnPath { index, .. } => Some(index),
+            Placement::AtBase { .. } => None,
+        };
+        if new_j_idx == st.j_idx {
+            // Same node still optimal: adopt the estimates and move on.
+            st.assumed = est;
+            st.stats.reset();
+            return;
+        }
+        // Migrate: hand the windows to the new join node so computation
+        // resumes "seamlessly without loss of results".
+        let seq = st.seq + 1;
+        let path = st.path.clone();
+        let hops = st.hops.clone();
+        let win_s: Vec<Tuple> = st.win_s.iter().copied().collect();
+        let win_t: Vec<Tuple> = st.win_t.iter().copied().collect();
+        if at_base {
+            self.base.as_mut().unwrap().pairs.remove(&pair);
+        } else {
+            self.pairs.remove(&pair);
+        }
+        self.dispatch_window_xfer(
+            ctx, pair, seq, path, hops, new_j_idx, est, win_s, win_t,
+        );
+    }
+
+    /// Route a WindowXfer from the current join point to the new one.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn dispatch_window_xfer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        pair: Pair,
+        seq: u32,
+        path: Vec<NodeId>,
+        hops: Vec<u16>,
+        new_j_idx: Option<usize>,
+        assumed: Sigma,
+        win_s: Vec<Tuple>,
+        win_t: Vec<Tuple>,
+    ) {
+        match new_j_idx {
+            None => {
+                // Moving to the base.
+                let msg = Msg::WindowXfer {
+                    pair,
+                    seq,
+                    path,
+                    hops,
+                    new_j_idx,
+                    assumed,
+                    win_s,
+                    win_t,
+                    route: Route::TreeUp,
+                };
+                if !self.forward_tree_up(ctx, msg) {
+                    self.adopt_transferred_pair(
+                        ctx, pair, seq, Vec::new(), Vec::new(), None, assumed, Vec::new(),
+                        Vec::new(),
+                    );
+                }
+            }
+            Some(j) => {
+                let new_j = path[j];
+                if new_j == self.id {
+                    let (p, h) = (path.clone(), hops.clone());
+                    self.adopt_transferred_pair(
+                        ctx,
+                        pair,
+                        seq,
+                        p,
+                        h,
+                        Some(j),
+                        assumed,
+                        win_s,
+                        win_t,
+                    );
+                    return;
+                }
+                // Route along the pair's path if I am on it; otherwise
+                // (migrating away from the base) use the primary tree.
+                let route_path = match path.iter().position(|&n| n == self.id) {
+                    Some(my_idx) if my_idx < j => path[my_idx..=j].to_vec(),
+                    Some(my_idx) => {
+                        let mut p = path[j..=my_idx].to_vec();
+                        p.reverse();
+                        p
+                    }
+                    None => self.sh.tree_path(self.id, new_j),
+                };
+                if route_path.len() > 1 {
+                    let msg = Msg::WindowXfer {
+                        pair,
+                        seq,
+                        path,
+                        hops,
+                        new_j_idx,
+                        assumed,
+                        win_s,
+                        win_t,
+                        route: Route::Path {
+                            path: route_path.clone(),
+                            pos: 1,
+                        },
+                    };
+                    self.send(ctx, route_path[1], msg);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn on_window_xfer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        pair: Pair,
+        seq: u32,
+        path: Vec<NodeId>,
+        hops: Vec<u16>,
+        new_j_idx: Option<usize>,
+        assumed: Sigma,
+        win_s: Vec<Tuple>,
+        win_t: Vec<Tuple>,
+        route: Route,
+    ) {
+        match route {
+            Route::TreeUp => {
+                let msg = Msg::WindowXfer {
+                    pair,
+                    seq,
+                    path: path.clone(),
+                    hops: hops.clone(),
+                    new_j_idx,
+                    assumed,
+                    win_s: win_s.clone(),
+                    win_t: win_t.clone(),
+                    route: Route::TreeUp,
+                };
+                if self.forward_tree_up(ctx, msg) {
+                    return;
+                }
+                self.adopt_transferred_pair(
+                    ctx, pair, seq, path, hops, new_j_idx, assumed, win_s, win_t,
+                );
+            }
+            Route::Path {
+                path: rpath,
+                pos,
+            } => {
+                let forwarded = self.forward_path(ctx, &rpath, pos, |p| Msg::WindowXfer {
+                    pair,
+                    seq,
+                    path: path.clone(),
+                    hops: hops.clone(),
+                    new_j_idx,
+                    assumed,
+                    win_s: win_s.clone(),
+                    win_t: win_t.clone(),
+                    route: Route::Path {
+                        path: rpath.clone(),
+                        pos: p,
+                    },
+                });
+                if !forwarded {
+                    self.adopt_transferred_pair(
+                        ctx, pair, seq, path, hops, new_j_idx, assumed, win_s, win_t,
+                    );
+                }
+            }
+            Route::Mcast { .. } => unreachable!("window transfers are unicast"),
+        }
+    }
+
+    /// The new join node adopts a migrated pair and re-points both
+    /// producers at itself.
+    #[allow(clippy::too_many_arguments)]
+    fn adopt_transferred_pair(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        pair: Pair,
+        seq: u32,
+        path: Vec<NodeId>,
+        hops: Vec<u16>,
+        j_idx: Option<usize>,
+        assumed: Sigma,
+        win_s: Vec<Tuple>,
+        win_t: Vec<Tuple>,
+    ) {
+        let state = PairState {
+            pair,
+            seq,
+            path: path.clone(),
+            hops,
+            j_idx,
+            assumed,
+            win_s: win_s.into(),
+            win_t: win_t.into(),
+            stats: crate::learn::PairStats::default(),
+        };
+        match j_idx {
+            Some(_) => {
+                self.pairs.insert(pair, state);
+            }
+            None => {
+                if let Some(b) = self.base.as_mut() {
+                    b.pairs.insert(pair, state);
+                }
+            }
+        }
+        self.send_assign(ctx, pair, seq, path.clone(), j_idx, false);
+        self.send_assign(ctx, pair, seq, path, j_idx, true);
+    }
+
+    // ----- failure handling (§7) ----------------------------------------------
+
+    /// A unicast abandoned after retries: the next hop is dead. Repair the
+    /// route locally, or notify the producer to fall back to the base.
+    pub(super) fn handle_send_failure(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg) {
+        self.known_dead.insert(to);
+        // Local liveness probing around the failure (costed).
+        self.broadcast(ctx, Msg::Probe);
+        match msg {
+            Msg::Data {
+                from,
+                sides,
+                tuple,
+                route: Route::Path { path, pos },
+                fallback,
+            } => {
+                let alive = |n: NodeId| !self.known_dead.contains(&n) && !self.sh.is_dead(n);
+                match repair_path(&self.sh.topo, &path, to, alive) {
+                    Some(new_path) => {
+                        // Resume from my position on the repaired path and
+                        // tell the producer about the detour.
+                        if let Some(my_pos) = new_path.iter().position(|&n| n == self.id) {
+                            if my_pos + 1 < new_path.len() {
+                                let m = Msg::Data {
+                                    from,
+                                    sides,
+                                    tuple,
+                                    route: Route::Path {
+                                        path: new_path.clone(),
+                                        pos: my_pos + 1,
+                                    },
+                                    fallback,
+                                };
+                                self.send(ctx, new_path[my_pos + 1], m);
+                            }
+                        }
+                        self.notify_route_broken(ctx, from, to, &path, pos, false);
+                    }
+                    None => {
+                        self.notify_route_broken(ctx, from, to, &path, pos, true);
+                    }
+                }
+            }
+            // Tree-up traffic heals by re-parenting; re-send once.
+            Msg::Data {
+                from,
+                sides,
+                tuple,
+                route: Route::TreeUp,
+                fallback,
+            } => {
+                let m = Msg::Data {
+                    from,
+                    sides,
+                    tuple,
+                    route: Route::TreeUp,
+                    fallback,
+                };
+                let _ = self.forward_tree_up(ctx, m);
+            }
+            Msg::Result {
+                count,
+                gen_cycle,
+                route: Route::TreeUp,
+            } => {
+                let m = Msg::Result {
+                    count,
+                    gen_cycle,
+                    route: Route::TreeUp,
+                };
+                let _ = self.forward_tree_up(ctx, m);
+            }
+            // Multicast branch died: tell the owner; it will rebuild
+            // around the failure or fall back.
+            Msg::Data {
+                from,
+                route: Route::Mcast { owner },
+                ..
+            } => {
+                let _ = from;
+                self.notify_route_broken(ctx, owner, to, &[], 0, true);
+            }
+            // Control traffic losses during initiation self-correct via
+            // re-nomination; drop silently.
+            _ => {}
+        }
+    }
+
+    /// Walk a RouteBroken notification back toward the producer.
+    fn notify_route_broken(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        producer: NodeId,
+        failed: NodeId,
+        path: &[NodeId],
+        pos: usize,
+        fatal: bool,
+    ) {
+        if producer == self.id {
+            self.producer_route_broken(ctx, failed, fatal);
+            return;
+        }
+        // Reverse along the data path if I am on it; else tree-route.
+        let back_path: Vec<NodeId> = if !path.is_empty() && pos > 0 && path.get(pos) == Some(&self.id)
+        {
+            let mut p = path[..=pos].to_vec();
+            p.reverse();
+            p
+        } else {
+            self.sh.tree_path(self.id, producer)
+        };
+        if back_path.len() > 1 {
+            let msg = Msg::RouteBroken {
+                pair: Pair::new(producer, failed), // s slot = producer, t slot unused
+                failed,
+                path: back_path.clone(),
+                pos: 1,
+            };
+            self.send(ctx, back_path[1], msg);
+        }
+    }
+
+    pub(super) fn on_route_broken(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        pair: Pair,
+        failed: NodeId,
+        path: Vec<NodeId>,
+        pos: usize,
+    ) {
+        let forwarded = self.forward_path(ctx, &path, pos, |p| Msg::RouteBroken {
+            pair,
+            failed,
+            path: path.clone(),
+            pos: p,
+        });
+        if !forwarded {
+            self.producer_route_broken(ctx, failed, true);
+        }
+    }
+
+    /// §7: producer-side reaction — switch every pair whose path includes
+    /// the failed node to joining at the base, forwarding the last `w`
+    /// tuples so the base can reconstruct the join window.
+    fn producer_route_broken(&mut self, ctx: &mut Ctx<'_, Msg>, failed: NodeId, fatal: bool) {
+        self.known_dead.insert(failed);
+        if !fatal {
+            return;
+        }
+        let affected: Vec<Pair> = self
+            .assigns
+            .values()
+            .filter(|a| !a.base_mode && a.path.contains(&failed))
+            .map(|a| a.pair)
+            .collect();
+        if affected.is_empty() {
+            return;
+        }
+        let buffered: Vec<Tuple> = self.sent.iter().copied().collect();
+        for pair in &affected {
+            if let Some(a) = self.assigns.get_mut(pair) {
+                a.base_mode = true;
+            }
+        }
+        self.mc_dirty = true;
+        // Forward the last w tuples, tagged so the base pins the pair.
+        let my_side = if affected.iter().any(|p| p.s == self.id) {
+            side::S
+        } else {
+            side::T
+        };
+        for tuple in buffered {
+            self.send_to_base(ctx, my_side, tuple, Some(affected[0]));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The run harness: wires topology + workload + substrate + algorithm into
+//! a simulation, drives the initiation and execution phases, and collects
+//! the statistics every figure reports.
+
+
+use crate::node::JoinNode;
+use crate::shared::{AlgoConfig, Algorithm, Shared};
+use sensor_net::{NodeId, Topology};
+use sensor_routing::ght::GpsrRouter;
+use sensor_routing::substrate::{IndexedAttr, MultiTreeSubstrate};
+use sensor_query::schema::{
+    ATTR_CID, ATTR_GROUP, ATTR_ID, ATTR_PAIR, ATTR_POS_X, ATTR_RID, ATTR_X, ATTR_Y,
+};
+use sensor_query::JoinQuerySpec;
+use sensor_sim::{Engine, Metrics, SimConfig};
+use sensor_summaries::SummaryKind;
+use sensor_workload::WorkloadData;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Indexed attributes every experiment registers: the Table 1 statics with
+/// Bloom/interval summaries and the R-tree over positions (App. C).
+pub fn default_indexed_attrs() -> Vec<IndexedAttr> {
+    vec![
+        IndexedAttr::new(ATTR_ID, SummaryKind::Interval),
+        IndexedAttr::new(ATTR_X, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_Y, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_CID, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_RID, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_PAIR, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_GROUP, SummaryKind::Bloom),
+        IndexedAttr::new(ATTR_POS_X, SummaryKind::Rects),
+    ]
+}
+
+/// Everything needed to run one (topology, workload, query, algorithm)
+/// combination.
+pub struct Scenario {
+    pub topo: Topology,
+    pub data: WorkloadData,
+    pub spec: JoinQuerySpec,
+    pub cfg: AlgoConfig,
+    pub sim: SimConfig,
+    pub num_trees: usize,
+}
+
+/// Phase-separated traffic and result statistics of one run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    pub label: String,
+    /// Traffic during initiation (query dissemination, exploration,
+    /// nomination, group optimization, multicast setup).
+    pub initiation: Metrics,
+    /// Traffic during execution (data, results, adaptation, recovery).
+    pub execution: Metrics,
+    /// Join results delivered to (or produced at) the base station.
+    pub results: u64,
+    /// Mean result delay in transmission cycles.
+    pub avg_delay_tx: f64,
+    /// Transmission cycles the initiation phase took (Fig 6b latency).
+    pub initiation_cycles: u64,
+    pub base: NodeId,
+}
+
+impl RunStats {
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.initiation.total_tx_bytes() + self.execution.total_tx_bytes()
+    }
+
+    pub fn execution_traffic_bytes(&self) -> u64 {
+        self.execution.total_tx_bytes()
+    }
+
+    pub fn total_traffic_msgs(&self) -> u64 {
+        self.initiation.total_tx_msgs() + self.execution.total_tx_msgs()
+    }
+
+    pub fn base_load_bytes(&self) -> u64 {
+        self.initiation.load_bytes(self.base) + self.execution.load_bytes(self.base)
+    }
+
+    pub fn base_load_msgs(&self) -> u64 {
+        self.initiation.load_msgs(self.base) + self.execution.load_msgs(self.base)
+    }
+
+    /// Combined per-node loads (Fig 5).
+    pub fn top_loads(&self, k: usize) -> Vec<u64> {
+        let mut combined = self.initiation.clone();
+        combined.absorb(&self.execution);
+        combined.top_loads_bytes(k)
+    }
+
+    pub fn max_node_load_bytes(&self) -> u64 {
+        let mut combined = self.initiation.clone();
+        combined.absorb(&self.execution);
+        combined.max_load_bytes()
+    }
+}
+
+/// A prepared run: engine + shared context, ready to step through phases.
+pub struct Run {
+    pub engine: Engine<JoinNode>,
+    pub shared: Arc<Shared>,
+    init_metrics: Option<Metrics>,
+    init_cycles: u64,
+}
+
+impl Scenario {
+    /// Construct the engine: builds the substrate offline (routing-tree
+    /// construction is excluded from query costs, as in Table 3) and
+    /// instantiates the protocol at every node.
+    pub fn build(&self) -> Run {
+        let sub = Arc::new(MultiTreeSubstrate::build(
+            &self.topo,
+            self.num_trees,
+            default_indexed_attrs(),
+            &self.data,
+        ));
+        let gpsr = matches!(self.cfg.algorithm, Algorithm::Ght)
+            .then(|| GpsrRouter::new(&self.topo));
+        let shared = Arc::new(Shared {
+            topo: self.topo.clone(),
+            sub,
+            gpsr,
+            spec: self.spec.clone(),
+            data: self.data.clone(),
+            cfg: self.cfg,
+            dead: Mutex::new(HashSet::new()),
+        });
+        let sh = shared.clone();
+        let engine = Engine::new(self.topo.clone(), self.sim.clone(), move |id| {
+            JoinNode::new(id, sh.clone())
+        });
+        Run {
+            engine,
+            shared,
+            init_metrics: None,
+            init_cycles: 0,
+        }
+    }
+
+    /// Build, run initiation and `cycles` sampling cycles, collect stats.
+    pub fn run(&self, cycles: u32) -> RunStats {
+        let mut run = self.build();
+        run.initiate();
+        run.execute(cycles);
+        run.stats()
+    }
+}
+
+impl Run {
+    /// Drive the algorithm-specific initiation phase to quiescence.
+    pub fn initiate(&mut self) {
+        let algo = self.shared.cfg.algorithm;
+        let base = self.shared.base();
+        let n = self.engine.topology().len();
+        // 1. Query dissemination (all algorithms need the query; Naive and
+        //    Yang+07 piggyback it on routing-tree construction, so it is
+        //    free for them per Table 3).
+        let free_dissemination =
+            matches!(algo, Algorithm::Naive | Algorithm::Yang07);
+        if free_dissemination {
+            for i in 0..n {
+                self.engine.node_mut(NodeId(i as u16)).ensure_query();
+            }
+        } else {
+            self.engine.with_node(base, |node, ctx| node.start_flood(ctx));
+            self.engine.run_until_quiet(10_000);
+            for i in 0..n {
+                self.engine.node_mut(NodeId(i as u16)).ensure_query();
+            }
+        }
+        // 2. Algorithm-specific setup.
+        match algo {
+            Algorithm::Naive | Algorithm::Yang07 => {}
+            Algorithm::Base => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    if id == base {
+                        continue;
+                    }
+                    self.engine.with_node(id, |node, ctx| node.start_announce(ctx));
+                }
+                self.engine.run_until_quiet(50_000);
+            }
+            Algorithm::Ght => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine
+                        .with_node(id, |node, ctx| node.start_ght_register(ctx));
+                }
+                self.engine.run_until_quiet(50_000);
+            }
+            Algorithm::Innet => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine.with_node(id, |node, ctx| node.start_search(ctx));
+                }
+                self.engine.run_until_quiet(200_000);
+                for i in 0..n {
+                    self.engine.node_mut(NodeId(i as u16)).finish_t_side_assigns();
+                }
+                if self.shared.cfg.innet.group_opt {
+                    for i in 0..n {
+                        let id = NodeId(i as u16);
+                        self.engine
+                            .with_node(id, |node, ctx| node.start_group_opt(ctx));
+                    }
+                    self.engine.run_until_quiet(50_000);
+                }
+            }
+        }
+        self.init_cycles = self.engine.now();
+        self.init_metrics = Some(self.engine.metrics().clone());
+        self.engine.reset_metrics();
+        self.engine.reset_clock();
+    }
+
+    /// Run `cycles` sampling cycles of execution.
+    pub fn execute(&mut self, cycles: u32) {
+        for c in 0..cycles {
+            self.engine.sampling_cycle(c);
+        }
+        // Drain any in-flight results so the last cycles are counted.
+        self.engine.run_until_quiet(5_000);
+    }
+
+    /// Run execution with a node failure injected at `fail_cycle`.
+    pub fn execute_with_failure(&mut self, cycles: u32, victim: NodeId, fail_cycle: u32) {
+        for c in 0..cycles {
+            if c == fail_cycle {
+                self.shared.mark_dead(victim);
+                self.engine.kill(victim);
+            }
+            self.engine.sampling_cycle(c);
+        }
+        self.engine.run_until_quiet(5_000);
+    }
+
+    /// The join node currently serving the most pairs (failure target
+    /// selection for Fig 14).
+    pub fn busiest_join_node(&self) -> Option<NodeId> {
+        let base = self.shared.base();
+        (0..self.engine.topology().len() as u16)
+            .map(NodeId)
+            .filter(|&id| id != base)
+            .max_by_key(|&id| self.engine.node(id).pair_count())
+            .filter(|&id| self.engine.node(id).pair_count() > 0)
+    }
+
+    pub fn stats(&self) -> RunStats {
+        let base = self.shared.base();
+        let b = self
+            .engine
+            .node(base)
+            .base_state()
+            .expect("base state present");
+        let avg_delay = if b.results > 0 {
+            b.delay_sum as f64 / b.results as f64
+        } else {
+            0.0
+        };
+        RunStats {
+            label: self.shared.cfg.label(),
+            initiation: self
+                .init_metrics
+                .clone()
+                .unwrap_or_else(|| Metrics::new(self.engine.topology().len())),
+            execution: self.engine.metrics().clone(),
+            results: b.results,
+            avg_delay_tx: avg_delay,
+            initiation_cycles: self.init_cycles,
+            base,
+        }
+    }
+}
+
+/// Oracle: expected number of join results over `cycles` sampling cycles,
+/// ignoring transport delays and losses (window semantics evaluated on
+/// generation order). Used by integration tests to sanity-check the
+/// distributed computation.
+pub fn oracle_result_count(
+    topo: &Topology,
+    data: &WorkloadData,
+    spec: &JoinQuerySpec,
+    cycles: u32,
+) -> u64 {
+    use sensor_query::TupleSource;
+    use std::collections::VecDeque;
+    let base = topo.base();
+    let a = &spec.analysis;
+    // Eligible producers.
+    let s_nodes: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|&n| n != base && a.s_eligible(data.static_of(n)))
+        .collect();
+    let t_nodes: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|&n| n != base && a.t_eligible(data.static_of(n)))
+        .collect();
+    // Statically matching pairs.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for &s in &s_nodes {
+        for &t in &t_nodes {
+            if s != t && a.static_join_matches(data.static_of(s), data.static_of(t)) {
+                pairs.push((s, t));
+            }
+        }
+    }
+    let w = spec.window;
+    let mut count = 0u64;
+    let mut windows: Vec<(VecDeque<sensor_query::Tuple>, VecDeque<sensor_query::Tuple>)> =
+        vec![(VecDeque::new(), VecDeque::new()); pairs.len()];
+    for c in 0..cycles {
+        for (idx, &(s, t)) in pairs.iter().enumerate() {
+            let st = data.sample(s, c);
+            let tt = data.sample(t, c);
+            let s_sends = a.s_sends(&st);
+            let t_sends = a.t_sends(&tt);
+            let (ws, wt) = &mut windows[idx];
+            if s_sends {
+                count += wt.iter().filter(|x| a.join_matches(&st, x)).count() as u64;
+                if ws.len() == w {
+                    ws.pop_front();
+                }
+                ws.push_back(st);
+            }
+            if t_sends {
+                count += ws.iter().filter(|x| a.join_matches(x, &tt)).count() as u64;
+                if wt.len() == w {
+                    wt.pop_front();
+                }
+                wt.push_back(tt);
+            }
+        }
+    }
+    count
+}

@@ -1,0 +1,213 @@
+//! Run-wide immutable configuration shared by every node's protocol
+//! instance, plus the algorithm/option matrix of the evaluation.
+
+use crate::cost::Sigma;
+use sensor_net::{NodeId, Topology};
+use sensor_routing::ght::GpsrRouter;
+use sensor_routing::MultiTreeSubstrate;
+use sensor_query::JoinQuerySpec;
+use sensor_workload::WorkloadData;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// The join algorithm families of §2.2 / §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Grouped at base, no initiation, selection push-down only.
+    Naive,
+    /// Grouped at base with static-join pre-filtering of producers.
+    Base,
+    /// Grouped at GHT home nodes (GPSR routing).
+    Ght,
+    /// Through-the-base (Yang+07).
+    Yang07,
+    /// Pairwise in-network with cost-based placement (the paper's).
+    Innet,
+}
+
+impl Algorithm {
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Naive => "Naive",
+            Algorithm::Base => "Base",
+            Algorithm::Ght => "GHT",
+            Algorithm::Yang07 => "Yang+07",
+            Algorithm::Innet => "Innet",
+        }
+    }
+}
+
+/// Innet option matrix: the -c/-m/-p/-g suffixes of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InnetOptions {
+    /// Multicast trees with cached interior state + opportunistic merging
+    /// of results ("-cm").
+    pub multicast: bool,
+    /// Group-based optimization, Algorithm 1 ("-g").
+    pub group_opt: bool,
+    /// Path collapsing via snooping, Algorithms 2-3 ("-p").
+    pub path_collapse: bool,
+    /// Adaptive selectivity learning and join-node migration (§6).
+    pub learning: bool,
+}
+
+impl InnetOptions {
+    pub const PLAIN: InnetOptions = InnetOptions {
+        multicast: false,
+        group_opt: false,
+        path_collapse: false,
+        learning: false,
+    };
+    pub const CM: InnetOptions = InnetOptions {
+        multicast: true,
+        ..Self::PLAIN
+    };
+    pub const CMG: InnetOptions = InnetOptions {
+        multicast: true,
+        group_opt: true,
+        ..Self::PLAIN
+    };
+    pub const CMP: InnetOptions = InnetOptions {
+        multicast: true,
+        path_collapse: true,
+        ..Self::PLAIN
+    };
+    pub const CMPG: InnetOptions = InnetOptions {
+        multicast: true,
+        group_opt: true,
+        path_collapse: true,
+        ..Self::PLAIN
+    };
+
+    pub fn with_learning(mut self) -> Self {
+        self.learning = true;
+        self
+    }
+
+    pub fn suffix(&self) -> String {
+        let mut s = String::new();
+        if self.multicast {
+            s.push_str("cm");
+        }
+        if self.path_collapse {
+            s.push('p');
+        }
+        if self.group_opt {
+            s.push('g');
+        }
+        let mut out = if s.is_empty() {
+            "Innet".to_string()
+        } else {
+            format!("Innet-{s}")
+        };
+        if self.learning {
+            out.push_str(" learn");
+        }
+        out
+    }
+}
+
+/// Full algorithm configuration for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoConfig {
+    pub algorithm: Algorithm,
+    pub innet: InnetOptions,
+    /// Selectivities the optimizer *assumes* (§3's a-priori knowledge; §6
+    /// starts from wrong values and learns).
+    pub assumed: Sigma,
+    /// Sampling cycles between learning evaluations at join nodes.
+    pub learn_interval: u32,
+    /// Re-optimization trigger (paper: 0.33).
+    pub divergence_threshold: f64,
+}
+
+impl AlgoConfig {
+    pub fn new(algorithm: Algorithm, assumed: Sigma) -> Self {
+        AlgoConfig {
+            algorithm,
+            innet: InnetOptions::PLAIN,
+            assumed,
+            learn_interval: 20,
+            divergence_threshold: 0.33,
+        }
+    }
+
+    pub fn with_innet_options(mut self, o: InnetOptions) -> Self {
+        self.innet = o;
+        self
+    }
+
+    pub fn label(&self) -> String {
+        match self.algorithm {
+            Algorithm::Innet => self.innet.suffix(),
+            a => a.name().to_string(),
+        }
+    }
+}
+
+/// Immutable run context shared across nodes (via `Arc`). The `dead` set
+/// is the one mutable element: the harness updates it on node failure and
+/// neighbors consult it as the outcome of local liveness probes (§7).
+pub struct Shared {
+    pub topo: Topology,
+    pub sub: Arc<MultiTreeSubstrate>,
+    pub gpsr: Option<GpsrRouter>,
+    pub spec: JoinQuerySpec,
+    pub data: WorkloadData,
+    pub cfg: AlgoConfig,
+    pub dead: Mutex<HashSet<NodeId>>,
+}
+
+impl Shared {
+    pub fn base(&self) -> NodeId {
+        self.topo.base()
+    }
+
+    pub fn is_dead(&self, n: NodeId) -> bool {
+        self.dead.lock().unwrap().contains(&n)
+    }
+
+    pub fn mark_dead(&self, n: NodeId) {
+        self.dead.lock().unwrap().insert(n);
+    }
+
+    /// Data-tuple wire size for this query.
+    pub fn data_bytes(&self) -> u32 {
+        self.spec.data_bytes()
+    }
+
+    pub fn result_bytes(&self) -> u32 {
+        self.spec.result_bytes()
+    }
+
+    /// Primary-tree path between two nodes (BestRoute-style id routing).
+    pub fn tree_path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        self.sub.primary().path_between(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_labels() {
+        assert_eq!(InnetOptions::PLAIN.suffix(), "Innet");
+        assert_eq!(InnetOptions::CM.suffix(), "Innet-cm");
+        assert_eq!(InnetOptions::CMG.suffix(), "Innet-cmg");
+        assert_eq!(InnetOptions::CMPG.suffix(), "Innet-cmpg");
+        assert_eq!(
+            InnetOptions::PLAIN.with_learning().suffix(),
+            "Innet learn"
+        );
+    }
+
+    #[test]
+    fn config_labels() {
+        let c = AlgoConfig::new(Algorithm::Naive, Sigma::new(1.0, 1.0, 1.0));
+        assert_eq!(c.label(), "Naive");
+        let c = AlgoConfig::new(Algorithm::Innet, Sigma::new(1.0, 1.0, 1.0))
+            .with_innet_options(InnetOptions::CMG);
+        assert_eq!(c.label(), "Innet-cmg");
+    }
+}

@@ -1,0 +1,231 @@
+//! Clause classification: selection vs join, static vs dynamic (§2, §3).
+//!
+//! After CNF conversion, clauses that reference only one side are
+//! *selections* on that side; clauses referencing both are *join* clauses.
+//! Clauses over exclusively static attributes can be pre-evaluated: static
+//! selections decide each node's eligibility for the query, static join
+//! clauses drive exploration (pattern matcher).
+
+use crate::expr::EvalError;
+use crate::pred::Clause;
+use crate::tuple::Tuple;
+
+/// Classification of a single CNF clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseClass {
+    /// References only S attributes.
+    SelS,
+    /// References only T attributes.
+    SelT,
+    /// References both sides.
+    Join,
+    /// References no attributes (constant).
+    Const,
+}
+
+/// A query's clauses bucketed by class and static-ness.
+#[derive(Debug, Clone, Default)]
+pub struct QueryAnalysis {
+    pub s_static_sel: Vec<Clause>,
+    pub s_dynamic_sel: Vec<Clause>,
+    pub t_static_sel: Vec<Clause>,
+    pub t_dynamic_sel: Vec<Clause>,
+    pub static_join: Vec<Clause>,
+    pub dynamic_join: Vec<Clause>,
+    pub const_clauses: Vec<Clause>,
+}
+
+/// Classify one clause.
+pub fn classify(clause: &Clause) -> ClauseClass {
+    let sides = clause.sides();
+    match (sides.s, sides.t) {
+        (true, true) => ClauseClass::Join,
+        (true, false) => ClauseClass::SelS,
+        (false, true) => ClauseClass::SelT,
+        (false, false) => ClauseClass::Const,
+    }
+}
+
+impl QueryAnalysis {
+    pub fn analyze(cnf: Vec<Clause>) -> Self {
+        let mut out = QueryAnalysis::default();
+        for clause in cnf {
+            let is_static = clause.is_static();
+            match classify(&clause) {
+                ClauseClass::SelS => {
+                    if is_static {
+                        out.s_static_sel.push(clause);
+                    } else {
+                        out.s_dynamic_sel.push(clause);
+                    }
+                }
+                ClauseClass::SelT => {
+                    if is_static {
+                        out.t_static_sel.push(clause);
+                    } else {
+                        out.t_dynamic_sel.push(clause);
+                    }
+                }
+                ClauseClass::Join => {
+                    if is_static {
+                        out.static_join.push(clause);
+                    } else {
+                        out.dynamic_join.push(clause);
+                    }
+                }
+                ClauseClass::Const => out.const_clauses.push(clause),
+            }
+        }
+        out
+    }
+
+    fn eval_all(
+        clauses: &[Clause],
+        s: Option<&Tuple>,
+        t: Option<&Tuple>,
+    ) -> Result<bool, EvalError> {
+        for c in clauses {
+            if !c.eval(s, t)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Pre-evaluation (§3): is this node eligible to produce S tuples?
+    /// Uses only static attributes of the tuple.
+    pub fn s_eligible(&self, s_static: &Tuple) -> bool {
+        Self::eval_all(&self.s_static_sel, Some(s_static), None).unwrap_or(false)
+            && Self::eval_all(&self.const_clauses, None, None).unwrap_or(false)
+    }
+
+    /// Pre-evaluation: eligibility on the T side.
+    pub fn t_eligible(&self, t_static: &Tuple) -> bool {
+        Self::eval_all(&self.t_static_sel, None, Some(t_static)).unwrap_or(false)
+            && Self::eval_all(&self.const_clauses, None, None).unwrap_or(false)
+    }
+
+    /// Full per-cycle decision: does this (eligible) S node send its sample?
+    /// Evaluates the dynamic selection gate (e.g. `hash(u) % k = 0`).
+    pub fn s_sends(&self, s: &Tuple) -> bool {
+        Self::eval_all(&self.s_dynamic_sel, Some(s), None).unwrap_or(false)
+    }
+
+    pub fn t_sends(&self, t: &Tuple) -> bool {
+        Self::eval_all(&self.t_dynamic_sel, None, Some(t)).unwrap_or(false)
+    }
+
+    /// Do two static tuples satisfy every *static* join clause? (Decides
+    /// whether the pair participates at all — the exploration criterion.)
+    pub fn static_join_matches(&self, s_static: &Tuple, t_static: &Tuple) -> bool {
+        Self::eval_all(&self.static_join, Some(s_static), Some(t_static)).unwrap_or(false)
+    }
+
+    /// Do two full tuples join (all join clauses, static + dynamic)?
+    pub fn join_matches(&self, s: &Tuple, t: &Tuple) -> bool {
+        Self::eval_all(&self.static_join, Some(s), Some(t)).unwrap_or(false)
+            && Self::eval_all(&self.dynamic_join, Some(s), Some(t)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, Side};
+    use crate::pred::{BoolExpr, CmpOp, Pred};
+    use crate::schema::{ATTR_ID, ATTR_U, ATTR_X, ATTR_Y};
+    use sensor_net::NodeId;
+
+    fn analysis() -> QueryAnalysis {
+        // Query 1's shape: id<25 & hash-gate on S; id>50 & gate on T;
+        // S.x = T.y + 5 (static join); S.u = T.u (dynamic join).
+        let e = BoolExpr::and(vec![
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_ID),
+                CmpOp::Lt,
+                Expr::Const(25),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::modulo(Expr::hash(Expr::attr(Side::S, ATTR_U)), Expr::Const(2)),
+                CmpOp::Eq,
+                Expr::Const(0),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::T, ATTR_ID),
+                CmpOp::Gt,
+                Expr::Const(50),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_X),
+                CmpOp::Eq,
+                Expr::add(Expr::attr(Side::T, ATTR_Y), Expr::Const(5)),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_U),
+                CmpOp::Eq,
+                Expr::attr(Side::T, ATTR_U),
+            )),
+        ]);
+        QueryAnalysis::analyze(e.to_cnf())
+    }
+
+    #[test]
+    fn buckets() {
+        let a = analysis();
+        assert_eq!(a.s_static_sel.len(), 1);
+        assert_eq!(a.s_dynamic_sel.len(), 1);
+        assert_eq!(a.t_static_sel.len(), 1);
+        assert_eq!(a.t_dynamic_sel.len(), 0);
+        assert_eq!(a.static_join.len(), 1);
+        assert_eq!(a.dynamic_join.len(), 1);
+    }
+
+    #[test]
+    fn eligibility() {
+        let a = analysis();
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_ID, 10);
+        assert!(a.s_eligible(&s));
+        s.set(ATTR_ID, 30);
+        assert!(!a.s_eligible(&s));
+        let mut t = Tuple::new(NodeId(2), 0);
+        t.set(ATTR_ID, 60);
+        assert!(a.t_eligible(&t));
+        // T has no dynamic gate in this variant: always sends.
+        assert!(a.t_sends(&t));
+    }
+
+    #[test]
+    fn static_join_pairs() {
+        let a = analysis();
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_X, 12);
+        let mut t = Tuple::new(NodeId(2), 0);
+        t.set(ATTR_Y, 7);
+        assert!(a.static_join_matches(&s, &t)); // 12 == 7+5
+        t.set(ATTR_Y, 8);
+        assert!(!a.static_join_matches(&s, &t));
+    }
+
+    #[test]
+    fn full_join_needs_dynamic_match() {
+        let a = analysis();
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_X, 12).set(ATTR_U, 3);
+        let mut t = Tuple::new(NodeId(2), 0);
+        t.set(ATTR_Y, 7).set(ATTR_U, 3);
+        assert!(a.join_matches(&s, &t));
+        t.set(ATTR_U, 4);
+        assert!(!a.join_matches(&s, &t));
+    }
+
+    #[test]
+    fn constant_clause_gates_everything() {
+        let e = BoolExpr::atom(Pred::new(Expr::Const(1), CmpOp::Eq, Expr::Const(2)));
+        let a = QueryAnalysis::analyze(e.to_cnf());
+        assert_eq!(a.const_clauses.len(), 1);
+        let s = Tuple::new(NodeId(0), 0);
+        assert!(!a.s_eligible(&s));
+        assert!(!a.t_eligible(&s));
+    }
+}

@@ -1,0 +1,333 @@
+//! Scalar expressions over tuple attributes.
+//!
+//! Appendix B: predicates may use standard comparisons, Boolean and
+//! arithmetic operators and utility functions (hash, random) over 16-bit
+//! attributes. Evaluation is done in `i64` to avoid overflow; `hash` is the
+//! splitmix64 finalizer so that the synthetic selectivity gates
+//! `hash(u) % k = 0` of Table 2 are deterministic across the codebase.
+
+use crate::schema::{AttrId, Schema, ATTR_POS_X, ATTR_POS_Y};
+use crate::tuple::Tuple;
+
+/// Which relation an attribute reference binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    S,
+    T,
+}
+
+impl Side {
+    pub fn other(self) -> Side {
+        match self {
+            Side::S => Side::T,
+            Side::T => Side::S,
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::S => write!(f, "S"),
+            Side::T => write!(f, "T"),
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Const(i64),
+    Attr(Side, AttrId),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// `hash(e)`: 64-bit mix, reduced to a non-negative i64.
+    Hash(Box<Expr>),
+    /// `abs(e)`.
+    Abs(Box<Expr>),
+    /// `dist(S.pos, T.pos)`: Euclidean distance between the two nodes'
+    /// deployment positions, in decimeters (matching `pos_x`/`pos_y`).
+    Dist,
+}
+
+/// splitmix64 finalizer.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Evaluation error: referencing a side that is not bound, or dividing by
+/// zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    UnboundSide(Side),
+    DivideByZero,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundSide(s) => write!(f, "expression references unbound side {s}"),
+            EvalError::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    pub fn attr(side: Side, attr: AttrId) -> Expr {
+        debug_assert!(Schema::is_valid(attr));
+        Expr::Attr(side, attr)
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(a), Box::new(b))
+    }
+
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    pub fn modulo(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mod, Box::new(a), Box::new(b))
+    }
+
+    pub fn hash(e: Expr) -> Expr {
+        Expr::Hash(Box::new(e))
+    }
+
+    pub fn abs(e: Expr) -> Expr {
+        Expr::Abs(Box::new(e))
+    }
+
+    /// Evaluate with optional bindings for each side.
+    pub fn eval(&self, s: Option<&Tuple>, t: Option<&Tuple>) -> Result<i64, EvalError> {
+        match self {
+            Expr::Const(c) => Ok(*c),
+            Expr::Attr(side, attr) => {
+                let tuple = match side {
+                    Side::S => s,
+                    Side::T => t,
+                };
+                tuple
+                    .map(|tp| tp.get(*attr) as i64)
+                    .ok_or(EvalError::UnboundSide(*side))
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval(s, t)?, b.eval(s, t)?);
+                match op {
+                    ArithOp::Add => Ok(va.wrapping_add(vb)),
+                    ArithOp::Sub => Ok(va.wrapping_sub(vb)),
+                    ArithOp::Mul => Ok(va.wrapping_mul(vb)),
+                    ArithOp::Div => {
+                        if vb == 0 {
+                            Err(EvalError::DivideByZero)
+                        } else {
+                            Ok(va.wrapping_div(vb))
+                        }
+                    }
+                    ArithOp::Mod => {
+                        if vb == 0 {
+                            Err(EvalError::DivideByZero)
+                        } else {
+                            Ok(va.rem_euclid(vb))
+                        }
+                    }
+                }
+            }
+            Expr::Hash(e) => {
+                let v = e.eval(s, t)?;
+                Ok((mix64(v as u64) >> 1) as i64)
+            }
+            Expr::Abs(e) => Ok(e.eval(s, t)?.abs()),
+            Expr::Dist => {
+                let (s, t) = (
+                    s.ok_or(EvalError::UnboundSide(Side::S))?,
+                    t.ok_or(EvalError::UnboundSide(Side::T))?,
+                );
+                let dx = s.get(ATTR_POS_X) as f64 - t.get(ATTR_POS_X) as f64;
+                let dy = s.get(ATTR_POS_Y) as f64 - t.get(ATTR_POS_Y) as f64;
+                Ok((dx * dx + dy * dy).sqrt().round() as i64)
+            }
+        }
+    }
+
+    /// The set of sides this expression references.
+    pub fn sides(&self) -> SideSet {
+        match self {
+            Expr::Const(_) => SideSet::default(),
+            Expr::Attr(side, _) => SideSet::only(*side),
+            Expr::Arith(_, a, b) => a.sides().union(b.sides()),
+            Expr::Hash(e) | Expr::Abs(e) => e.sides(),
+            Expr::Dist => SideSet { s: true, t: true },
+        }
+    }
+
+    /// Whether every referenced attribute is static.
+    pub fn is_static(&self) -> bool {
+        match self {
+            Expr::Const(_) => true,
+            Expr::Attr(_, attr) => Schema::is_static(*attr),
+            Expr::Arith(_, a, b) => a.is_static() && b.is_static(),
+            Expr::Hash(e) | Expr::Abs(e) => e.is_static(),
+            Expr::Dist => true, // positions are static
+        }
+    }
+
+    /// Attributes referenced on a given side.
+    pub fn attrs_on(&self, side: Side, out: &mut Vec<AttrId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Attr(s, attr) => {
+                if *s == side {
+                    out.push(*attr);
+                }
+            }
+            Expr::Arith(_, a, b) => {
+                a.attrs_on(side, out);
+                b.attrs_on(side, out);
+            }
+            Expr::Hash(e) | Expr::Abs(e) => e.attrs_on(side, out),
+            Expr::Dist => {
+                out.push(ATTR_POS_X);
+                out.push(ATTR_POS_Y);
+            }
+        }
+    }
+}
+
+/// Which of the two sides an expression/predicate touches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SideSet {
+    pub s: bool,
+    pub t: bool,
+}
+
+impl SideSet {
+    pub fn only(side: Side) -> SideSet {
+        match side {
+            Side::S => SideSet { s: true, t: false },
+            Side::T => SideSet { s: false, t: true },
+        }
+    }
+
+    pub fn union(self, other: SideSet) -> SideSet {
+        SideSet {
+            s: self.s || other.s,
+            t: self.t || other.t,
+        }
+    }
+
+    pub fn both(self) -> bool {
+        self.s && self.t
+    }
+
+    pub fn none(self) -> bool {
+        !self.s && !self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ATTR_ID, ATTR_U, ATTR_X, ATTR_Y};
+    use sensor_net::NodeId;
+
+    fn tup(id: u16, u: u16) -> Tuple {
+        let mut t = Tuple::new(NodeId(id), 0);
+        t.set(ATTR_ID, id).set(ATTR_U, u).set(ATTR_X, 10).set(ATTR_Y, 5);
+        t
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = tup(1, 7);
+        let e = Expr::add(Expr::attr(Side::S, ATTR_X), Expr::Const(5));
+        assert_eq!(e.eval(Some(&s), None), Ok(15));
+        let e = Expr::modulo(Expr::attr(Side::S, ATTR_U), Expr::Const(4));
+        assert_eq!(e.eval(Some(&s), None), Ok(3));
+    }
+
+    #[test]
+    fn unbound_side_errors() {
+        let e = Expr::attr(Side::T, ATTR_ID);
+        assert_eq!(e.eval(None, None), Err(EvalError::UnboundSide(Side::T)));
+        let s = tup(1, 1);
+        assert_eq!(
+            e.eval(Some(&s), None),
+            Err(EvalError::UnboundSide(Side::T))
+        );
+    }
+
+    #[test]
+    fn division_and_mod_by_zero() {
+        let e = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::Const(5)),
+            Box::new(Expr::Const(0)),
+        );
+        assert_eq!(e.eval(None, None), Err(EvalError::DivideByZero));
+        let e = Expr::modulo(Expr::Const(5), Expr::Const(0));
+        assert_eq!(e.eval(None, None), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_nonnegative() {
+        let s = tup(1, 42);
+        let e = Expr::hash(Expr::attr(Side::S, ATTR_U));
+        let v1 = e.eval(Some(&s), None).unwrap();
+        let v2 = e.eval(Some(&s), None).unwrap();
+        assert_eq!(v1, v2);
+        assert!(v1 >= 0);
+    }
+
+    #[test]
+    fn dist_between_positions() {
+        let mut s = Tuple::new(NodeId(0), 0);
+        s.set(ATTR_POS_X, 0).set(ATTR_POS_Y, 0);
+        let mut t = Tuple::new(NodeId(1), 0);
+        t.set(ATTR_POS_X, 30).set(ATTR_POS_Y, 40);
+        assert_eq!(Expr::Dist.eval(Some(&s), Some(&t)), Ok(50));
+    }
+
+    #[test]
+    fn side_analysis() {
+        let e = Expr::add(Expr::attr(Side::S, ATTR_X), Expr::attr(Side::T, ATTR_Y));
+        assert!(e.sides().both());
+        assert!(Expr::Const(1).sides().none());
+        assert!(e.is_static());
+        let dyn_e = Expr::attr(Side::S, ATTR_U);
+        assert!(!dyn_e.is_static());
+    }
+
+    #[test]
+    fn attrs_on_side() {
+        let e = Expr::add(Expr::attr(Side::S, ATTR_X), Expr::attr(Side::T, ATTR_Y));
+        let mut v = Vec::new();
+        e.attrs_on(Side::S, &mut v);
+        assert_eq!(v, vec![ATTR_X]);
+    }
+
+    #[test]
+    fn mod_is_euclidean() {
+        // rem_euclid keeps residues non-negative even for negative LHS.
+        let e = Expr::modulo(
+            Expr::sub(Expr::Const(0), Expr::Const(3)),
+            Expr::Const(4),
+        );
+        assert_eq!(e.eval(None, None), Ok(1));
+    }
+}

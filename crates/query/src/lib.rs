@@ -1,0 +1,34 @@
+//! The sensor query model (Appendix B).
+//!
+//! Queries are StreamSQL-style select-project-join statements over two
+//! sensor relations `S` and `T`, each an abstraction over a group of
+//! sensors. The pipeline implemented here mirrors the paper's query
+//! preprocessor:
+//!
+//! 1. parse ([`parser`]) or build ([`spec`]) a windowed join query;
+//! 2. convert the predicate to CNF ([`pred`]);
+//! 3. classify clauses into selection vs join, static vs dynamic
+//!    ([`classify`]);
+//! 4. feed static join clauses to the *pattern matcher* ([`pattern`]),
+//!    which separates primary (routable) join predicates from secondary
+//!    ones evaluated after routing.
+//!
+//! The 28-attribute sensor schema of Appendix B is in [`schema`]; tuples
+//! and deterministic evaluation in [`tuple`] and [`expr`].
+
+pub mod classify;
+pub mod expr;
+pub mod parser;
+pub mod pattern;
+pub mod pred;
+pub mod schema;
+pub mod spec;
+pub mod tuple;
+
+pub use classify::{ClauseClass, QueryAnalysis};
+pub use expr::{Expr, Side};
+pub use pattern::{RoutingPattern, RoutingPlan};
+pub use pred::{BoolExpr, Clause, CmpOp, Pred};
+pub use schema::{AttrId, Schema};
+pub use spec::JoinQuerySpec;
+pub use tuple::{Tuple, TupleSource};

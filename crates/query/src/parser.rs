@@ -1,0 +1,540 @@
+//! A small recursive-descent parser for the Appendix B StreamSQL dialect:
+//!
+//! ```sql
+//! SELECT S.id, T.id, S.time
+//! FROM S, T [windowsize=3 sampleinterval=100]
+//! WHERE S.id < 25 AND hash(S.u) % 2 = 0
+//!   AND T.id > 50 AND hash(T.u) % 2 = 0
+//!   AND S.x = T.y + 5 AND S.u = T.u
+//! ```
+
+use crate::expr::{ArithOp, Expr, Side};
+use crate::pred::{BoolExpr, CmpOp, Pred};
+use crate::schema::{AttrId, Schema, ATTR_LOCAL_TIME};
+use crate::spec::JoinQuerySpec;
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+}
+
+fn lex(input: &str) -> Result<Lexer, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push((start, Tok::Ident(input[start..i].to_lowercase())));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = input[start..i].parse().map_err(|_| ParseError {
+                pos: start,
+                message: "number too large".into(),
+            })?;
+            toks.push((start, Tok::Num(n)));
+            continue;
+        }
+        let two = if i + 1 < bytes.len() {
+            &input[i..i + 2]
+        } else {
+            ""
+        };
+        let sym: &'static str = match two {
+            "<=" => "<=",
+            ">=" => ">=",
+            "!=" => "!=",
+            "<>" => "!=",
+            _ => match c {
+                '<' => "<",
+                '>' => ">",
+                '=' => "=",
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '(' => "(",
+                ')' => ")",
+                '[' => "[",
+                ']' => "]",
+                ',' => ",",
+                '.' => ".",
+                other => {
+                    return Err(ParseError {
+                        pos: i,
+                        message: format!("unexpected character '{other}'"),
+                    })
+                }
+            },
+        };
+        i += sym.len();
+        toks.push((i - sym.len(), Tok::Sym(sym)));
+    }
+    Ok(Lexer { toks })
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.at)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        self.at += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Sym(sym)) if sym == s => Ok(()),
+            other => Err(ParseError {
+                pos: self.pos(),
+                message: format!("expected '{s}', found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) if id == kw => Ok(()),
+            other => Err(ParseError {
+                pos: self.pos(),
+                message: format!("expected keyword '{kw}', found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(id)) if id == kw) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(sym)) if *sym == s) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn attr_ref(&mut self) -> Result<(Side, AttrId), ParseError> {
+        let side = match self.bump() {
+            Some(Tok::Ident(id)) if id == "s" => Side::S,
+            Some(Tok::Ident(id)) if id == "t" => Side::T,
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    message: format!("expected relation S or T, found {other:?}"),
+                })
+            }
+        };
+        self.expect_sym(".")?;
+        let name = match self.bump() {
+            Some(Tok::Ident(id)) => id,
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    message: format!("expected attribute name, found {other:?}"),
+                })
+            }
+        };
+        let attr = match name.as_str() {
+            "time" => ATTR_LOCAL_TIME,
+            other => Schema::by_name(other).ok_or_else(|| ParseError {
+                pos: self.pos(),
+                message: format!("unknown attribute '{other}'"),
+            })?,
+        };
+        Ok((side, attr))
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn arith(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                ArithOp::Add
+            } else if self.eat_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.term()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                ArithOp::Mul
+            } else if self.eat_sym("/") {
+                ArithOp::Div
+            } else if self.eat_sym("%") {
+                ArithOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.factor()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.bump();
+                Ok(Expr::Const(n))
+            }
+            Some(Tok::Sym("(")) => {
+                self.bump();
+                let e = self.arith()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Sym("-")) => {
+                self.bump();
+                let e = self.factor()?;
+                Ok(Expr::sub(Expr::Const(0), e))
+            }
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "hash" => {
+                    self.bump();
+                    self.expect_sym("(")?;
+                    let e = self.arith()?;
+                    self.expect_sym(")")?;
+                    Ok(Expr::hash(e))
+                }
+                "abs" => {
+                    self.bump();
+                    self.expect_sym("(")?;
+                    let e = self.arith()?;
+                    self.expect_sym(")")?;
+                    Ok(Expr::abs(e))
+                }
+                "dist" => {
+                    self.bump();
+                    self.expect_sym("(")?;
+                    // dist(S.pos, T.pos) — argument order is fixed.
+                    self.expect_kw("s")?;
+                    self.expect_sym(".")?;
+                    self.expect_kw("pos")?;
+                    self.expect_sym(",")?;
+                    self.expect_kw("t")?;
+                    self.expect_sym(".")?;
+                    self.expect_kw("pos")?;
+                    self.expect_sym(")")?;
+                    Ok(Expr::Dist)
+                }
+                "s" | "t" => {
+                    let (side, attr) = self.attr_ref()?;
+                    Ok(Expr::attr(side, attr))
+                }
+                other => Err(self.err(format!("unexpected identifier '{other}'"))),
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Pred, ParseError> {
+        let lhs = self.arith()?;
+        let op = match self.bump() {
+            Some(Tok::Sym("=")) => CmpOp::Eq,
+            Some(Tok::Sym("!=")) => CmpOp::Ne,
+            Some(Tok::Sym("<")) => CmpOp::Lt,
+            Some(Tok::Sym("<=")) => CmpOp::Le,
+            Some(Tok::Sym(">")) => CmpOp::Gt,
+            Some(Tok::Sym(">=")) => CmpOp::Ge,
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    message: format!("expected comparison operator, found {other:?}"),
+                })
+            }
+        };
+        let rhs = self.arith()?;
+        Ok(Pred::new(lhs, op, rhs))
+    }
+
+    // --- boolean layer ---------------------------------------------------
+
+    fn bool_or(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut parts = vec![self.bool_and()?];
+        while self.eat_kw("or") {
+            parts.push(self.bool_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            BoolExpr::Or(parts)
+        })
+    }
+
+    fn bool_and(&mut self) -> Result<BoolExpr, ParseError> {
+        let mut parts = vec![self.bool_not()?];
+        while self.eat_kw("and") {
+            parts.push(self.bool_not()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            BoolExpr::And(parts)
+        })
+    }
+
+    fn bool_not(&mut self) -> Result<BoolExpr, ParseError> {
+        if self.eat_kw("not") {
+            return Ok(BoolExpr::Not(Box::new(self.bool_not()?)));
+        }
+        // '(' is ambiguous: try boolean grouping first, fall back to an
+        // arithmetic comparison.
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            let save = self.at;
+            self.bump();
+            if let Ok(inner) = self.bool_or() {
+                if self.eat_sym(")") {
+                    return Ok(inner);
+                }
+            }
+            self.at = save;
+        }
+        Ok(BoolExpr::Atom(self.comparison()?))
+    }
+
+    // --- top level ---------------------------------------------------------
+
+    fn query(&mut self) -> Result<JoinQuerySpec, ParseError> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.attr_ref()?];
+        while self.eat_sym(",") {
+            select.push(self.attr_ref()?);
+        }
+        self.expect_kw("from")?;
+        self.expect_kw("s")?;
+        self.expect_sym(",")?;
+        self.expect_kw("t")?;
+        let mut window = 1usize;
+        let mut sample_interval = 100u32;
+        if self.eat_sym("[") {
+            while !self.eat_sym("]") {
+                match self.bump() {
+                    Some(Tok::Ident(id)) if id == "windowsize" => {
+                        self.expect_sym("=")?;
+                        match self.bump() {
+                            Some(Tok::Num(n)) if n >= 1 => window = n as usize,
+                            _ => return Err(self.err("windowsize needs a positive integer")),
+                        }
+                    }
+                    Some(Tok::Ident(id)) if id == "sampleinterval" => {
+                        self.expect_sym("=")?;
+                        match self.bump() {
+                            Some(Tok::Num(n)) if n >= 1 => sample_interval = n as u32,
+                            _ => return Err(self.err("sampleinterval needs a positive integer")),
+                        }
+                    }
+                    other => {
+                        return Err(ParseError {
+                            pos: self.pos(),
+                            message: format!("unknown window option {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+        self.expect_kw("where")?;
+        let predicate = self.bool_or()?;
+        if self.at != self.toks.len() {
+            return Err(self.err("trailing input after WHERE clause"));
+        }
+        Ok(JoinQuerySpec::compile(
+            "parsed",
+            select,
+            window,
+            sample_interval,
+            predicate,
+        ))
+    }
+}
+
+/// Parse a StreamSQL-style join query.
+pub fn parse_query(input: &str) -> Result<JoinQuerySpec, ParseError> {
+    let lexer = lex(input)?;
+    Parser {
+        toks: lexer.toks,
+        at: 0,
+    }
+    .query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ATTR_CID, ATTR_ID, ATTR_U, ATTR_Y};
+
+    const APPENDIX_B_QUERY: &str = "SELECT S.id, T.id, S.time \
+        FROM S, T [windowsize=3 sampleinterval=100] \
+        WHERE S.id < 25 AND hash(S.u) % 2 = 0 \
+        AND T.id > 50 AND hash(T.u) % 2 = 0 \
+        AND S.x = T.y + 5 AND S.u = T.u";
+
+    #[test]
+    fn parses_appendix_b_query() {
+        let q = parse_query(APPENDIX_B_QUERY).expect("parse");
+        assert_eq!(q.window, 3);
+        assert_eq!(q.sample_interval, 100);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.analysis.s_static_sel.len(), 1);
+        assert_eq!(q.analysis.t_static_sel.len(), 1);
+        assert_eq!(q.analysis.s_dynamic_sel.len(), 1);
+        assert_eq!(q.analysis.t_dynamic_sel.len(), 1);
+        assert_eq!(q.analysis.static_join.len(), 1);
+        assert_eq!(q.analysis.dynamic_join.len(), 1);
+        // Pattern matcher: S.x = T.y+5 routes on y.
+        assert!(q.plan.is_routable());
+        assert_eq!(
+            q.plan.components[0].route,
+            crate::pattern::ComponentRoute::AttrEq(ATTR_Y)
+        );
+    }
+
+    #[test]
+    fn parses_perimeter_query() {
+        let q = parse_query(
+            "SELECT S.id, T.id FROM S, T [windowsize=1] \
+             WHERE S.rid = 0 AND T.rid = 3 AND S.cid = T.cid \
+             AND S.id % 4 = T.id % 4 AND S.u = T.u",
+        )
+        .expect("parse");
+        assert_eq!(q.window, 1);
+        assert_eq!(q.plan.components.len(), 2);
+        let routes: Vec<_> = q.plan.components.iter().map(|c| c.route.clone()).collect();
+        assert!(routes.contains(&crate::pattern::ComponentRoute::AttrEq(ATTR_CID)));
+        assert!(routes.contains(&crate::pattern::ComponentRoute::AttrMod(ATTR_ID, 4)));
+    }
+
+    #[test]
+    fn parses_region_query_with_dist_and_abs() {
+        let q = parse_query(
+            "SELECT S.id, T.id FROM S, T \
+             WHERE dist(S.pos, T.pos) < 50 AND S.id < T.id AND abs(S.v - T.v) > 1000",
+        )
+        .expect("parse");
+        assert!(q.plan.near.is_some());
+        assert_eq!(q.plan.near.unwrap().dist_dm, 49);
+        assert_eq!(q.analysis.dynamic_join.len(), 1);
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let q = parse_query(
+            "SELECT S.id FROM S, T WHERE (S.id < 5 OR S.id > 60) AND NOT T.id = 3 AND S.u = T.u",
+        )
+        .expect("parse");
+        // (a OR b) is one static selection clause with two disjuncts.
+        assert_eq!(q.analysis.s_static_sel.len(), 1);
+        assert_eq!(q.analysis.s_static_sel[0].preds.len(), 2);
+        // NOT T.id = 3 becomes T.id != 3.
+        assert_eq!(q.analysis.t_static_sel.len(), 1);
+        assert_eq!(q.analysis.t_static_sel[0].preds[0].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn parenthesized_arithmetic_is_not_boolean() {
+        let q = parse_query("SELECT S.id FROM S, T WHERE (S.u + 1) % 2 = 0 AND S.u = T.u")
+            .expect("parse");
+        assert_eq!(q.analysis.s_dynamic_sel.len(), 1);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let err = parse_query("SELECT S.bogus FROM S, T WHERE S.u = T.u").unwrap_err();
+        assert!(err.message.contains("unknown attribute"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_query("SELECT S.id FROM S, T WHERE S.u = T.u GROUP BY 1").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn window_options_in_any_order() {
+        let q = parse_query(
+            "SELECT S.id FROM S, T [sampleinterval=50 windowsize=7] WHERE S.u = T.u",
+        )
+        .expect("parse");
+        assert_eq!(q.window, 7);
+        assert_eq!(q.sample_interval, 50);
+    }
+
+    #[test]
+    fn time_maps_to_local_time() {
+        let q = parse_query("SELECT S.time FROM S, T WHERE S.u = T.u").expect("parse");
+        assert_eq!(q.select[0].1, crate::schema::ATTR_LOCAL_TIME);
+        let _ = ATTR_U; // silence unused import in some cfgs
+    }
+}

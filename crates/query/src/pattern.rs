@@ -1,0 +1,539 @@
+//! The pattern matcher (Appendix B): separates *primary* join predicates —
+//! usable for content routing — from *secondary* ones evaluated after
+//! routing, and derives per-source search constraints and group keys.
+
+use crate::classify::QueryAnalysis;
+use crate::expr::{mix64, ArithOp, Expr, Side};
+use crate::pred::{Clause, CmpOp, Pred};
+use crate::schema::{AttrId, ATTR_POS_X};
+use crate::tuple::Tuple;
+use sensor_net::Point;
+use sensor_summaries::Constraint;
+
+/// How an equality component can be used by the routing substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentRoute {
+    /// `T.attr = f(S)`: search with `Constraint::Eq(f(s))` on `attr`.
+    AttrEq(AttrId),
+    /// `T.attr % m = f(S)`: search with `Constraint::Mod` on `attr`
+    /// (summaries can't prune on it, but targets verify it exactly).
+    AttrMod(AttrId, u16),
+    /// Verified only after candidate discovery (secondary predicate).
+    NotRoutable,
+}
+
+/// One transitive equality component `f(S) = g(T)` of the static join
+/// predicate. Components define the join *groups* of §5.2: nodes agreeing
+/// on every component's value form a complete bipartite subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqComponent {
+    pub s_expr: Expr,
+    pub t_expr: Expr,
+    pub route: ComponentRoute,
+}
+
+/// A routable spatial join predicate `dist(S.pos, T.pos) <= d` (decimeters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearPattern {
+    pub dist_dm: u16,
+}
+
+/// Kinds of primary (routable) patterns, for reporting/tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingPattern {
+    Equality(EqComponent),
+    Near(NearPattern),
+}
+
+/// The full routing plan the pattern matcher produces for a query.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingPlan {
+    /// Equality components of the static join predicate.
+    pub components: Vec<EqComponent>,
+    /// Spatial proximity pattern, if the query is region-based.
+    pub near: Option<NearPattern>,
+    /// Static T-side selection constraints usable during search.
+    pub t_constraints: Vec<(AttrId, Constraint)>,
+    /// Static join clauses the matcher could not decompose; evaluated
+    /// against (s_static, t_static) when verifying a candidate target.
+    pub residual: Vec<Clause>,
+}
+
+impl RoutingPlan {
+    /// Run the pattern matcher over a query's static clauses.
+    pub fn derive(analysis: &QueryAnalysis) -> RoutingPlan {
+        let mut plan = RoutingPlan::default();
+        for clause in &analysis.static_join {
+            if clause.preds.len() != 1 {
+                plan.residual.push(clause.clone());
+                continue;
+            }
+            match match_join_pred(&clause.preds[0]) {
+                Some(RoutingPattern::Equality(c)) => plan.components.push(c),
+                Some(RoutingPattern::Near(n)) => {
+                    // Keep the tightest bound if several.
+                    plan.near = Some(match plan.near {
+                        Some(prev) if prev.dist_dm < n.dist_dm => prev,
+                        _ => n,
+                    });
+                }
+                None => plan.residual.push(clause.clone()),
+            }
+        }
+        for clause in &analysis.t_static_sel {
+            if clause.preds.len() == 1 {
+                if let Some(c) = match_t_selection(&clause.preds[0]) {
+                    plan.t_constraints.push(c);
+                    continue;
+                }
+            }
+            // Non-convertible selections are enforced by t_eligible at the
+            // target; they simply don't help prune the search.
+        }
+        plan
+    }
+
+    /// Search constraints for a given source node's static tuple: the
+    /// per-source instantiation of the primary predicates plus static
+    /// T-selections.
+    pub fn search_constraints(&self, s_static: &Tuple) -> Vec<(AttrId, Constraint)> {
+        let mut out = Vec::new();
+        for comp in &self.components {
+            match comp.route {
+                ComponentRoute::AttrEq(attr) => {
+                    if let Ok(v) = comp.s_expr.eval(Some(s_static), None) {
+                        if (0..=u16::MAX as i64).contains(&v) {
+                            out.push((attr, Constraint::Eq(v as u16)));
+                        }
+                    }
+                }
+                ComponentRoute::AttrMod(attr, m) => {
+                    if let Ok(v) = comp.s_expr.eval(Some(s_static), None) {
+                        out.push((
+                            attr,
+                            Constraint::Mod {
+                                modulus: m,
+                                residue: (v.rem_euclid(m as i64)) as u16,
+                            },
+                        ));
+                    }
+                }
+                ComponentRoute::NotRoutable => {}
+            }
+        }
+        if let Some(near) = self.near {
+            let p = Point::new(
+                s_static.get(crate::schema::ATTR_POS_X) as f64,
+                s_static.get(crate::schema::ATTR_POS_Y) as f64,
+            );
+            out.push((
+                ATTR_POS_X,
+                Constraint::NearPoint {
+                    p,
+                    dist: near.dist_dm as f64,
+                },
+            ));
+        }
+        out.extend(self.t_constraints.iter().cloned());
+        out
+    }
+
+    /// Group key from the S side: nodes with equal keys join the same
+    /// group (§5.2). Computed over all equality components (routable or
+    /// not) so groups really are complete bipartite subgraphs.
+    pub fn group_key_s(&self, s_static: &Tuple) -> u64 {
+        self.group_key(|c| c.s_expr.eval(Some(s_static), None))
+    }
+
+    /// Group key from the T side; equals `group_key_s` exactly when the
+    /// static equality components match.
+    pub fn group_key_t(&self, t_static: &Tuple) -> u64 {
+        self.group_key(|c| c.t_expr.eval(None, Some(t_static)))
+    }
+
+    fn group_key(&self, eval: impl Fn(&EqComponent) -> Result<i64, crate::expr::EvalError>) -> u64 {
+        let mut h = 0xa5_u64;
+        for c in &self.components {
+            let v = eval(c).unwrap_or(i64::MIN);
+            h = mix64(h ^ v as u64);
+        }
+        h
+    }
+
+    /// Verify a discovered candidate pair on everything the search may
+    /// have over-approximated: equality components, proximity, residual
+    /// static join clauses.
+    pub fn verify_pair(&self, s_static: &Tuple, t_static: &Tuple) -> bool {
+        for c in &self.components {
+            match (
+                c.s_expr.eval(Some(s_static), None),
+                c.t_expr.eval(None, Some(t_static)),
+            ) {
+                (Ok(a), Ok(b)) if a == b => {}
+                _ => return false,
+            }
+        }
+        if let Some(near) = self.near {
+            let dist = Expr::Dist.eval(Some(s_static), Some(t_static)).unwrap_or(i64::MAX);
+            if dist > near.dist_dm as i64 {
+                return false;
+            }
+        }
+        self.residual
+            .iter()
+            .all(|c| c.eval(Some(s_static), Some(t_static)).unwrap_or(false))
+    }
+
+    /// Does the plan contain any routable primary pattern? Without one, the
+    /// only feasible strategy is a join at the base station (§2).
+    pub fn is_routable(&self) -> bool {
+        self.near.is_some()
+            || self
+                .components
+                .iter()
+                .any(|c| c.route != ComponentRoute::NotRoutable)
+    }
+}
+
+/// Split an expression by side: returns (side-local expr) if the expression
+/// references exactly one side (or none).
+fn single_side(e: &Expr) -> Option<Side> {
+    let s = e.sides();
+    match (s.s, s.t) {
+        (true, false) => Some(Side::S),
+        (false, true) => Some(Side::T),
+        (false, false) => None, // constant: attach anywhere
+        (true, true) => None,
+    }
+}
+
+/// Try to decompose `pred` into an equality component or a Near pattern.
+fn match_join_pred(pred: &Pred) -> Option<RoutingPattern> {
+    // dist(S.pos, T.pos) < d
+    if let Expr::Dist = pred.lhs {
+        if let Expr::Const(d) = pred.rhs {
+            if matches!(pred.op, CmpOp::Lt | CmpOp::Le) && (0..=u16::MAX as i64).contains(&d) {
+                let dist_dm = if pred.op == CmpOp::Lt { d - 1 } else { d };
+                return Some(RoutingPattern::Near(NearPattern {
+                    dist_dm: dist_dm.max(0) as u16,
+                }));
+            }
+        }
+        return None;
+    }
+    if pred.op != CmpOp::Eq {
+        return None;
+    }
+    let sides = pred.sides();
+    if !sides.both() {
+        return None;
+    }
+    // Orient: s_expr = t_expr.
+    let (s_expr, t_expr) = match (single_side(&pred.lhs), single_side(&pred.rhs)) {
+        (Some(Side::S), Some(Side::T) | None) => (pred.lhs.clone(), pred.rhs.clone()),
+        (Some(Side::T) | None, Some(Side::S)) => (pred.rhs.clone(), pred.lhs.clone()),
+        (Some(Side::T), None) | (None, Some(Side::T)) => {
+            // Constant = T-expr: a T-side selection in disguise; leave it
+            // to residual handling.
+            return None;
+        }
+        _ => return None,
+    };
+    let route = classify_t_expr(&t_expr);
+    // When the T side was `T.attr +/- c`, rewrite both sides to the bare
+    // attribute form so that group keys computed from S and from T agree:
+    // s_expr' = s_expr -/+ c, t_expr' = T.attr.
+    let (s_expr, t_expr) = match route {
+        ComponentRoute::AttrEq(a) if !matches!(t_expr, Expr::Attr(_, _)) => (
+            normalize_s_expr(&t_expr, s_expr),
+            Expr::attr(Side::T, a),
+        ),
+        _ => (s_expr, t_expr),
+    };
+    Some(RoutingPattern::Equality(EqComponent {
+        s_expr,
+        t_expr,
+        route,
+    }))
+}
+
+/// Determine how a T-side expression can be routed, as-is.
+fn classify_t_expr(t: &Expr) -> ComponentRoute {
+    match t {
+        Expr::Attr(Side::T, a) => ComponentRoute::AttrEq(*a),
+        Expr::Arith(ArithOp::Mod, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Attr(Side::T, a), Expr::Const(m)) if (1..=u16::MAX as i64).contains(m) => {
+                ComponentRoute::AttrMod(*a, *m as u16)
+            }
+            _ => ComponentRoute::NotRoutable,
+        },
+        Expr::Arith(op @ (ArithOp::Add | ArithOp::Sub), lhs, rhs) => {
+            // T.attr +/- c is invertible: the caller's s_expr absorbs the
+            // inverse (see normalize_s_expr); route on the bare attribute.
+            match (lhs.as_ref(), rhs.as_ref(), op) {
+                (Expr::Attr(Side::T, a), Expr::Const(_), _) => ComponentRoute::AttrEq(*a),
+                (Expr::Const(_), Expr::Attr(Side::T, a), ArithOp::Add) => {
+                    ComponentRoute::AttrEq(*a)
+                }
+                _ => ComponentRoute::NotRoutable,
+            }
+        }
+        _ => ComponentRoute::NotRoutable,
+    }
+}
+
+/// If `t_expr` is `T.attr + c` (resp. `- c`, `c + T.attr`), rewrite the
+/// S-side expression so that `s_expr' = T.attr` directly: the search key a
+/// source computes must be the *attribute* value present in routing tables.
+fn normalize_s_expr(t_expr: &Expr, s_expr: Expr) -> Expr {
+    match t_expr {
+        Expr::Arith(ArithOp::Add, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Attr(Side::T, _), Expr::Const(c)) | (Expr::Const(c), Expr::Attr(Side::T, _)) => {
+                Expr::sub(s_expr, Expr::Const(*c))
+            }
+            _ => s_expr,
+        },
+        Expr::Arith(ArithOp::Sub, lhs, rhs) => match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Attr(Side::T, _), Expr::Const(c)) => Expr::add(s_expr, Expr::Const(*c)),
+            _ => s_expr,
+        },
+        _ => s_expr,
+    }
+}
+
+/// Convert a static T-side selection into a summary constraint, when the
+/// predicate has the form `T.attr CMP const`.
+fn match_t_selection(pred: &Pred) -> Option<(AttrId, Constraint)> {
+    let (attr, op, c) = match (&pred.lhs, &pred.rhs) {
+        (Expr::Attr(Side::T, a), Expr::Const(c)) => (*a, pred.op, *c),
+        (Expr::Const(c), Expr::Attr(Side::T, a)) => {
+            // Flip constant-first comparisons: c OP T.a == T.a OP' c.
+            let flipped = match pred.op {
+                CmpOp::Lt => CmpOp::Gt,
+                CmpOp::Le => CmpOp::Ge,
+                CmpOp::Gt => CmpOp::Lt,
+                CmpOp::Ge => CmpOp::Le,
+                other => other,
+            };
+            (*a, flipped, *c)
+        }
+        _ => return None,
+    };
+    let max = u16::MAX as i64;
+    let constraint = match op {
+        CmpOp::Eq if (0..=max).contains(&c) => Constraint::Eq(c as u16),
+        CmpOp::Lt if c > 0 => Constraint::Range(0, (c - 1).min(max) as u16),
+        CmpOp::Le if c >= 0 => Constraint::Range(0, c.min(max) as u16),
+        CmpOp::Gt if c < max => Constraint::Range((c + 1).max(0) as u16, u16::MAX),
+        CmpOp::Ge if c <= max => Constraint::Range(c.max(0) as u16, u16::MAX),
+        _ => return None, // Ne and out-of-domain: not index-usable
+    };
+    Some((attr, constraint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::BoolExpr;
+    use crate::schema::{ATTR_CID, ATTR_ID, ATTR_POS_Y, ATTR_RID, ATTR_U, ATTR_X, ATTR_Y};
+    use sensor_net::NodeId;
+
+    fn analyze(e: BoolExpr) -> QueryAnalysis {
+        QueryAnalysis::analyze(e.to_cnf())
+    }
+
+    fn q1_plan() -> RoutingPlan {
+        // id<25 on S, id>50 on T, S.x = T.y + 5, S.u = T.u (dynamic).
+        let e = BoolExpr::and(vec![
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_ID),
+                CmpOp::Lt,
+                Expr::Const(25),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::T, ATTR_ID),
+                CmpOp::Gt,
+                Expr::Const(50),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_X),
+                CmpOp::Eq,
+                Expr::add(Expr::attr(Side::T, ATTR_Y), Expr::Const(5)),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_U),
+                CmpOp::Eq,
+                Expr::attr(Side::T, ATTR_U),
+            )),
+        ]);
+        RoutingPlan::derive(&analyze(e))
+    }
+
+    #[test]
+    fn q1_pattern_inverts_shift() {
+        let plan = q1_plan();
+        assert_eq!(plan.components.len(), 1);
+        assert_eq!(plan.components[0].route, ComponentRoute::AttrEq(ATTR_Y));
+        assert!(plan.is_routable());
+        // Search key for a source with x=12 must be y=7.
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_X, 12);
+        let cs = plan.search_constraints(&s);
+        assert!(cs.contains(&(ATTR_Y, Constraint::Eq(7))));
+        // T-side selection id>50 becomes a range constraint.
+        assert!(cs.contains(&(ATTR_ID, Constraint::Range(51, u16::MAX))));
+    }
+
+    #[test]
+    fn q1_group_keys_agree_iff_join() {
+        let plan = q1_plan();
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_X, 12);
+        let mut t = Tuple::new(NodeId(2), 0);
+        t.set(ATTR_Y, 7);
+        assert_eq!(plan.group_key_s(&s), plan.group_key_t(&t));
+        assert!(plan.verify_pair(&s, &t));
+        t.set(ATTR_Y, 8);
+        assert_ne!(plan.group_key_s(&s), plan.group_key_t(&t));
+        assert!(!plan.verify_pair(&s, &t));
+    }
+
+    fn q2_plan() -> RoutingPlan {
+        // rid=0 on S, rid=3 on T, S.cid=T.cid, S.id%4=T.id%4, S.u=T.u.
+        let e = BoolExpr::and(vec![
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_RID),
+                CmpOp::Eq,
+                Expr::Const(0),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::T, ATTR_RID),
+                CmpOp::Eq,
+                Expr::Const(3),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_CID),
+                CmpOp::Eq,
+                Expr::attr(Side::T, ATTR_CID),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::modulo(Expr::attr(Side::S, ATTR_ID), Expr::Const(4)),
+                CmpOp::Eq,
+                Expr::modulo(Expr::attr(Side::T, ATTR_ID), Expr::Const(4)),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_U),
+                CmpOp::Eq,
+                Expr::attr(Side::T, ATTR_U),
+            )),
+        ]);
+        RoutingPlan::derive(&analyze(e))
+    }
+
+    #[test]
+    fn q2_pattern_has_eq_and_mod() {
+        let plan = q2_plan();
+        assert_eq!(plan.components.len(), 2);
+        let routes: Vec<&ComponentRoute> = plan.components.iter().map(|c| &c.route).collect();
+        assert!(routes.contains(&&ComponentRoute::AttrEq(ATTR_CID)));
+        assert!(routes.contains(&&ComponentRoute::AttrMod(ATTR_ID, 4)));
+        // rid=3 selection becomes Eq constraint.
+        assert!(plan
+            .t_constraints
+            .contains(&(ATTR_RID, Constraint::Eq(3))));
+        // Search constraints for a node with cid=2, id=9.
+        let mut s = Tuple::new(NodeId(9), 0);
+        s.set(ATTR_CID, 2).set(ATTR_ID, 9);
+        let cs = plan.search_constraints(&s);
+        assert!(cs.contains(&(ATTR_CID, Constraint::Eq(2))));
+        assert!(cs.contains(&(
+            ATTR_ID,
+            Constraint::Mod {
+                modulus: 4,
+                residue: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn q2_group_keys_split_by_residue() {
+        let plan = q2_plan();
+        let mk = |id: u16, cid: u16| {
+            let mut t = Tuple::new(NodeId(id), 0);
+            t.set(ATTR_ID, id).set(ATTR_CID, cid);
+            t
+        };
+        // Same cid, same residue -> same group.
+        assert_eq!(plan.group_key_s(&mk(1, 2)), plan.group_key_t(&mk(5, 2)));
+        // Same cid, different residue -> different group.
+        assert_ne!(plan.group_key_s(&mk(1, 2)), plan.group_key_t(&mk(6, 2)));
+        // Different cid -> different group.
+        assert_ne!(plan.group_key_s(&mk(1, 2)), plan.group_key_t(&mk(5, 3)));
+    }
+
+    #[test]
+    fn q3_near_pattern() {
+        // dist < 50dm AND s.id < t.id AND abs(s.v - t.v) > 1000 (dynamic).
+        let e = BoolExpr::and(vec![
+            BoolExpr::atom(Pred::new(Expr::Dist, CmpOp::Lt, Expr::Const(50))),
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_ID),
+                CmpOp::Lt,
+                Expr::attr(Side::T, ATTR_ID),
+            )),
+            BoolExpr::atom(Pred::new(
+                Expr::abs(Expr::sub(
+                    Expr::attr(Side::S, crate::schema::ATTR_V),
+                    Expr::attr(Side::T, crate::schema::ATTR_V),
+                )),
+                CmpOp::Gt,
+                Expr::Const(1000),
+            )),
+        ]);
+        let plan = RoutingPlan::derive(&analyze(e));
+        assert_eq!(plan.near, Some(NearPattern { dist_dm: 49 }));
+        assert!(plan.is_routable());
+        // s.id < t.id is a static join pred but not an equality: residual.
+        assert_eq!(plan.residual.len(), 1);
+        // Verify: close pair with s.id < t.id passes, reversed ids fail.
+        let mut s = Tuple::new(NodeId(1), 0);
+        s.set(ATTR_ID, 1).set(ATTR_POS_X, 100).set(ATTR_POS_Y, 100);
+        let mut t = Tuple::new(NodeId(2), 0);
+        t.set(ATTR_ID, 2).set(ATTR_POS_X, 110).set(ATTR_POS_Y, 100);
+        assert!(plan.verify_pair(&s, &t));
+        assert!(!plan.verify_pair(&t, &s));
+        // Far pair fails.
+        t.set(ATTR_POS_X, 400);
+        assert!(!plan.verify_pair(&s, &t));
+    }
+
+    #[test]
+    fn unroutable_plan_detected() {
+        // Join only on dynamic attribute: nothing static to route on.
+        let e = BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_U),
+            CmpOp::Eq,
+            Expr::attr(Side::T, ATTR_U),
+        ));
+        let plan = RoutingPlan::derive(&analyze(e));
+        assert!(!plan.is_routable());
+        assert!(plan.components.is_empty());
+    }
+
+    #[test]
+    fn search_constraints_include_position_for_near() {
+        let e = BoolExpr::atom(Pred::new(Expr::Dist, CmpOp::Le, Expr::Const(30)));
+        let plan = RoutingPlan::derive(&analyze(e));
+        let mut s = Tuple::new(NodeId(0), 0);
+        s.set(ATTR_POS_X, 50).set(ATTR_POS_Y, 60);
+        let cs = plan.search_constraints(&s);
+        assert_eq!(cs.len(), 1);
+        match &cs[0].1 {
+            Constraint::NearPoint { p, dist } => {
+                assert_eq!((p.x, p.y), (50.0, 60.0));
+                assert_eq!(*dist, 30.0);
+            }
+            other => panic!("expected NearPoint, got {other:?}"),
+        }
+    }
+}

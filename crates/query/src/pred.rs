@@ -1,0 +1,329 @@
+//! Predicates, Boolean combinations, and CNF conversion.
+
+use crate::expr::{EvalError, Expr, SideSet};
+use crate::tuple::Tuple;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// An atomic comparison predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    pub lhs: Expr,
+    pub op: CmpOp,
+    pub rhs: Expr,
+}
+
+impl Pred {
+    pub fn new(lhs: Expr, op: CmpOp, rhs: Expr) -> Self {
+        Pred { lhs, op, rhs }
+    }
+
+    pub fn eval(&self, s: Option<&Tuple>, t: Option<&Tuple>) -> Result<bool, EvalError> {
+        Ok(self.op.apply(self.lhs.eval(s, t)?, self.rhs.eval(s, t)?))
+    }
+
+    pub fn sides(&self) -> SideSet {
+        self.lhs.sides().union(self.rhs.sides())
+    }
+
+    pub fn is_static(&self) -> bool {
+        self.lhs.is_static() && self.rhs.is_static()
+    }
+}
+
+/// A Boolean expression over predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    Atom(Pred),
+    And(Vec<BoolExpr>),
+    Or(Vec<BoolExpr>),
+    Not(Box<BoolExpr>),
+}
+
+/// A CNF clause: a disjunction of atomic predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    pub preds: Vec<Pred>,
+}
+
+impl Clause {
+    pub fn single(p: Pred) -> Self {
+        Clause { preds: vec![p] }
+    }
+
+    /// Evaluation errors propagate only if no disjunct is satisfied first.
+    pub fn eval(&self, s: Option<&Tuple>, t: Option<&Tuple>) -> Result<bool, EvalError> {
+        let mut err = None;
+        for p in &self.preds {
+            match p.eval(s, t) {
+                Ok(true) => return Ok(true),
+                Ok(false) => {}
+                Err(e) => err = Some(e),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(false),
+        }
+    }
+
+    pub fn sides(&self) -> SideSet {
+        self.preds
+            .iter()
+            .fold(SideSet::default(), |acc, p| acc.union(p.sides()))
+    }
+
+    pub fn is_static(&self) -> bool {
+        self.preds.iter().all(Pred::is_static)
+    }
+}
+
+impl BoolExpr {
+    pub fn and(parts: Vec<BoolExpr>) -> BoolExpr {
+        BoolExpr::And(parts)
+    }
+
+    pub fn atom(p: Pred) -> BoolExpr {
+        BoolExpr::Atom(p)
+    }
+
+    pub fn eval(&self, s: Option<&Tuple>, t: Option<&Tuple>) -> Result<bool, EvalError> {
+        match self {
+            BoolExpr::Atom(p) => p.eval(s, t),
+            BoolExpr::And(parts) => {
+                for p in parts {
+                    if !p.eval(s, t)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            BoolExpr::Or(parts) => {
+                for p in parts {
+                    if p.eval(s, t)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            BoolExpr::Not(inner) => Ok(!inner.eval(s, t)?),
+        }
+    }
+
+    /// Push negations down to atoms (flipping comparison operators).
+    fn to_nnf(self, negated: bool) -> BoolExpr {
+        match self {
+            BoolExpr::Atom(mut p) => {
+                if negated {
+                    p.op = p.op.negate();
+                }
+                BoolExpr::Atom(p)
+            }
+            BoolExpr::Not(inner) => inner.to_nnf(!negated),
+            BoolExpr::And(parts) => {
+                let parts = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                if negated {
+                    BoolExpr::Or(parts)
+                } else {
+                    BoolExpr::And(parts)
+                }
+            }
+            BoolExpr::Or(parts) => {
+                let parts = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                if negated {
+                    BoolExpr::And(parts)
+                } else {
+                    BoolExpr::Or(parts)
+                }
+            }
+        }
+    }
+
+    /// Convert to CNF (§3: "When Aspen receives a query, it converts it to
+    /// CNF"). Distribution can blow up exponentially; queries here are
+    /// conjunctive or nearly so, and a size guard panics past 4096 clauses
+    /// rather than looping forever.
+    pub fn to_cnf(self) -> Vec<Clause> {
+        let nnf = self.to_nnf(false);
+        let clauses = Self::cnf_rec(nnf);
+        assert!(
+            clauses.len() <= 4096,
+            "CNF conversion exceeded the clause budget"
+        );
+        clauses
+    }
+
+    fn cnf_rec(e: BoolExpr) -> Vec<Clause> {
+        match e {
+            BoolExpr::Atom(p) => vec![Clause::single(p)],
+            BoolExpr::And(parts) => parts.into_iter().flat_map(Self::cnf_rec).collect(),
+            BoolExpr::Or(parts) => {
+                // CNF(a OR b): cross-product of the parts' clauses.
+                let mut acc: Vec<Clause> = vec![Clause { preds: vec![] }];
+                for part in parts {
+                    let part_clauses = Self::cnf_rec(part);
+                    let mut next = Vec::with_capacity(acc.len() * part_clauses.len());
+                    for a in &acc {
+                        for b in &part_clauses {
+                            let mut preds = a.preds.clone();
+                            preds.extend(b.preds.iter().cloned());
+                            next.push(Clause { preds });
+                        }
+                    }
+                    acc = next;
+                    assert!(acc.len() <= 4096, "CNF conversion exceeded the clause budget");
+                }
+                acc
+            }
+            BoolExpr::Not(_) => unreachable!("NNF has no negations"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Side;
+    use crate::schema::{ATTR_ID, ATTR_U};
+    use sensor_net::NodeId;
+
+    fn id_lt(side: Side, v: i64) -> Pred {
+        Pred::new(Expr::attr(side, ATTR_ID), CmpOp::Lt, Expr::Const(v))
+    }
+
+    fn tup(id: u16, u: u16) -> Tuple {
+        let mut t = Tuple::new(NodeId(id), 0);
+        t.set(ATTR_ID, id).set(ATTR_U, u);
+        t
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Le.apply(3, 3));
+        assert!(CmpOp::Ne.apply(3, 4));
+        assert!(!CmpOp::Gt.apply(3, 3));
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+    }
+
+    #[test]
+    fn pred_eval() {
+        let p = id_lt(Side::S, 25);
+        assert_eq!(p.eval(Some(&tup(10, 0)), None), Ok(true));
+        assert_eq!(p.eval(Some(&tup(30, 0)), None), Ok(false));
+    }
+
+    #[test]
+    fn conjunctive_cnf_is_flat() {
+        let e = BoolExpr::and(vec![
+            BoolExpr::atom(id_lt(Side::S, 25)),
+            BoolExpr::atom(id_lt(Side::T, 50)),
+        ]);
+        let cnf = e.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.iter().all(|c| c.preds.len() == 1));
+    }
+
+    #[test]
+    fn or_distributes() {
+        // (a AND b) OR c -> (a OR c) AND (b OR c)
+        let a = BoolExpr::atom(id_lt(Side::S, 10));
+        let b = BoolExpr::atom(id_lt(Side::S, 20));
+        let c = BoolExpr::atom(id_lt(Side::T, 30));
+        let e = BoolExpr::Or(vec![BoolExpr::And(vec![a, b]), c]);
+        let cnf = e.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.iter().all(|cl| cl.preds.len() == 2));
+    }
+
+    #[test]
+    fn negation_flips_operators() {
+        let e = BoolExpr::Not(Box::new(BoolExpr::atom(id_lt(Side::S, 25))));
+        let cnf = e.to_cnf();
+        assert_eq!(cnf.len(), 1);
+        assert_eq!(cnf[0].preds[0].op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn de_morgan() {
+        // NOT (a OR b) -> (NOT a) AND (NOT b): two clauses.
+        let a = BoolExpr::atom(id_lt(Side::S, 10));
+        let b = BoolExpr::atom(id_lt(Side::T, 20));
+        let e = BoolExpr::Not(Box::new(BoolExpr::Or(vec![a, b])));
+        let cnf = e.to_cnf();
+        assert_eq!(cnf.len(), 2);
+        assert!(cnf.iter().all(|c| c.preds[0].op == CmpOp::Ge));
+    }
+
+    #[test]
+    fn cnf_preserves_semantics() {
+        // Sample truth table agreement between original and CNF on a few
+        // bindings.
+        let a = BoolExpr::atom(id_lt(Side::S, 10));
+        let b = BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_U),
+            CmpOp::Eq,
+            Expr::Const(1),
+        ));
+        let c = BoolExpr::atom(id_lt(Side::S, 30));
+        let orig = BoolExpr::Or(vec![
+            BoolExpr::And(vec![a.clone(), b.clone()]),
+            BoolExpr::Not(Box::new(c.clone())),
+        ]);
+        let cnf = orig.clone().to_cnf();
+        for id in [5u16, 15, 35] {
+            for u in [0u16, 1] {
+                let s = tup(id, u);
+                let want = orig.eval(Some(&s), None).unwrap();
+                let got = cnf
+                    .iter()
+                    .all(|cl| cl.eval(Some(&s), None).unwrap());
+                assert_eq!(want, got, "id={id} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn clause_or_short_circuits_errors() {
+        // First disjunct errors (unbound T), second is true: clause is true.
+        let bad = Pred::new(Expr::attr(Side::T, ATTR_ID), CmpOp::Eq, Expr::Const(0));
+        let good = id_lt(Side::S, 100);
+        let clause = Clause {
+            preds: vec![bad, good],
+        };
+        assert_eq!(clause.eval(Some(&tup(5, 0)), None), Ok(true));
+    }
+}

@@ -1,0 +1,127 @@
+//! The windowed join query specification.
+
+use crate::classify::QueryAnalysis;
+use crate::expr::Side;
+use crate::pattern::RoutingPlan;
+use crate::pred::BoolExpr;
+use crate::schema::AttrId;
+
+/// A compiled select-project-join query over sensor relations S and T
+/// (§2: `S ⋈θ T` with per-source windows of size `w`).
+#[derive(Debug, Clone)]
+pub struct JoinQuerySpec {
+    /// Human-readable name ("Query 1").
+    pub name: String,
+    /// Projected attributes (what result tuples carry to the base).
+    pub select: Vec<(Side, AttrId)>,
+    /// Window size `w`: tuples buffered per producer at the join node.
+    pub window: usize,
+    /// Transmission cycles between samples (Appendix B `sampleinterval`).
+    pub sample_interval: u32,
+    /// The original predicate.
+    pub predicate: BoolExpr,
+    /// CNF clauses bucketed by class.
+    pub analysis: QueryAnalysis,
+    /// Pattern-matcher output.
+    pub plan: RoutingPlan,
+}
+
+impl JoinQuerySpec {
+    /// Compile a query: CNF conversion, classification, pattern matching.
+    pub fn compile(
+        name: impl Into<String>,
+        select: Vec<(Side, AttrId)>,
+        window: usize,
+        sample_interval: u32,
+        predicate: BoolExpr,
+    ) -> Self {
+        assert!(window >= 1, "window size must be at least 1");
+        let analysis = QueryAnalysis::analyze(predicate.clone().to_cnf());
+        let plan = RoutingPlan::derive(&analysis);
+        JoinQuerySpec {
+            name: name.into(),
+            select,
+            window,
+            sample_interval,
+            predicate,
+            analysis,
+            plan,
+        }
+    }
+
+    /// Wire size of one result tuple (projected attributes + provenance).
+    pub fn result_bytes(&self) -> u32 {
+        crate::tuple::Tuple::wire_bytes(self.select.len())
+    }
+
+    /// Wire size of one data tuple shipped to a join node: the dynamic
+    /// attributes the join predicate needs plus the projected ones.
+    pub fn data_bytes(&self) -> u32 {
+        // Dynamic join attributes referenced per side (u, v...).
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for clause in self
+            .analysis
+            .dynamic_join
+            .iter()
+            .chain(&self.analysis.static_join)
+        {
+            for pred in &clause.preds {
+                pred.lhs.attrs_on(Side::S, &mut attrs);
+                pred.lhs.attrs_on(Side::T, &mut attrs);
+                pred.rhs.attrs_on(Side::S, &mut attrs);
+                pred.rhs.attrs_on(Side::T, &mut attrs);
+            }
+        }
+        attrs.sort_unstable();
+        attrs.dedup();
+        crate::tuple::Tuple::wire_bytes(attrs.len().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::pred::{CmpOp, Pred};
+    use crate::schema::{ATTR_ID, ATTR_LOCAL_TIME, ATTR_U};
+
+    fn simple_query(window: usize) -> JoinQuerySpec {
+        JoinQuerySpec::compile(
+            "test",
+            vec![
+                (Side::S, ATTR_ID),
+                (Side::T, ATTR_ID),
+                (Side::S, ATTR_LOCAL_TIME),
+            ],
+            window,
+            100,
+            BoolExpr::atom(Pred::new(
+                Expr::attr(Side::S, ATTR_U),
+                CmpOp::Eq,
+                Expr::attr(Side::T, ATTR_U),
+            )),
+        )
+    }
+
+    #[test]
+    fn compile_populates_analysis_and_plan() {
+        let q = simple_query(3);
+        assert_eq!(q.window, 3);
+        assert_eq!(q.analysis.dynamic_join.len(), 1);
+        assert!(!q.plan.is_routable());
+    }
+
+    #[test]
+    fn result_and_data_sizes() {
+        let q = simple_query(1);
+        assert_eq!(q.result_bytes(), 4 + 2 * 3);
+        // Only `u` is referenced by the join.
+        assert_eq!(q.data_bytes(), 4 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_rejected() {
+        let _ = simple_query(0);
+    }
+}

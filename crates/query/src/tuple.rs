@@ -1,0 +1,88 @@
+//! Tuples and the deterministic sampling interface.
+
+use crate::schema::{AttrId, NUM_ATTRS};
+use sensor_net::NodeId;
+
+/// One sensor reading: all 28 attributes of one node at one sampling
+/// cycle. Static attributes are constant across cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tuple {
+    pub node: NodeId,
+    pub cycle: u32,
+    values: [u16; NUM_ATTRS],
+}
+
+impl Tuple {
+    pub fn new(node: NodeId, cycle: u32) -> Self {
+        Tuple {
+            node,
+            cycle,
+            values: [0; NUM_ATTRS],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> u16 {
+        self.values[attr as usize]
+    }
+
+    #[inline]
+    pub fn set(&mut self, attr: AttrId, v: u16) -> &mut Self {
+        self.values[attr as usize] = v;
+        self
+    }
+
+    /// Wire size of a tuple restricted to `n_attrs` projected attributes:
+    /// 2 bytes node id + 2 bytes cycle + 2 bytes per attribute.
+    pub fn wire_bytes(n_attrs: usize) -> u32 {
+        4 + 2 * n_attrs as u32
+    }
+}
+
+/// Deterministic data source: the same `(node, cycle)` always yields the
+/// same tuple, so every join algorithm in a comparison sees identical
+/// source data traces — exactly how the paper runs its comparisons.
+pub trait TupleSource {
+    /// The full tuple sampled by `node` at `cycle`.
+    fn sample(&self, node: NodeId, cycle: u32) -> Tuple;
+
+    /// Static attributes only (valid at any cycle); default implementation
+    /// samples cycle 0.
+    fn static_tuple(&self, node: NodeId) -> Tuple {
+        self.sample(node, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ATTR_ID, ATTR_U};
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tuple::new(NodeId(3), 7);
+        t.set(ATTR_ID, 3).set(ATTR_U, 99);
+        assert_eq!(t.get(ATTR_ID), 3);
+        assert_eq!(t.get(ATTR_U), 99);
+        assert_eq!(t.get(crate::schema::ATTR_V), 0);
+    }
+
+    #[test]
+    fn wire_size_scales_with_projection() {
+        assert_eq!(Tuple::wire_bytes(0), 4);
+        assert_eq!(Tuple::wire_bytes(3), 10);
+    }
+
+    #[test]
+    fn default_static_tuple_uses_cycle_zero() {
+        struct Src;
+        impl TupleSource for Src {
+            fn sample(&self, node: NodeId, cycle: u32) -> Tuple {
+                let mut t = Tuple::new(node, cycle);
+                t.set(ATTR_U, cycle as u16);
+                t
+            }
+        }
+        assert_eq!(Src.static_tuple(NodeId(1)).get(ATTR_U), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Mobile leaf nodes (Appendix G).
+//!
+//! Mobile devices (PDAs) are constrained to be *leaves* of every routing
+//! tree so a move only re-parents the mobile node and refreshes summary
+//! structures along the new parents' root-ward paths. The experiment in
+//! App. G measures (a) how many cycles until every affected tree has
+//! up-to-date summaries and (b) the bytes of update traffic — ~19.4 cycles
+//! and ~1.2 KB on the medium random topology.
+
+use crate::substrate::MultiTreeSubstrate;
+use sensor_net::{NodeId, Point, Topology};
+
+/// Outcome of re-homing a mobile leaf at a new position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafMove {
+    /// New parent adopted in each tree (`None` if the node has no alive
+    /// neighbor at the new position in range).
+    pub new_parents: Vec<Option<NodeId>>,
+    /// Transmission cycles until all trees' summaries are consistent.
+    /// Updates propagate one hop per cycle; trees update in parallel but
+    /// share the radio, so the model charges the *sum* of path lengths —
+    /// matching the serialized-beacon behaviour the paper measures.
+    pub delay_cycles: u32,
+    /// Total update traffic in bytes (per-hop summary reports).
+    pub traffic_bytes: u64,
+}
+
+/// Re-home `node` at `new_pos`: pick, in each tree, the in-range neighbor
+/// of minimal depth as the new parent, then propagate summary updates from
+/// each new parent to that tree's root.
+pub fn move_leaf(
+    topo: &Topology,
+    sub: &MultiTreeSubstrate,
+    node: NodeId,
+    new_pos: Point,
+) -> LeafMove {
+    let range = topo.radio_range();
+    // Neighbors at the new position (unit-disk; the moved node itself is
+    // excluded).
+    let in_range: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|&n| n != node && topo.position(n).dist(&new_pos) <= range)
+        .collect();
+
+    let mut new_parents = Vec::with_capacity(sub.num_trees());
+    let mut delay_cycles = 0u32;
+    let mut traffic_bytes = 0u64;
+
+    for ti in 0..sub.num_trees() {
+        let tree = sub.tree(ti);
+        let parent = in_range
+            .iter()
+            .copied()
+            .min_by_key(|&n| (tree.depth(n), n));
+        new_parents.push(parent);
+        if let Some(p) = parent {
+            // The leaf announces itself to the parent (1 hop), then the
+            // parent's root-ward chain refreshes its summaries.
+            let chain = tree.path_to_root(p);
+            let hops = 1 + (chain.len() - 1) as u32;
+            delay_cycles += hops;
+            // Each hop carries the updated summary report of the sender.
+            traffic_bytes += u64::from(hops) * report_bytes_estimate(sub, p) as u64;
+        }
+    }
+    LeafMove {
+        new_parents,
+        delay_cycles,
+        traffic_bytes,
+    }
+}
+
+fn report_bytes_estimate(sub: &MultiTreeSubstrate, node: NodeId) -> usize {
+    // Summary report + 11-byte link header.
+    sub.tables(0).report_bytes(node) + 11
+}
+
+/// Maximum sustainable movement speed (m/s) given the measured update
+/// delay, one transmission cycle per second and a radio range: the node
+/// must re-associate before leaving its old neighborhood (App. G's
+/// 0.5 m/s calculation for 10 m range and ~20 cycle updates).
+pub fn max_speed_m_per_s(radio_range_m: f64, delay_cycles: u32) -> f64 {
+    if delay_cycles == 0 {
+        f64::INFINITY
+    } else {
+        radio_range_m / delay_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::{IndexedAttr, StaticValues};
+    use sensor_summaries::SummaryKind;
+
+    struct Vals;
+    impl StaticValues for Vals {
+        fn scalar(&self, node: NodeId, attr: u8) -> Option<u16> {
+            (attr == 0).then_some(node.0)
+        }
+        fn position(&self, _node: NodeId) -> Point {
+            Point::new(0.0, 0.0)
+        }
+    }
+
+    fn setup() -> (Topology, MultiTreeSubstrate) {
+        let topo = sensor_net::random_with_degree(80, 8.0, 21);
+        let sub = MultiTreeSubstrate::build(
+            &topo,
+            3,
+            vec![IndexedAttr::new(0, SummaryKind::Interval)],
+            &Vals,
+        );
+        (topo, sub)
+    }
+
+    #[test]
+    fn move_produces_parents_and_costs() {
+        let (topo, sub) = setup();
+        let node = NodeId(79);
+        let center = topo.centroid();
+        let mv = move_leaf(&topo, &sub, node, center);
+        assert_eq!(mv.new_parents.len(), 3);
+        assert!(mv.new_parents.iter().any(Option::is_some));
+        assert!(mv.delay_cycles > 0);
+        assert!(mv.traffic_bytes > 0);
+        // Paper scale: tens of cycles, around a KB of traffic.
+        assert!(mv.delay_cycles < 200, "delay {}", mv.delay_cycles);
+        assert!(mv.traffic_bytes < 20_000, "traffic {}", mv.traffic_bytes);
+    }
+
+    #[test]
+    fn stranded_position_yields_no_parents() {
+        let (topo, sub) = setup();
+        let mv = move_leaf(&topo, &sub, NodeId(5), Point::new(-5000.0, -5000.0));
+        assert!(mv.new_parents.iter().all(Option::is_none));
+        assert_eq!(mv.delay_cycles, 0);
+        assert_eq!(mv.traffic_bytes, 0);
+    }
+
+    #[test]
+    fn new_parent_is_in_range_and_shallow() {
+        let (topo, sub) = setup();
+        let pos = topo.position(NodeId(40));
+        let mv = move_leaf(&topo, &sub, NodeId(79), pos);
+        for (ti, p) in mv.new_parents.iter().enumerate() {
+            let p = p.expect("parent exists near node 40");
+            assert!(topo.position(p).dist(&pos) <= topo.radio_range());
+            // No in-range node is strictly shallower.
+            let tree = sub.tree(ti);
+            for n in topo.node_ids() {
+                if n != NodeId(79) && topo.position(n).dist(&pos) <= topo.radio_range() {
+                    assert!(tree.depth(p) <= tree.depth(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speed_model() {
+        assert!((max_speed_m_per_s(10.0, 20) - 0.5).abs() < 1e-9);
+        assert!(max_speed_m_per_s(10.0, 0).is_infinite());
+    }
+}

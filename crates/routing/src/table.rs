@@ -1,0 +1,216 @@
+//! Semantic routing tables: per-node, per-child, per-attribute summaries.
+//!
+//! During tree construction each node reports a summary of the attribute
+//! values present in its subtree to its parent (App. C). The parent keeps
+//! one summary per child; a content-routed search descends only into
+//! children whose summary may match.
+
+use crate::tree::RoutingTree;
+use crate::AttrId;
+use sensor_net::{NodeId, Point};
+use sensor_summaries::{Constraint, Summary, SummaryKind};
+
+/// An attribute the substrate indexes, and with which summary structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexedAttr {
+    pub attr: AttrId,
+    pub kind: SummaryKind,
+}
+
+impl IndexedAttr {
+    pub fn new(attr: AttrId, kind: SummaryKind) -> Self {
+        IndexedAttr { attr, kind }
+    }
+}
+
+/// Source of static attribute values at substrate-construction time.
+pub trait StaticValues {
+    /// Scalar value of `attr` at `node`; `None` if the node does not carry
+    /// the attribute (it will never match searches on it).
+    fn scalar(&self, node: NodeId, attr: AttrId) -> Option<u16>;
+    /// Deployment position of `node` (for R-tree-indexed `pos`).
+    fn position(&self, node: NodeId) -> Point;
+}
+
+/// Routing-table entry of one node for one attribute in one tree.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Summary of this node's own value.
+    pub own: Summary,
+    /// Summary of each child's entire subtree, in child order.
+    pub children: Vec<(NodeId, Summary)>,
+    /// `own` merged with all child summaries — what this node reports to
+    /// its parent.
+    pub subtree: Summary,
+}
+
+/// All routing tables of one tree: `entries[attr_idx][node]`.
+#[derive(Debug, Clone)]
+pub struct TreeTables {
+    entries: Vec<Vec<TableEntry>>,
+}
+
+impl TreeTables {
+    /// Build bottom-up over `tree`, pulling values from `values`.
+    pub fn build(
+        tree: &RoutingTree,
+        attrs: &[IndexedAttr],
+        values: &(impl StaticValues + ?Sized),
+    ) -> Self {
+        let n = tree.len();
+        let mut entries: Vec<Vec<TableEntry>> = attrs
+            .iter()
+            .map(|spec| {
+                (0..n)
+                    .map(|i| {
+                        let node = NodeId(i as u16);
+                        let mut own = Summary::empty(spec.kind);
+                        match spec.kind {
+                            SummaryKind::Rects => own.insert_point(values.position(node)),
+                            _ => {
+                                if let Some(v) = values.scalar(node, spec.attr) {
+                                    own.insert_value(v);
+                                }
+                            }
+                        }
+                        TableEntry {
+                            subtree: own.clone(),
+                            own,
+                            children: Vec::new(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Post-order aggregation: children report subtree summaries upward.
+        for node in tree.post_order() {
+            for (ai, _) in attrs.iter().enumerate() {
+                let child_summaries: Vec<(NodeId, Summary)> = tree
+                    .children(node)
+                    .iter()
+                    .map(|&c| (c, entries[ai][c.index()].subtree.clone()))
+                    .collect();
+                let entry = &mut entries[ai][node.index()];
+                for (_, cs) in &child_summaries {
+                    entry.subtree.merge(cs);
+                }
+                entry.children = child_summaries;
+            }
+        }
+        TreeTables { entries }
+    }
+
+    pub fn entry(&self, attr_idx: usize, node: NodeId) -> &TableEntry {
+        &self.entries[attr_idx][node.index()]
+    }
+
+    /// Whether the subtree rooted at `child` (a child of `node`) may
+    /// contain a value matching `c` for attribute index `attr_idx`.
+    pub fn child_may_match(
+        &self,
+        attr_idx: usize,
+        node: NodeId,
+        child: NodeId,
+        c: &Constraint,
+    ) -> bool {
+        self.entries[attr_idx][node.index()]
+            .children
+            .iter()
+            .find(|(id, _)| *id == child)
+            .map(|(_, s)| s.may_match(c))
+            .unwrap_or(false)
+    }
+
+    /// Total wire size of all summaries a node would push to its parent —
+    /// the unit of traffic for tree-maintenance/mobility accounting.
+    pub fn report_bytes(&self, node: NodeId) -> usize {
+        self.entries
+            .iter()
+            .map(|per_node| per_node[node.index()].subtree.size_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensor_net::Topology;
+
+    struct TestVals;
+    impl StaticValues for TestVals {
+        fn scalar(&self, node: NodeId, attr: AttrId) -> Option<u16> {
+            match attr {
+                0 => Some(node.0),          // id
+                1 => Some(node.0 % 4),      // group
+                _ => None,
+            }
+        }
+        fn position(&self, node: NodeId) -> Point {
+            Point::new(node.0 as f64, 0.0)
+        }
+    }
+
+    fn line(n: usize) -> Topology {
+        let pts = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        Topology::from_positions(pts, 1.1, NodeId(0))
+    }
+
+    fn specs() -> Vec<IndexedAttr> {
+        vec![
+            IndexedAttr::new(0, SummaryKind::Interval),
+            IndexedAttr::new(1, SummaryKind::Bloom),
+            IndexedAttr::new(255, SummaryKind::Rects),
+        ]
+    }
+
+    #[test]
+    fn subtree_summaries_cover_descendants() {
+        let topo = line(6);
+        let tree = RoutingTree::build(&topo, NodeId(0));
+        let tables = TreeTables::build(&tree, &specs(), &TestVals);
+        // Node 2's subtree in the line rooted at 0 is {2,3,4,5}.
+        let e = tables.entry(0, NodeId(2));
+        for v in 2..6u16 {
+            assert!(e.subtree.may_match(&Constraint::Eq(v)), "lost id {v}");
+        }
+        assert!(!e.subtree.may_match(&Constraint::Eq(1)));
+        // Root's subtree covers everything.
+        let root = tables.entry(0, NodeId(0));
+        assert!(root.subtree.may_match(&Constraint::Eq(5)));
+    }
+
+    #[test]
+    fn child_pruning_works() {
+        let topo = line(6);
+        let tree = RoutingTree::build(&topo, NodeId(0));
+        let tables = TreeTables::build(&tree, &specs(), &TestVals);
+        // From node 0, child 1's subtree holds ids 1..=5.
+        assert!(tables.child_may_match(0, NodeId(0), NodeId(1), &Constraint::Eq(5)));
+        assert!(!tables.child_may_match(0, NodeId(3), NodeId(4), &Constraint::Eq(2)));
+        // Unknown child: never matches.
+        assert!(!tables.child_may_match(0, NodeId(0), NodeId(5), &Constraint::Eq(5)));
+    }
+
+    #[test]
+    fn spatial_tables_aggregate_positions() {
+        let topo = line(5);
+        let tree = RoutingTree::build(&topo, NodeId(0));
+        let tables = TreeTables::build(&tree, &specs(), &TestVals);
+        let near4 = Constraint::NearPoint {
+            p: Point::new(4.0, 0.0),
+            dist: 0.5,
+        };
+        assert!(tables.entry(2, NodeId(0)).subtree.may_match(&near4));
+        assert!(!tables.entry(2, NodeId(4)).children.iter().any(|_| true));
+    }
+
+    #[test]
+    fn report_bytes_positive_and_bounded() {
+        let topo = line(4);
+        let tree = RoutingTree::build(&topo, NodeId(0));
+        let tables = TreeTables::build(&tree, &specs(), &TestVals);
+        let b = tables.report_bytes(NodeId(1));
+        assert!(b > 0 && b < 256, "report bytes = {b}");
+    }
+}

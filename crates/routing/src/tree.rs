@@ -1,0 +1,260 @@
+//! Routing-tree construction (the standard algorithm of TinyDB [10]).
+
+use sensor_net::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// A rooted spanning tree over a connected topology. Every node knows its
+/// parent, children and depth — the exact state a mote keeps.
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u16>,
+}
+
+impl RoutingTree {
+    /// Build by breadth-first flooding from `root`; each node adopts as
+    /// parent its lowest-id neighbor at the smallest depth (deterministic
+    /// tie-breaking mirrors "first beacon heard" in a deterministic
+    /// simulator).
+    pub fn build(topo: &Topology, root: NodeId) -> Self {
+        let n = topo.len();
+        let mut parent = vec![None; n];
+        let mut depth = vec![u16::MAX; n];
+        let mut queue = VecDeque::new();
+        depth[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(cur) = queue.pop_front() {
+            for &nb in topo.neighbors(cur) {
+                if depth[nb.index()] == u16::MAX {
+                    depth[nb.index()] = depth[cur.index()] + 1;
+                    parent[nb.index()] = Some(cur);
+                    queue.push_back(nb);
+                }
+            }
+        }
+        assert!(
+            depth.iter().all(|&d| d != u16::MAX),
+            "topology must be connected to build a routing tree"
+        );
+        let mut children = vec![Vec::new(); n];
+        for i in 0..n {
+            if let Some(p) = parent[i] {
+                children[p.index()].push(NodeId(i as u16));
+            }
+        }
+        RoutingTree {
+            root,
+            parent,
+            children,
+            depth,
+        }
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parent[id.index()]
+    }
+
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id.index()]
+    }
+
+    /// Hops from `id` to the root. For the primary tree (rooted at the base
+    /// station) this is the `h` value carried by exploration messages.
+    pub fn depth(&self, id: NodeId) -> u16 {
+        self.depth[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Path from `id` up to the root, inclusive of both.
+    pub fn path_to_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut path = vec![id];
+        let mut at = id;
+        while let Some(p) = self.parent[at.index()] {
+            path.push(p);
+            at = p;
+        }
+        path
+    }
+
+    /// Tree path between two nodes (up to the lowest common ancestor, then
+    /// down), inclusive of both endpoints.
+    pub fn path_between(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let up_a = self.path_to_root(a);
+        let up_b = self.path_to_root(b);
+        // Find LCA: deepest node present in both root-ward chains.
+        let in_b: std::collections::HashSet<NodeId> = up_b.iter().copied().collect();
+        let lca = *up_a
+            .iter()
+            .find(|n| in_b.contains(n))
+            .expect("same tree implies common ancestor");
+        let mut path: Vec<NodeId> = up_a.iter().take_while(|&&n| n != lca).copied().collect();
+        path.push(lca);
+        let down: Vec<NodeId> = up_b.iter().take_while(|&&n| n != lca).copied().collect();
+        path.extend(down.iter().rev());
+        path
+    }
+
+    /// Iterate node ids in post-order (children before parents); used to
+    /// aggregate subtree summaries bottom-up.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                for &c in &self.children[node.index()] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// All nodes in the subtree rooted at `id` (inclusive).
+    pub fn subtree(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.children[n.index()].iter().copied());
+        }
+        out
+    }
+}
+
+/// Pick `k` tree roots: the first is `base`; each subsequent root maximizes
+/// its minimum hop distance to all previously chosen roots (§2.2: "choose a
+/// new root node furthest from any existing roots").
+pub fn select_roots(topo: &Topology, base: NodeId, k: usize) -> Vec<NodeId> {
+    assert!(k >= 1);
+    let mut roots = vec![base];
+    let mut min_dist: Vec<u32> = topo
+        .bfs_hops(base)
+        .iter()
+        .map(|&h| if h == u16::MAX { 0 } else { h as u32 })
+        .collect();
+    while roots.len() < k {
+        let best = (0..topo.len())
+            .filter(|i| !roots.contains(&NodeId(*i as u16)))
+            .max_by_key(|&i| (min_dist[i], std::cmp::Reverse(i)))
+            .expect("more roots requested than nodes");
+        let new_root = NodeId(best as u16);
+        roots.push(new_root);
+        for (i, h) in topo.bfs_hops(new_root).iter().enumerate() {
+            if *h != u16::MAX {
+                min_dist[i] = min_dist[i].min(*h as u32);
+            }
+        }
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensor_net::Point;
+
+    fn line(n: usize) -> Topology {
+        let pts = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        Topology::from_positions(pts, 1.1, NodeId(0))
+    }
+
+    fn grid10() -> Topology {
+        sensor_net::gen::grid(10, 10)
+    }
+
+    #[test]
+    fn line_tree_structure() {
+        let t = RoutingTree::build(&line(5), NodeId(0));
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(0)), None);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(t.depth(NodeId(4)), 4);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn paths_up_and_between() {
+        let t = RoutingTree::build(&line(5), NodeId(2));
+        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        let p = t.path_between(NodeId(0), NodeId(4));
+        assert_eq!(
+            p,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(t.path_between(NodeId(3), NodeId(3)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn depths_match_bfs() {
+        let topo = grid10();
+        let t = RoutingTree::build(&topo, NodeId(0));
+        let hops = topo.bfs_hops(NodeId(0));
+        for i in 0..topo.len() {
+            assert_eq!(t.depth(NodeId(i as u16)), hops[i]);
+        }
+    }
+
+    #[test]
+    fn post_order_children_first() {
+        let t = RoutingTree::build(&grid10(), NodeId(0));
+        let order = t.post_order();
+        assert_eq!(order.len(), 100);
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in order.iter() {
+            if let Some(p) = t.parent(*n) {
+                assert!(pos[n] < pos[&p], "{n} should precede its parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_contains_descendants_only() {
+        let t = RoutingTree::build(&line(6), NodeId(0));
+        let sub = t.subtree(NodeId(3));
+        assert_eq!(sub.len(), 3);
+        assert!(sub.contains(&NodeId(3)) && sub.contains(&NodeId(5)));
+        assert!(!sub.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn root_selection_spreads_out() {
+        let topo = grid10();
+        let roots = select_roots(&topo, NodeId(0), 3);
+        assert_eq!(roots[0], NodeId(0));
+        assert_eq!(roots.len(), 3);
+        // Second root should be far from node 0 (grid corner to corner ~ 9+ hops).
+        let d = topo.hop_distance(roots[0], roots[1]).unwrap();
+        assert!(d >= 8, "second root only {d} hops away");
+        // All distinct.
+        assert_ne!(roots[1], roots[2]);
+    }
+
+    #[test]
+    fn tree_between_on_grid_is_valid_walk() {
+        let topo = grid10();
+        let t = RoutingTree::build(&topo, NodeId(0));
+        let p = t.path_between(NodeId(9), NodeId(90));
+        for w in p.windows(2) {
+            assert!(topo.are_neighbors(w[0], w[1]), "{:?} not adjacent", w);
+        }
+        assert_eq!(p.first(), Some(&NodeId(9)));
+        assert_eq!(p.last(), Some(&NodeId(90)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Simulation parameters.
+
+/// Link-layer and timing parameters of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Probability that a single transmission attempt is lost.
+    pub loss_prob: f64,
+    /// Retransmission attempts after the first (TinyOS-style link ACKs).
+    pub max_retries: u8,
+    /// Messages a node may transmit per transmission cycle (MAC budget).
+    pub tx_per_cycle: usize,
+    /// Outgoing queue capacity; sends beyond it are dropped and counted
+    /// (this is the failure mode that sinks Yang+07 in §4.2).
+    pub queue_capacity: usize,
+    /// Transmission cycles per sampling cycle (§4.1: 100).
+    pub tx_per_sampling_cycle: u32,
+    /// Whether neighbors snoop on transmissions (needed by path collapsing;
+    /// off by default as it costs simulation time, not simulated traffic).
+    pub snooping: bool,
+    /// Link-layer header size in bytes charged per message (TinyOS active
+    /// message header + CRC).
+    pub header_bytes: u32,
+    /// RNG seed for link-loss draws.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            loss_prob: 0.05,
+            max_retries: 3,
+            tx_per_cycle: 4,
+            queue_capacity: 64,
+            tx_per_sampling_cycle: 100,
+            snooping: false,
+            header_bytes: 11,
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Lossless configuration — used by unit tests and by analytic-vs-
+    /// simulated cost-model validation, where retransmission noise would
+    /// obscure the comparison.
+    pub fn lossless() -> Self {
+        SimConfig {
+            loss_prob: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_snooping(mut self, on: bool) -> Self {
+        self.snooping = on;
+        self
+    }
+
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        self.loss_prob = p;
+        self
+    }
+
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.loss_prob > 0.0 && c.loss_prob < 0.5);
+        assert!(c.tx_per_cycle >= 1);
+        assert_eq!(c.tx_per_sampling_cycle, 100);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::lossless().with_seed(9).with_snooping(true);
+        assert_eq!(c.loss_prob, 0.0);
+        assert_eq!(c.seed, 9);
+        assert!(c.snooping);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        let _ = SimConfig::default().with_loss(1.5);
+    }
+}

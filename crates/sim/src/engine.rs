@@ -1,0 +1,633 @@
+//! The simulation engine: per-node protocol instances, link-layer queues,
+//! loss, retransmission and deterministic scheduling.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sensor_net::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// A node-local protocol. One instance per node; the engine dispatches
+/// link-layer events in deterministic (node-id, FIFO) order.
+pub trait Protocol {
+    type Msg: Clone;
+
+    /// A message addressed to this node arrived (link layer already charged
+    /// TX/RX for the hop).
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// A neighbor transmitted a unicast message this node could overhear.
+    /// Only fired when [`SimConfig::snooping`] is on. No traffic charge.
+    fn on_snoop(
+        &mut self,
+        _ctx: &mut Ctx<'_, Self::Msg>,
+        _sender: NodeId,
+        _next_hop: NodeId,
+        _msg: &Self::Msg,
+    ) {
+    }
+
+    /// A unicast send was abandoned after exhausting retransmissions
+    /// (receiver dead or persistent loss).
+    fn on_send_failed(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _to: NodeId, _msg: Self::Msg) {}
+
+    /// Start of a sampling cycle (the engine's client decides the cadence).
+    fn on_sampling_cycle(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _cycle: u32) {}
+}
+
+/// Where an outgoing message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Unicast(NodeId),
+    /// Radio broadcast to all neighbors: one transmission charge, delivery
+    /// to every alive neighbor with independent loss draws, no retries.
+    Broadcast,
+}
+
+#[derive(Debug, Clone)]
+struct Outgoing<M> {
+    target: Target,
+    msg: M,
+    wire_bytes: u32,
+    attempts: u8,
+}
+
+/// Node-side API handed to protocol callbacks.
+pub struct Ctx<'a, M> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Current transmission cycle.
+    pub now: u64,
+    topo: &'a Topology,
+    outbox: &'a mut VecDeque<Outgoing<M>>,
+    queue_capacity: usize,
+    queue_drops: &'a mut u64,
+    header_bytes: u32,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Enqueue a unicast message to a (normally neighboring) node.
+    /// `payload_bytes` excludes the link header, which the engine adds.
+    /// Returns `false` if the queue was full and the message dropped.
+    pub fn send(&mut self, to: NodeId, payload_bytes: u32, msg: M) -> bool {
+        debug_assert_ne!(to, self.id, "node sending to itself");
+        self.enqueue(Target::Unicast(to), payload_bytes, msg)
+    }
+
+    /// Enqueue a radio broadcast to all neighbors.
+    pub fn broadcast(&mut self, payload_bytes: u32, msg: M) -> bool {
+        self.enqueue(Target::Broadcast, payload_bytes, msg)
+    }
+
+    fn enqueue(&mut self, target: Target, payload_bytes: u32, msg: M) -> bool {
+        if self.outbox.len() >= self.queue_capacity {
+            *self.queue_drops += 1;
+            return false;
+        }
+        self.outbox.push_back(Outgoing {
+            target,
+            msg,
+            wire_bytes: payload_bytes + self.header_bytes,
+            attempts: 0,
+        });
+        true
+    }
+
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.topo.neighbors(self.id)
+    }
+
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Messages currently queued at this node (diagnostic).
+    pub fn queue_len(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+enum Event<M> {
+    Deliver {
+        dst: NodeId,
+        from: NodeId,
+        msg: M,
+        wire_bytes: u32,
+    },
+    Snoop {
+        snooper: NodeId,
+        sender: NodeId,
+        next_hop: NodeId,
+        msg: M,
+    },
+    SendFailed {
+        sender: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+}
+
+/// The simulator: owns the topology, one protocol instance per node, and
+/// all link-layer state.
+pub struct Engine<P: Protocol> {
+    topo: Topology,
+    cfg: SimConfig,
+    nodes: Vec<P>,
+    outboxes: Vec<VecDeque<Outgoing<P::Msg>>>,
+    alive: Vec<bool>,
+    metrics: Metrics,
+    rng: StdRng,
+    now: u64,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Build an engine; `make_node` constructs the protocol instance for
+    /// each node id.
+    pub fn new(topo: Topology, cfg: SimConfig, mut make_node: impl FnMut(NodeId) -> P) -> Self {
+        let n = topo.len();
+        let nodes = (0..n).map(|i| make_node(NodeId(i as u16))).collect();
+        Engine {
+            nodes,
+            outboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            alive: vec![true; n],
+            metrics: Metrics::new(n),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x51e6_0e0f_ca11),
+            now: 0,
+            topo,
+            cfg,
+        }
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Zero all traffic counters (phase boundaries: initiation vs
+    /// computation cost are reported separately in the paper).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::new(self.topo.len());
+    }
+
+    /// Rewind the clock to zero at a phase boundary (all queues must be
+    /// drained). Sampling-cycle `c` then starts at transmission cycle
+    /// `c * tx_per_sampling_cycle`, which result-latency accounting
+    /// relies on.
+    pub fn reset_clock(&mut self) {
+        assert!(!self.in_flight(), "cannot rewind the clock mid-flight");
+        self.now = 0;
+    }
+
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.nodes[id.index()]
+    }
+
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Permanently fail a node (§7): its queue is discarded and it neither
+    /// transmits nor receives from now on.
+    pub fn kill(&mut self, id: NodeId) {
+        self.alive[id.index()] = false;
+        self.outboxes[id.index()].clear();
+    }
+
+    /// Any messages still queued anywhere?
+    pub fn in_flight(&self) -> bool {
+        self.outboxes.iter().any(|q| !q.is_empty())
+    }
+
+    /// Invoke a protocol entry point "from outside" (harness-driven events
+    /// such as posing a query at the base station).
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> R {
+        let mut drops = 0u64;
+        let r = {
+            let mut ctx = Ctx {
+                id,
+                now: self.now,
+                topo: &self.topo,
+                outbox: &mut self.outboxes[id.index()],
+                queue_capacity: self.cfg.queue_capacity,
+                queue_drops: &mut drops,
+                header_bytes: self.cfg.header_bytes,
+            };
+            f(&mut self.nodes[id.index()], &mut ctx)
+        };
+        self.metrics.node_mut(id).queue_drops += drops;
+        r
+    }
+
+    /// Advance one transmission cycle: every alive node transmits up to its
+    /// MAC budget, then deliveries/snoops/failures are dispatched in
+    /// deterministic order.
+    pub fn step(&mut self) {
+        let n = self.topo.len();
+        let mut events: Vec<Event<P::Msg>> = Vec::new();
+
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            let sender = NodeId(i as u16);
+            let mut budget = self.cfg.tx_per_cycle;
+            while budget > 0 {
+                let Some(mut out) = self.outboxes[i].pop_front() else {
+                    break;
+                };
+                budget -= 1;
+                // Charge the attempt.
+                {
+                    let m = self.metrics.node_mut(sender);
+                    m.tx_bytes += out.wire_bytes as u64;
+                    m.tx_msgs += 1;
+                }
+                match out.target {
+                    Target::Unicast(to) => {
+                        let receiver_ok = self.alive[to.index()];
+                        let lost = self.cfg.loss_prob > 0.0
+                            && self.rng.random::<f64>() < self.cfg.loss_prob;
+                        if receiver_ok && !lost {
+                            if self.cfg.snooping {
+                                for &nb in self.topo.neighbors(sender) {
+                                    if nb != to && self.alive[nb.index()] {
+                                        events.push(Event::Snoop {
+                                            snooper: nb,
+                                            sender,
+                                            next_hop: to,
+                                            msg: out.msg.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                            events.push(Event::Deliver {
+                                dst: to,
+                                from: sender,
+                                msg: out.msg,
+                                wire_bytes: out.wire_bytes,
+                            });
+                        } else if out.attempts < self.cfg.max_retries {
+                            out.attempts += 1;
+                            self.outboxes[i].push_front(out);
+                            // A retried message consumes the rest of this
+                            // cycle's budget for that message slot only.
+                        } else {
+                            self.metrics.node_mut(sender).send_failures += 1;
+                            events.push(Event::SendFailed {
+                                sender,
+                                to,
+                                msg: out.msg,
+                            });
+                        }
+                    }
+                    Target::Broadcast => {
+                        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
+                        for nb in neighbors {
+                            if !self.alive[nb.index()] {
+                                continue;
+                            }
+                            let lost = self.cfg.loss_prob > 0.0
+                                && self.rng.random::<f64>() < self.cfg.loss_prob;
+                            if !lost {
+                                events.push(Event::Deliver {
+                                    dst: nb,
+                                    from: sender,
+                                    msg: out.msg.clone(),
+                                    wire_bytes: out.wire_bytes,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.now += 1;
+        for ev in events {
+            match ev {
+                Event::Deliver {
+                    dst,
+                    from,
+                    msg,
+                    wire_bytes,
+                } => {
+                    if !self.alive[dst.index()] {
+                        continue;
+                    }
+                    {
+                        let m = self.metrics.node_mut(dst);
+                        m.rx_bytes += wire_bytes as u64;
+                        m.rx_msgs += 1;
+                    }
+                    self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
+                }
+                Event::Snoop {
+                    snooper,
+                    sender,
+                    next_hop,
+                    msg,
+                } => {
+                    if !self.alive[snooper.index()] {
+                        continue;
+                    }
+                    self.dispatch(snooper, |p, ctx| p.on_snoop(ctx, sender, next_hop, &msg));
+                }
+                Event::SendFailed { sender, to, msg } => {
+                    if !self.alive[sender.index()] {
+                        continue;
+                    }
+                    self.dispatch(sender, |p, ctx| p.on_send_failed(ctx, to, msg));
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
+        let mut drops = 0u64;
+        {
+            let mut ctx = Ctx {
+                id,
+                now: self.now,
+                topo: &self.topo,
+                outbox: &mut self.outboxes[id.index()],
+                queue_capacity: self.cfg.queue_capacity,
+                queue_drops: &mut drops,
+                header_bytes: self.cfg.header_bytes,
+            };
+            f(&mut self.nodes[id.index()], &mut ctx);
+        }
+        self.metrics.node_mut(id).queue_drops += drops;
+    }
+
+    /// Run transmission cycles until no message is queued anywhere, or the
+    /// cycle budget is exhausted. Returns the number of cycles consumed.
+    pub fn run_until_quiet(&mut self, max_cycles: u64) -> u64 {
+        let start = self.now;
+        while self.in_flight() && self.now - start < max_cycles {
+            self.step();
+        }
+        self.now - start
+    }
+
+    /// Run one *sampling* cycle: fire `on_sampling_cycle` at every alive
+    /// node, then advance `tx_per_sampling_cycle` transmission cycles.
+    pub fn sampling_cycle(&mut self, cycle: u32) {
+        for i in 0..self.topo.len() {
+            if self.alive[i] {
+                self.dispatch(NodeId(i as u16), |p, ctx| p.on_sampling_cycle(ctx, cycle));
+            }
+        }
+        for _ in 0..self.cfg.tx_per_sampling_cycle {
+            self.step();
+            if !self.in_flight() {
+                // Fast-forward idle remainder of the sampling period; no
+                // protocol acts between transmissions, so skipping idle
+                // cycles only adjusts the clock.
+                let done = self.now % self.cfg.tx_per_sampling_cycle as u64;
+                if done != 0 {
+                    self.now += self.cfg.tx_per_sampling_cycle as u64 - done;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensor_net::Point;
+
+    fn line(n: usize) -> Topology {
+        let pts = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        Topology::from_positions(pts, 1.1, NodeId(0))
+    }
+
+    /// Toy protocol: forwards a counter message rightward along a line,
+    /// recording arrival time.
+    struct Relay {
+        arrived_at: Option<u64>,
+    }
+
+    impl Protocol for Relay {
+        type Msg = u32;
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+            let next = NodeId(ctx.id.0 + 1);
+            if (next.index()) < ctx.topology().len() {
+                ctx.send(next, 4, msg);
+            } else {
+                self.arrived_at = Some(ctx.now);
+            }
+        }
+    }
+
+    #[test]
+    fn one_hop_per_cycle_latency() {
+        let mut eng = Engine::new(line(5), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 7);
+        });
+        let cycles = eng.run_until_quiet(100);
+        // 4 hops: 0->1->2->3->4.
+        assert_eq!(cycles, 4);
+        assert_eq!(eng.node(NodeId(4)).arrived_at, Some(4));
+    }
+
+    #[test]
+    fn tx_bytes_charged_per_hop() {
+        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 1);
+        });
+        eng.run_until_quiet(100);
+        let per_hop = (4 + SimConfig::default().header_bytes) as u64;
+        assert_eq!(eng.metrics().total_tx_bytes(), 3 * per_hop);
+        assert_eq!(eng.metrics().node(NodeId(1)).rx_bytes, per_hop);
+        assert_eq!(eng.metrics().node(NodeId(3)).tx_bytes, 0);
+    }
+
+    #[test]
+    fn loss_causes_retransmission_and_extra_bytes() {
+        let cfg = SimConfig::default().with_loss(0.5).with_seed(3);
+        let mut eng = Engine::new(line(2), cfg, |_| Relay { arrived_at: None });
+        for _ in 0..50 {
+            eng.with_node(NodeId(0), |_, ctx| {
+                ctx.send(NodeId(1), 4, 1);
+            });
+        }
+        eng.run_until_quiet(10_000);
+        let m = eng.metrics();
+        // With 50% loss the sender must transmit strictly more attempts
+        // than messages received.
+        assert!(m.node(NodeId(0)).tx_msgs > m.node(NodeId(1)).rx_msgs);
+    }
+
+    #[test]
+    fn dead_receiver_triggers_send_failed() {
+        struct F {
+            failed: bool,
+        }
+        impl Protocol for F {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_send_failed(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {
+                self.failed = true;
+            }
+        }
+        let mut eng = Engine::new(line(2), SimConfig::lossless(), |_| F { failed: false });
+        eng.kill(NodeId(1));
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 0, ());
+        });
+        eng.run_until_quiet(100);
+        assert!(eng.node(NodeId(0)).failed);
+        assert_eq!(eng.metrics().total_send_failures(), 1);
+        // All retry attempts were still charged.
+        assert_eq!(
+            eng.metrics().node(NodeId(0)).tx_msgs,
+            1 + SimConfig::default().max_retries as u64
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        struct Q;
+        impl Protocol for Q {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let cfg = SimConfig::lossless().with_queue_capacity(2);
+        let mut eng = Engine::new(line(2), cfg, |_| Q);
+        let oks: Vec<bool> = (0..4)
+            .map(|_| eng.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), 0, ())))
+            .collect();
+        assert_eq!(oks, vec![true, true, false, false]);
+        assert_eq!(eng.metrics().node(NodeId(0)).queue_drops, 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors_with_one_charge() {
+        struct B {
+            got: u32,
+        }
+        impl Protocol for B {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {
+                self.got += 1;
+            }
+        }
+        // Star: center node 0 with 3 leaves.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(-1.0, 0.0),
+        ];
+        let topo = Topology::from_positions(pts, 1.1, NodeId(0));
+        let mut eng = Engine::new(topo, SimConfig::lossless(), |_| B { got: 0 });
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.broadcast(4, ());
+        });
+        eng.run_until_quiet(10);
+        assert_eq!(eng.metrics().node(NodeId(0)).tx_msgs, 1);
+        for i in 1..4 {
+            assert_eq!(eng.node(NodeId(i)).got, 1);
+        }
+    }
+
+    #[test]
+    fn snooping_fires_for_bystanders_only_when_enabled() {
+        struct S {
+            snooped: u32,
+        }
+        impl Protocol for S {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+            fn on_snoop(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: NodeId, _: &()) {
+                self.snooped += 1;
+            }
+        }
+        let run = |snoop: bool| {
+            let mut eng = Engine::new(
+                line(3),
+                SimConfig::lossless().with_snooping(snoop),
+                |_| S { snooped: 0 },
+            );
+            // 1 -> 2; node 0 is a bystander neighbor of 1.
+            eng.with_node(NodeId(1), |_, ctx| {
+                ctx.send(NodeId(2), 0, ());
+            });
+            eng.run_until_quiet(10);
+            eng.node(NodeId(0)).snooped
+        };
+        assert_eq!(run(true), 1);
+        assert_eq!(run(false), 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let run = |seed| {
+            let cfg = SimConfig::default().with_loss(0.3).with_seed(seed);
+            let mut eng = Engine::new(line(6), cfg, |_| Relay { arrived_at: None });
+            for _ in 0..10 {
+                eng.with_node(NodeId(0), |_, ctx| {
+                    ctx.send(NodeId(1), 4, 1);
+                });
+            }
+            eng.run_until_quiet(10_000);
+            eng.metrics().total_tx_bytes()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6)); // overwhelmingly likely under 30% loss
+    }
+
+    #[test]
+    fn sampling_cycle_advances_clock_in_full_periods() {
+        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        eng.sampling_cycle(0);
+        assert_eq!(eng.now() % 100, 0);
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 1);
+        });
+        eng.sampling_cycle(1);
+        assert_eq!(eng.now() % 100, 0);
+        assert!(!eng.in_flight());
+    }
+
+    #[test]
+    fn killed_node_does_not_forward() {
+        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        eng.kill(NodeId(2));
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 1);
+        });
+        eng.run_until_quiet(100);
+        assert_eq!(eng.node(NodeId(3)).arrived_at, None);
+        // Node 1's forward to dead node 2 eventually fails.
+        assert_eq!(eng.metrics().node(NodeId(1)).send_failures, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-time simulator for multi-hop wireless networks.
+//!
+//! The paper evaluates on TOSSIM (motes) and a Java 802.11 mesh simulator;
+//! both report *traffic* (bytes or messages) and *latency in cycles*. This
+//! crate reproduces exactly those observables:
+//!
+//! - time advances in **transmission cycles**; a message traverses one hop
+//!   per cycle; the evaluation's *sampling cycle* equals 100 transmission
+//!   cycles (§4.1);
+//! - links drop messages with a configurable probability and senders
+//!   retransmit up to a bound, with every attempt charged to the sender
+//!   (modeling the radio-level retransmissions TOSSIM simulates);
+//! - per-node TX/RX byte and message counters feed the traffic metrics of
+//!   every figure;
+//! - radio broadcast lets neighbors *snoop* on transmissions — the hook the
+//!   path-collapsing optimization (Appendix E) relies on;
+//! - nodes can be killed mid-run for the failure experiments (§7).
+//!
+//! Protocols (the join algorithms of `aspen-join`) implement [`Protocol`]
+//! and are instantiated once per node; the engine owns them and dispatches
+//! link-layer events deterministically (node-id order, seeded RNG).
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+
+pub use config::SimConfig;
+pub use engine::{Ctx, Engine, Protocol};
+pub use metrics::{Metrics, NodeMetrics};
+
+pub use sensor_net::NodeId;

@@ -1,0 +1,199 @@
+//! A compact Bloom filter over 16-bit attribute values.
+
+use crate::constraint::Constraint;
+
+/// Bloom filter with `m` bits and `k` hash functions (double hashing).
+///
+/// Default sizing (128 bits, 3 hashes) keeps a routing-table entry at 16
+/// bytes while holding subtree value sets of up to a few dozen values with a
+/// low false-positive rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    inserted: u32,
+}
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BloomFilter {
+    /// Create a filter with `m` bits (rounded up to a multiple of 64) and
+    /// `k` hash functions.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0 && k > 0);
+        let words = m.div_ceil(64);
+        BloomFilter {
+            bits: vec![0; words],
+            m: words * 64,
+            k,
+            inserted: 0,
+        }
+    }
+
+    fn bit_positions(&self, v: u16) -> impl Iterator<Item = usize> + '_ {
+        let h = mix64(v as u64);
+        let h1 = h as u32 as u64;
+        let h2 = (h >> 32) | 1; // odd increment so all k probes differ
+        let m = self.m as u64;
+        (0..self.k as u64).map(move |i| ((h1.wrapping_add(i.wrapping_mul(h2))) % m) as usize)
+    }
+
+    pub fn insert(&mut self, v: u16) {
+        let positions: Vec<usize> = self.bit_positions(v).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.inserted = self.inserted.saturating_add(1);
+    }
+
+    /// Membership test; false positives possible, false negatives never.
+    pub fn contains(&self, v: u16) -> bool {
+        self.bit_positions(v)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    pub fn merge(&mut self, other: &BloomFilter) {
+        assert_eq!(self.m, other.m, "bloom size mismatch");
+        assert_eq!(self.k, other.k, "bloom hash-count mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+        self.inserted = self.inserted.saturating_add(other.inserted);
+    }
+
+    pub fn may_match(&self, c: &Constraint) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match c {
+            Constraint::Eq(v) => self.contains(*v),
+            // A small range can be probed value-by-value; a large one cannot
+            // be pruned by a Bloom filter, so answer conservatively.
+            Constraint::Range(lo, hi) => {
+                let width = (*hi as u32).saturating_sub(*lo as u32) + 1;
+                if width <= 64 {
+                    (*lo..=*hi).any(|v| self.contains(v))
+                } else {
+                    true
+                }
+            }
+            // Bloom filters cannot prune modulus or spatial constraints.
+            Constraint::Mod { .. } => true,
+            Constraint::NearPoint { .. } | Constraint::InRect(_) => false,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Fraction of bits set (diagnostic for saturation).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.m as f64
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.m / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut b = BloomFilter::new(128, 3);
+        for v in [0u16, 1, 42, 65535] {
+            b.insert(v);
+        }
+        for v in [0u16, 1, 42, 65535] {
+            assert!(b.contains(v));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_when_sparse() {
+        let mut b = BloomFilter::new(256, 3);
+        for v in 0..20u16 {
+            b.insert(v * 97);
+        }
+        let fps = (3000..4000u16).filter(|&v| b.contains(v)).count();
+        assert!(fps < 120, "false positives too high: {fps}/1000");
+    }
+
+    #[test]
+    fn merge_unions_membership() {
+        let mut a = BloomFilter::new(128, 3);
+        let mut b = BloomFilter::new(128, 3);
+        a.insert(1);
+        b.insert(2);
+        a.merge(&b);
+        assert!(a.contains(1) && a.contains(2));
+    }
+
+    #[test]
+    fn range_constraint_probing() {
+        let mut b = BloomFilter::new(256, 3);
+        b.insert(100);
+        assert!(b.may_match(&Constraint::Range(90, 110)));
+        assert!(!b.may_match(&Constraint::Range(200, 210)) || b.fill_ratio() > 0.0);
+        // Wide ranges are conservative.
+        assert!(b.may_match(&Constraint::Range(0, 65535)));
+    }
+
+    #[test]
+    fn spatial_constraints_never_match_bloom() {
+        let mut b = BloomFilter::new(128, 3);
+        b.insert(3);
+        assert!(!b.may_match(&Constraint::InRect(sensor_net::Rect::new(
+            0.0, 0.0, 1.0, 1.0
+        ))));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn merge_size_mismatch_panics() {
+        let mut a = BloomFilter::new(128, 3);
+        let b = BloomFilter::new(64, 3);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(values in proptest::collection::vec(any::<u16>(), 1..64)) {
+            let mut b = BloomFilter::new(256, 3);
+            for &v in &values {
+                b.insert(v);
+            }
+            for &v in &values {
+                prop_assert!(b.contains(v));
+                prop_assert!(b.may_match(&Constraint::Eq(v)));
+            }
+        }
+
+        #[test]
+        fn prop_merge_superset(xs in proptest::collection::vec(any::<u16>(), 0..32),
+                               ys in proptest::collection::vec(any::<u16>(), 0..32)) {
+            let mut a = BloomFilter::new(128, 3);
+            let mut b = BloomFilter::new(128, 3);
+            for &v in &xs { a.insert(v); }
+            for &v in &ys { b.insert(v); }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            for &v in xs.iter().chain(&ys) {
+                prop_assert!(merged.contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Equi-width histograms over the 16-bit attribute domain.
+//!
+//! Appendix C lists histograms among the summary structures a routing table
+//! may use; they additionally serve the optimizer as coarse selectivity
+//! estimators for non-uniform attributes (e.g. Table 1's exponential `x`).
+
+use crate::constraint::Constraint;
+
+/// Equi-width histogram with `buckets` buckets spanning `0..=u16::MAX`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1 && buckets <= 65536);
+        Histogram {
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: u16) -> usize {
+        let b = self.counts.len();
+        (v as usize * b) / 65536
+    }
+
+    /// Inclusive value range covered by bucket `i`.
+    fn bucket_range(&self, i: usize) -> (u32, u32) {
+        let b = self.counts.len();
+        let lo = (i * 65536 / b) as u32;
+        let hi = ((i + 1) * 65536 / b) as u32 - 1;
+        (lo, hi)
+    }
+
+    pub fn insert(&mut self, v: u16) {
+        let b = self.bucket_of(v);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.total += 1;
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.total += other.total;
+    }
+
+    pub fn may_match(&self, c: &Constraint) -> bool {
+        if self.total == 0 {
+            return false;
+        }
+        match c {
+            Constraint::Eq(v) => self.counts[self.bucket_of(*v)] > 0,
+            Constraint::Range(lo, hi) => {
+                let (b0, b1) = (self.bucket_of(*lo), self.bucket_of(*hi));
+                self.counts[b0..=b1].iter().any(|&c| c > 0)
+            }
+            Constraint::Mod { .. } => true,
+            Constraint::NearPoint { .. } | Constraint::InRect(_) => false,
+        }
+    }
+
+    /// Estimated fraction of values within `[lo, hi]`, assuming uniformity
+    /// inside buckets. Used for selectivity estimation.
+    pub fn estimate_range_fraction(&self, lo: u16, hi: u16) -> f64 {
+        if self.total == 0 || lo > hi {
+            return 0.0;
+        }
+        let (b0, b1) = (self.bucket_of(lo), self.bucket_of(hi));
+        let mut acc = 0.0;
+        for i in b0..=b1 {
+            let (blo, bhi) = self.bucket_range(i);
+            let width = (bhi - blo + 1) as f64;
+            let olo = (lo as u32).max(blo);
+            let ohi = (hi as u32).min(bhi);
+            let overlap = (ohi as i64 - olo as i64 + 1).max(0) as f64;
+            acc += self.counts[i] as f64 * overlap / width;
+        }
+        acc / self.total as f64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Wire size: 1-byte (saturating) count per bucket plus a count byte —
+    /// histograms travel in compressed form.
+    pub fn size_bytes(&self) -> usize {
+        1 + self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = Histogram::new(16);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(4095), 0);
+        assert_eq!(h.bucket_of(4096), 1);
+        assert_eq!(h.bucket_of(65535), 15);
+    }
+
+    #[test]
+    fn insert_and_match() {
+        let mut h = Histogram::new(16);
+        h.insert(5000);
+        assert!(h.may_match(&Constraint::Eq(5000)));
+        assert!(h.may_match(&Constraint::Eq(4097))); // same bucket: conservative
+        assert!(!h.may_match(&Constraint::Eq(60000)));
+        assert!(h.may_match(&Constraint::Range(0, 65535)));
+        assert!(!h.may_match(&Constraint::Range(20000, 30000)));
+    }
+
+    #[test]
+    fn range_estimation_uniform() {
+        let mut h = Histogram::new(16);
+        for v in (0..65535u16).step_by(64) {
+            h.insert(v);
+        }
+        let est = h.estimate_range_fraction(0, 32767);
+        assert!((est - 0.5).abs() < 0.05, "est={est}");
+    }
+
+    #[test]
+    fn estimate_empty_and_inverted() {
+        let h = Histogram::new(8);
+        assert_eq!(h.estimate_range_fraction(0, 100), 0.0);
+        let mut h2 = Histogram::new(8);
+        h2.insert(10);
+        assert_eq!(h2.estimate_range_fraction(50, 10), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.insert(0);
+        b.insert(0);
+        b.insert(65535);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!(a.may_match(&Constraint::Eq(65535)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(values in proptest::collection::vec(any::<u16>(), 1..80)) {
+            let mut h = Histogram::new(32);
+            for &v in &values {
+                h.insert(v);
+            }
+            for &v in &values {
+                prop_assert!(h.may_match(&Constraint::Eq(v)));
+            }
+        }
+
+        #[test]
+        fn prop_estimates_bounded(values in proptest::collection::vec(any::<u16>(), 1..80),
+                                  lo in any::<u16>(), hi in any::<u16>()) {
+            let mut h = Histogram::new(16);
+            for &v in &values {
+                h.insert(v);
+            }
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let est = h.estimate_range_fraction(lo, hi);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&est));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Coalesced interval lists — the TinyDB semantic-routing-tree summary,
+//! generalized to hold up to `cap` disjoint intervals.
+
+use crate::constraint::Constraint;
+
+/// Sorted list of disjoint inclusive intervals `[lo, hi]` with bounded
+/// capacity. When an insertion would exceed capacity, the two closest
+/// intervals are coalesced (introducing false positives between them, never
+/// false negatives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSummary {
+    intervals: Vec<(u16, u16)>,
+    cap: usize,
+}
+
+impl IntervalSummary {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        IntervalSummary {
+            intervals: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    pub fn intervals(&self) -> &[(u16, u16)] {
+        &self.intervals
+    }
+
+    pub fn insert(&mut self, v: u16) {
+        self.insert_range(v, v);
+    }
+
+    /// Insert an inclusive range, keeping the list sorted, disjoint and
+    /// within capacity.
+    pub fn insert_range(&mut self, lo: u16, hi: u16) {
+        assert!(lo <= hi);
+        // Find insertion window of overlapping-or-adjacent intervals.
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        self.intervals.retain(|&(a, b)| {
+            let adjacent_or_overlap =
+                (a as u32) <= (new_hi as u32) + 1 && (new_lo as u32) <= (b as u32) + 1;
+            if adjacent_or_overlap {
+                new_lo = new_lo.min(a);
+                new_hi = new_hi.max(b);
+                false
+            } else {
+                true
+            }
+        });
+        let pos = self
+            .intervals
+            .partition_point(|&(a, _)| a < new_lo);
+        self.intervals.insert(pos, (new_lo, new_hi));
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.intervals.len() > self.cap {
+            // Merge the pair with the smallest gap between them.
+            let mut best = 0;
+            let mut best_gap = u32::MAX;
+            for i in 0..self.intervals.len() - 1 {
+                let gap = self.intervals[i + 1].0 as u32 - self.intervals[i].1 as u32;
+                if gap < best_gap {
+                    best_gap = gap;
+                    best = i;
+                }
+            }
+            let (_, hi) = self.intervals.remove(best + 1);
+            self.intervals[best].1 = self.intervals[best].1.max(hi);
+        }
+    }
+
+    pub fn contains(&self, v: u16) -> bool {
+        self.intervals.iter().any(|&(a, b)| v >= a && v <= b)
+    }
+
+    pub fn overlaps(&self, lo: u16, hi: u16) -> bool {
+        self.intervals.iter().any(|&(a, b)| a <= hi && lo <= b)
+    }
+
+    pub fn merge(&mut self, other: &IntervalSummary) {
+        for &(lo, hi) in &other.intervals {
+            self.insert_range(lo, hi);
+        }
+    }
+
+    pub fn may_match(&self, c: &Constraint) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match c {
+            Constraint::Eq(v) => self.contains(*v),
+            Constraint::Range(lo, hi) => self.overlaps(*lo, *hi),
+            // Interval summaries cannot prune modulus constraints unless the
+            // covered span is narrower than the modulus cycle; answer
+            // conservatively via a cheap span check.
+            Constraint::Mod { modulus, residue } => self.intervals.iter().any(|&(a, b)| {
+                if *modulus == 0 {
+                    return false;
+                }
+                (b - a) as u32 + 1 >= *modulus as u32
+                    || (a..=b).any(|v| v % *modulus == *residue)
+            }),
+            Constraint::NearPoint { .. } | Constraint::InRect(_) => false,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Wire size: 4 bytes per interval plus a 1-byte count.
+    pub fn size_bytes(&self) -> usize {
+        1 + 4 * self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = IntervalSummary::new(4);
+        s.insert(5);
+        s.insert(100);
+        assert!(s.contains(5) && s.contains(100));
+        assert!(!s.contains(6));
+    }
+
+    #[test]
+    fn adjacent_values_coalesce() {
+        let mut s = IntervalSummary::new(4);
+        s.insert(5);
+        s.insert(6);
+        s.insert(7);
+        assert_eq!(s.intervals(), &[(5, 7)]);
+    }
+
+    #[test]
+    fn capacity_merges_closest_pair() {
+        let mut s = IntervalSummary::new(2);
+        s.insert(0);
+        s.insert(10);
+        s.insert(1000);
+        // 0 and 10 are closest: merged into [0,10].
+        assert_eq!(s.intervals(), &[(0, 10), (1000, 1000)]);
+        assert!(s.contains(5)); // false positive introduced, fine
+        assert!(s.contains(0) && s.contains(10) && s.contains(1000));
+    }
+
+    #[test]
+    fn range_overlap() {
+        let mut s = IntervalSummary::new(4);
+        s.insert_range(10, 20);
+        assert!(s.overlaps(20, 30));
+        assert!(s.overlaps(0, 10));
+        assert!(!s.overlaps(21, 30));
+        assert!(s.may_match(&Constraint::Range(15, 16)));
+        assert!(!s.may_match(&Constraint::Range(100, 200)));
+    }
+
+    #[test]
+    fn merge_preserves_membership() {
+        let mut a = IntervalSummary::new(3);
+        let mut b = IntervalSummary::new(3);
+        a.insert(1);
+        b.insert_range(50, 60);
+        a.merge(&b);
+        assert!(a.contains(1) && a.contains(55));
+    }
+
+    #[test]
+    fn mod_constraint_narrow_span() {
+        let mut s = IntervalSummary::new(2);
+        s.insert_range(8, 9);
+        // residues present: 0 (8%4) and 1 (9%4)
+        assert!(s.may_match(&Constraint::Mod {
+            modulus: 4,
+            residue: 0
+        }));
+        assert!(!s.may_match(&Constraint::Mod {
+            modulus: 4,
+            residue: 3
+        }));
+    }
+
+    #[test]
+    fn boundary_u16_values() {
+        let mut s = IntervalSummary::new(2);
+        s.insert(65535);
+        s.insert(0);
+        assert!(s.contains(0) && s.contains(65535));
+        assert!(!s.contains(32768));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(values in proptest::collection::vec(any::<u16>(), 1..50)) {
+            let mut s = IntervalSummary::new(4);
+            for &v in &values {
+                s.insert(v);
+            }
+            for &v in &values {
+                prop_assert!(s.contains(v), "lost {}", v);
+            }
+        }
+
+        #[test]
+        fn prop_invariants_hold(values in proptest::collection::vec(any::<u16>(), 1..60)) {
+            let mut s = IntervalSummary::new(3);
+            for &v in &values {
+                s.insert(v);
+            }
+            let iv = s.intervals();
+            prop_assert!(iv.len() <= 3);
+            for w in iv.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "not disjoint/sorted: {:?}", iv);
+            }
+            for &(a, b) in iv {
+                prop_assert!(a <= b);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded sets of bounding rectangles — the R-tree-style spatial summary
+//! used for the `pos` attribute (region-based joins, Query 3).
+
+use crate::constraint::Constraint;
+use sensor_net::{Point, Rect};
+
+/// Up to `cap` bounding rectangles summarizing a set of positions. On
+/// overflow the pair of rectangles whose union wastes the least area is
+/// merged, trading precision (false positives) for space — the classic
+/// R-tree node-split heuristic run in reverse.
+#[derive(Debug, Clone)]
+pub struct RectSummary {
+    rects: Vec<Rect>,
+    cap: usize,
+}
+
+impl RectSummary {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1);
+        RectSummary {
+            rects: Vec::with_capacity(cap + 1),
+            cap,
+        }
+    }
+
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    pub fn insert(&mut self, p: Point) {
+        self.insert_rect(Rect::from_point(p));
+    }
+
+    pub fn insert_rect(&mut self, r: Rect) {
+        self.rects.push(r);
+        self.enforce_capacity();
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.rects.len() > self.cap {
+            let mut best = (0, 1);
+            let mut best_waste = f64::INFINITY;
+            for i in 0..self.rects.len() {
+                for j in (i + 1)..self.rects.len() {
+                    let u = self.rects[i].union(&self.rects[j]);
+                    let waste = u.area() - self.rects[i].area() - self.rects[j].area();
+                    if waste < best_waste {
+                        best_waste = waste;
+                        best = (i, j);
+                    }
+                }
+            }
+            let (i, j) = best;
+            let merged = self.rects[i].union(&self.rects[j]);
+            self.rects.remove(j);
+            self.rects[i] = merged;
+        }
+    }
+
+    pub fn merge(&mut self, other: &RectSummary) {
+        for &r in &other.rects {
+            self.insert_rect(r);
+        }
+    }
+
+    /// Whether any summarized position may satisfy the spatial constraint.
+    pub fn may_match(&self, c: &Constraint) -> bool {
+        match c {
+            Constraint::NearPoint { p, dist } => {
+                self.rects.iter().any(|r| r.dist_to_point(p) <= *dist)
+            }
+            Constraint::InRect(q) => self.rects.iter().any(|r| r.intersects(q)),
+            // Scalar constraints are not answerable from a spatial summary.
+            _ => false,
+        }
+    }
+
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains_point(&p))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Wire size: 8 bytes per rectangle (4 x 2-byte fixed-point coords) plus
+    /// a count byte.
+    pub fn size_bytes(&self) -> usize {
+        1 + 8 * self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inserted_points_always_covered() {
+        let mut s = RectSummary::new(2);
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(11.0, 11.0),
+            Point::new(100.0, 0.0),
+        ];
+        for p in pts {
+            s.insert(p);
+        }
+        assert!(s.rects().len() <= 2);
+        for p in pts {
+            assert!(s.contains_point(p), "{p:?} lost");
+        }
+    }
+
+    #[test]
+    fn near_point_matching() {
+        let mut s = RectSummary::new(3);
+        s.insert(Point::new(50.0, 50.0));
+        assert!(s.may_match(&Constraint::NearPoint {
+            p: Point::new(53.0, 54.0),
+            dist: 5.0
+        }));
+        assert!(!s.may_match(&Constraint::NearPoint {
+            p: Point::new(60.0, 60.0),
+            dist: 5.0
+        }));
+    }
+
+    #[test]
+    fn rect_matching() {
+        let mut s = RectSummary::new(3);
+        s.insert(Point::new(5.0, 5.0));
+        assert!(s.may_match(&Constraint::InRect(Rect::new(0.0, 0.0, 10.0, 10.0))));
+        assert!(!s.may_match(&Constraint::InRect(Rect::new(20.0, 20.0, 30.0, 30.0))));
+    }
+
+    #[test]
+    fn scalar_constraints_dont_match() {
+        let mut s = RectSummary::new(3);
+        s.insert(Point::new(5.0, 5.0));
+        assert!(!s.may_match(&Constraint::Eq(5)));
+    }
+
+    #[test]
+    fn capacity_one_degenerates_to_mbr() {
+        let mut s = RectSummary::new(1);
+        s.insert(Point::new(0.0, 0.0));
+        s.insert(Point::new(10.0, 20.0));
+        assert_eq!(s.rects().len(), 1);
+        let r = s.rects()[0];
+        assert_eq!((r.min_x, r.min_y, r.max_x, r.max_y), (0.0, 0.0, 10.0, 20.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(
+            pts in proptest::collection::vec((0.0f64..256.0, 0.0f64..256.0), 1..40)
+        ) {
+            let mut s = RectSummary::new(3);
+            for &(x, y) in &pts {
+                s.insert(Point::new(x, y));
+            }
+            for &(x, y) in &pts {
+                prop_assert!(s.contains_point(Point::new(x, y)));
+                let near = Constraint::NearPoint { p: Point::new(x, y), dist: 0.1 };
+                prop_assert!(s.may_match(&near));
+            }
+            prop_assert!(s.rects().len() <= 3);
+        }
+    }
+}

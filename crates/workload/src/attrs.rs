@@ -1,0 +1,208 @@
+//! Static attribute assignment per Table 1.
+
+use sensor_net::Topology;
+use sensor_query::schema::{
+    ATTR_CID, ATTR_GROUP, ATTR_ID, ATTR_PAIR, ATTR_POS_X, ATTR_POS_Y, ATTR_RID, ATTR_X, ATTR_Y,
+};
+use sensor_query::Tuple;
+
+/// Sentinel for "not a member of any 1:1 pair" (Query 0).
+pub const NO_PAIR: u16 = u16::MAX;
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Assign Table 1's static attributes to every node of a topology.
+///
+/// - `x`: integers in [7, 60], exponentially decaying with distance from
+///   the deployment center ("center has higher values");
+/// - `y`: uniform in [0, 10);
+/// - `cid`/`rid`: column and row of the node's cell in a 4x4 partition of
+///   the deployment bounding box;
+/// - `pos_x`/`pos_y`: the real position in decimeters;
+/// - `pair`/`group`: initialized to the no-pair sentinel / 0 (Query 0's
+///   generator overrides them).
+pub fn assign_static_attrs(topo: &Topology, seed: u64) -> Vec<Tuple> {
+    let center = topo.centroid();
+    // Decay scale: a quarter of the deployment's half-diagonal, so `x`
+    // spans most of [7, 60] between center and edge.
+    let max_d = topo
+        .positions()
+        .iter()
+        .map(|p| p.dist(&center))
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let scale = max_d / 3.0;
+
+    let (min_x, min_y, max_x, max_y) = topo.positions().iter().fold(
+        (f64::MAX, f64::MAX, f64::MIN, f64::MIN),
+        |(ax, ay, bx, by), p| (ax.min(p.x), ay.min(p.y), bx.max(p.x), by.max(p.y)),
+    );
+    let cell_w = ((max_x - min_x) / 4.0).max(1e-9);
+    let cell_h = ((max_y - min_y) / 4.0).max(1e-9);
+
+    topo.node_ids()
+        .map(|id| {
+            let p = topo.position(id);
+            let mut t = Tuple::new(id, 0);
+            t.set(ATTR_ID, id.0);
+            let d = p.dist(&center);
+            let x_val = 7.0 + 53.0 * (-d / scale).exp();
+            t.set(ATTR_X, x_val.round() as u16);
+            t.set(ATTR_Y, (mix64(seed ^ 0xA11CE ^ id.0 as u64) % 10) as u16);
+            let cid = (((p.x - min_x) / cell_w) as u16).min(3);
+            let rid = (((p.y - min_y) / cell_h) as u16).min(3);
+            t.set(ATTR_CID, cid);
+            t.set(ATTR_RID, rid);
+            t.set(ATTR_POS_X, (p.x * 10.0).round().clamp(0.0, 65535.0) as u16);
+            t.set(ATTR_POS_Y, (p.y * 10.0).round().clamp(0.0, 65535.0) as u16);
+            t.set(ATTR_PAIR, NO_PAIR);
+            t.set(ATTR_GROUP, 0);
+            t
+        })
+        .collect()
+}
+
+/// Overlay Query 0's random 1:1 endpoints: `n_pairs` disjoint (s, t) node
+/// pairs get `pair = k`, `group = 0` (S side) or `1` (T side). The base
+/// station never participates.
+pub fn assign_random_pairs(statics: &mut [Tuple], n_pairs: usize, seed: u64) {
+    let n = statics.len();
+    assert!(
+        2 * n_pairs < n,
+        "not enough nodes ({n}) for {n_pairs} disjoint pairs"
+    );
+    // Deterministic Fisher-Yates over non-base nodes.
+    let mut perm: Vec<usize> = (1..n).collect();
+    for i in (1..perm.len()).rev() {
+        let j = (mix64(seed ^ 0x9a1e5 ^ i as u64) % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    for k in 0..n_pairs {
+        let s = perm[2 * k];
+        let t = perm[2 * k + 1];
+        statics[s].set(ATTR_PAIR, k as u16);
+        statics[s].set(ATTR_GROUP, 0);
+        statics[t].set(ATTR_PAIR, k as u16);
+        statics[t].set(ATTR_GROUP, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensor_net::NodeId;
+
+    fn topo() -> Topology {
+        sensor_net::random_with_degree(100, 7.0, 17)
+    }
+
+    #[test]
+    fn x_is_exponential_spatial() {
+        let t = topo();
+        let statics = assign_static_attrs(&t, 1);
+        let center = t.centroid();
+        // All in range.
+        for s in &statics {
+            let x = s.get(ATTR_X);
+            assert!((7..=60).contains(&x), "x={x}");
+        }
+        // Node closest to center has higher x than node furthest away.
+        let closest = t.closest_node(center);
+        let furthest = t
+            .node_ids()
+            .max_by(|a, b| {
+                t.position(*a)
+                    .dist(&center)
+                    .partial_cmp(&t.position(*b).dist(&center))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            statics[closest.index()].get(ATTR_X) > statics[furthest.index()].get(ATTR_X),
+            "center {} vs edge {}",
+            statics[closest.index()].get(ATTR_X),
+            statics[furthest.index()].get(ATTR_X)
+        );
+    }
+
+    #[test]
+    fn y_uniform_range_and_deterministic() {
+        let t = topo();
+        let a = assign_static_attrs(&t, 1);
+        let b = assign_static_attrs(&t, 1);
+        let c = assign_static_attrs(&t, 2);
+        for (i, s) in a.iter().enumerate() {
+            assert!(s.get(ATTR_Y) < 10);
+            assert_eq!(s.get(ATTR_Y), b[i].get(ATTR_Y));
+        }
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.get(ATTR_Y) != y.get(ATTR_Y)),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn grid_cells_cover_4x4() {
+        let t = topo();
+        let statics = assign_static_attrs(&t, 1);
+        let mut seen = std::collections::HashSet::new();
+        for s in &statics {
+            let (cid, rid) = (s.get(ATTR_CID), s.get(ATTR_RID));
+            assert!(cid < 4 && rid < 4);
+            seen.insert((cid, rid));
+        }
+        // A 100-node random deployment should populate most cells.
+        assert!(seen.len() >= 12, "only {} cells occupied", seen.len());
+    }
+
+    #[test]
+    fn positions_in_decimeters() {
+        let t = topo();
+        let statics = assign_static_attrs(&t, 1);
+        for (i, s) in statics.iter().enumerate() {
+            let p = t.position(NodeId(i as u16));
+            assert_eq!(s.get(ATTR_POS_X), (p.x * 10.0).round() as u16);
+            assert_eq!(s.get(ATTR_POS_Y), (p.y * 10.0).round() as u16);
+        }
+    }
+
+    #[test]
+    fn random_pairs_disjoint_and_tagged() {
+        let t = topo();
+        let mut statics = assign_static_attrs(&t, 1);
+        assign_random_pairs(&mut statics, 10, 7);
+        let mut seen_pairs = std::collections::HashMap::new();
+        for s in &statics {
+            if s.get(ATTR_PAIR) != NO_PAIR {
+                seen_pairs
+                    .entry(s.get(ATTR_PAIR))
+                    .or_insert_with(Vec::new)
+                    .push((s.node, s.get(ATTR_GROUP)));
+            }
+        }
+        assert_eq!(seen_pairs.len(), 10);
+        for (pair, members) in seen_pairs {
+            assert_eq!(members.len(), 2, "pair {pair}");
+            let groups: Vec<u16> = members.iter().map(|(_, g)| *g).collect();
+            assert!(groups.contains(&0) && groups.contains(&1));
+            // Base station never participates.
+            assert!(members.iter().all(|(n, _)| n.0 != 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough nodes")]
+    fn too_many_pairs_rejected() {
+        let t = sensor_net::gen::grid(3, 3);
+        let mut statics = assign_static_attrs(&t, 1);
+        assign_random_pairs(&mut statics, 5, 1);
+    }
+}

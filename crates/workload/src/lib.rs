@@ -1,0 +1,23 @@
+//! Evaluation workloads: the data and queries of Tables 1 and 2.
+//!
+//! - [`attrs`] assigns the static attributes of Table 1 over a topology
+//!   (spatially-exponential `x`, uniform `y`, 4x4 grid cells, fixed-point
+//!   positions);
+//! - [`selectivity`] defines producer/join selectivity schedules, including
+//!   the spatially-split and time-varying schedules of §6.1;
+//! - [`data`] implements deterministic per-(node, cycle) sampling — every
+//!   algorithm in a comparison sees identical source traces, as in the
+//!   paper's TOSSIM runs;
+//! - [`queries`] builds Queries 0-3 of Table 2;
+//! - [`intel`] synthesizes spatially-correlated humidity for the Intel-lab
+//!   experiment (see DESIGN.md on this substitution).
+
+pub mod attrs;
+pub mod data;
+pub mod intel;
+pub mod queries;
+pub mod selectivity;
+
+pub use data::WorkloadData;
+pub use queries::{query0, query1, query2, query3};
+pub use selectivity::{Rates, Schedule};

@@ -1,0 +1,334 @@
+//! The query workload of Table 2.
+//!
+//! Producer gates are expressed over the workload's indicator attributes
+//! (`S.adc0 = 0`, `T.adc1 = 0`; see `data`), and the join attribute `u`
+//! follows Table 1. The σ values themselves live in the *selectivity
+//! schedule* of the `WorkloadData`, so one compiled query serves every
+//! (σs, σt, σst) configuration — exactly how the paper reuses each query
+//! across its selectivity sweeps.
+
+use crate::attrs::NO_PAIR;
+use sensor_query::expr::{Expr, Side};
+use sensor_query::pred::{BoolExpr, CmpOp, Pred};
+use sensor_query::schema::{
+    ATTR_ADC0, ATTR_ADC1, ATTR_CID, ATTR_GROUP, ATTR_ID, ATTR_LOCAL_TIME, ATTR_PAIR, ATTR_RID,
+    ATTR_U, ATTR_V, ATTR_X, ATTR_Y,
+};
+use sensor_query::JoinQuerySpec;
+
+fn s_gate() -> BoolExpr {
+    BoolExpr::atom(Pred::new(
+        Expr::attr(Side::S, ATTR_ADC0),
+        CmpOp::Eq,
+        Expr::Const(0),
+    ))
+}
+
+fn t_gate() -> BoolExpr {
+    BoolExpr::atom(Pred::new(
+        Expr::attr(Side::T, ATTR_ADC1),
+        CmpOp::Eq,
+        Expr::Const(0),
+    ))
+}
+
+fn u_join() -> BoolExpr {
+    BoolExpr::atom(Pred::new(
+        Expr::attr(Side::S, ATTR_U),
+        CmpOp::Eq,
+        Expr::attr(Side::T, ATTR_U),
+    ))
+}
+
+fn default_select() -> Vec<(Side, u8)> {
+    vec![
+        (Side::S, ATTR_ID),
+        (Side::T, ATTR_ID),
+        (Side::S, ATTR_LOCAL_TIME),
+    ]
+}
+
+/// Query 0 — 1:1 join with random endpoints:
+/// `(σ_pair∧group=0∧gate S) ⋈_{S.pair=T.pair ∧ S.u=T.u} (σ_pair∧group=1∧gate T)`.
+/// Pair endpoints are assigned by `WorkloadData::with_pairs`.
+pub fn query0(window: usize) -> JoinQuerySpec {
+    let pred = BoolExpr::and(vec![
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_GROUP),
+            CmpOp::Eq,
+            Expr::Const(0),
+        )),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_PAIR),
+            CmpOp::Lt,
+            Expr::Const(NO_PAIR as i64),
+        )),
+        s_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::T, ATTR_GROUP),
+            CmpOp::Eq,
+            Expr::Const(1),
+        )),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::T, ATTR_PAIR),
+            CmpOp::Lt,
+            Expr::Const(NO_PAIR as i64),
+        )),
+        t_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_PAIR),
+            CmpOp::Eq,
+            Expr::attr(Side::T, ATTR_PAIR),
+        )),
+        u_join(),
+    ]);
+    JoinQuerySpec::compile("Query 0", default_select(), window, 100, pred)
+}
+
+/// Query 1 — non-1:1, uniform endpoints:
+/// `(σ_id<25∧gate S) ⋈_{S.x=T.y+5 ∧ S.u=T.u} (σ_id>50∧gate T)`.
+pub fn query1(window: usize) -> JoinQuerySpec {
+    let pred = BoolExpr::and(vec![
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_ID),
+            CmpOp::Lt,
+            Expr::Const(25),
+        )),
+        s_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::T, ATTR_ID),
+            CmpOp::Gt,
+            Expr::Const(50),
+        )),
+        t_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_X),
+            CmpOp::Eq,
+            Expr::add(Expr::attr(Side::T, ATTR_Y), Expr::Const(5)),
+        )),
+        u_join(),
+    ]);
+    JoinQuerySpec::compile("Query 1", default_select(), window, 100, pred)
+}
+
+/// Query 2 — m:n join at the perimeter (based on Query P):
+/// `(σ_rid=0∧gate S) ⋈_{S.cid=T.cid ∧ S.id%4=T.id%4 ∧ S.u=T.u} (σ_rid=3∧gate T)`.
+pub fn query2(window: usize) -> JoinQuerySpec {
+    let pred = BoolExpr::and(vec![
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_RID),
+            CmpOp::Eq,
+            Expr::Const(0),
+        )),
+        s_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::T, ATTR_RID),
+            CmpOp::Eq,
+            Expr::Const(3),
+        )),
+        t_gate(),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_CID),
+            CmpOp::Eq,
+            Expr::attr(Side::T, ATTR_CID),
+        )),
+        BoolExpr::atom(Pred::new(
+            Expr::modulo(Expr::attr(Side::S, ATTR_ID), Expr::Const(4)),
+            CmpOp::Eq,
+            Expr::modulo(Expr::attr(Side::T, ATTR_ID), Expr::Const(4)),
+        )),
+        u_join(),
+    ]);
+    JoinQuerySpec::compile("Query 2", default_select(), window, 100, pred)
+}
+
+/// Query 3 — region-based join on real-life data (based on Query R):
+/// `S ⋈_{Dst<5m ∧ s.id<t.id ∧ |s.v−t.v|>1000} T` (no producer gates:
+/// σs = σt = 100%). The 5 m threshold is 50 decimeters in `pos` units.
+pub fn query3(window: usize) -> JoinQuerySpec {
+    let pred = BoolExpr::and(vec![
+        BoolExpr::atom(Pred::new(Expr::Dist, CmpOp::Lt, Expr::Const(50))),
+        BoolExpr::atom(Pred::new(
+            Expr::attr(Side::S, ATTR_ID),
+            CmpOp::Lt,
+            Expr::attr(Side::T, ATTR_ID),
+        )),
+        BoolExpr::atom(Pred::new(
+            Expr::abs(Expr::sub(
+                Expr::attr(Side::S, ATTR_V),
+                Expr::attr(Side::T, ATTR_V),
+            )),
+            CmpOp::Gt,
+            Expr::Const(1000),
+        )),
+    ]);
+    JoinQuerySpec::compile("Query 3", default_select(), window, 100, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::WorkloadData;
+    use crate::selectivity::{Rates, Schedule};
+    use sensor_net::NodeId;
+    use sensor_query::pattern::ComponentRoute;
+    use sensor_query::TupleSource;
+
+    fn workload(st_den: u16) -> (sensor_net::Topology, WorkloadData) {
+        let topo = sensor_net::random_with_degree(100, 7.0, 11);
+        let data = WorkloadData::new(
+            &topo,
+            Schedule::Uniform(Rates::new(2, 2, st_den)),
+            9,
+        )
+        .with_pairs(10);
+        (topo, data)
+    }
+
+    #[test]
+    fn query0_is_one_to_one() {
+        let (_, data) = workload(5);
+        let q = query0(3);
+        // Eligible S and T sets are the pair endpoints, 10 each.
+        let s_nodes: Vec<NodeId> = (0..100u16)
+            .map(NodeId)
+            .filter(|&n| q.analysis.s_eligible(data.static_of(n)))
+            .collect();
+        let t_nodes: Vec<NodeId> = (0..100u16)
+            .map(NodeId)
+            .filter(|&n| q.analysis.t_eligible(data.static_of(n)))
+            .collect();
+        assert_eq!(s_nodes.len(), 10);
+        assert_eq!(t_nodes.len(), 10);
+        // Every s matches exactly one t statically.
+        for &s in &s_nodes {
+            let matches = t_nodes
+                .iter()
+                .filter(|&&t| {
+                    q.analysis
+                        .static_join_matches(data.static_of(s), data.static_of(t))
+                })
+                .count();
+            assert_eq!(matches, 1, "s={s} should pair with exactly one t");
+        }
+        // Routable on the pair attribute.
+        assert!(q
+            .plan
+            .components
+            .iter()
+            .any(|c| c.route == ComponentRoute::AttrEq(ATTR_PAIR)));
+    }
+
+    #[test]
+    fn query1_static_pairs_follow_x_eq_y_plus_5() {
+        let (_, data) = workload(5);
+        let q = query1(3);
+        for s in 0..100u16 {
+            for t in 0..100u16 {
+                let st = data.static_of(NodeId(s));
+                let tt = data.static_of(NodeId(t));
+                let expected = s < 25
+                    && t > 50
+                    && st.get(ATTR_X) == tt.get(ATTR_Y) + 5;
+                let got = q.analysis.s_eligible(st)
+                    && q.analysis.t_eligible(tt)
+                    && q.analysis.static_join_matches(st, tt);
+                assert_eq!(expected, got, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn query2_perimeter_semantics() {
+        let (_, data) = workload(10);
+        let q = query2(1);
+        let mut pairs = 0;
+        for s in 0..100u16 {
+            for t in 0..100u16 {
+                let st = data.static_of(NodeId(s));
+                let tt = data.static_of(NodeId(t));
+                if q.analysis.s_eligible(st)
+                    && q.analysis.t_eligible(tt)
+                    && q.analysis.static_join_matches(st, tt)
+                {
+                    assert_eq!(st.get(ATTR_RID), 0);
+                    assert_eq!(tt.get(ATTR_RID), 3);
+                    assert_eq!(st.get(ATTR_CID), tt.get(ATTR_CID));
+                    assert_eq!(st.get(ATTR_ID) % 4, tt.get(ATTR_ID) % 4);
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(pairs > 0, "perimeter query should find pairs");
+    }
+
+    #[test]
+    fn query3_joins_on_proximity_and_divergence() {
+        let topo = sensor_net::intel::intel_lab();
+        let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 3)
+            .with_humidity(&topo);
+        let q = query3(3);
+        // Every node is eligible on both sides (no static selections).
+        for n in topo.node_ids() {
+            assert!(q.analysis.s_eligible(data.static_of(n)));
+            assert!(q.analysis.t_eligible(data.static_of(n)));
+        }
+        // Find some cycle with a joining pair, verify semantics.
+        let mut found = false;
+        'outer: for c in 0..200u32 {
+            for a in topo.node_ids() {
+                for &b in topo.neighbors(a) {
+                    let (sa, sb) = (data.sample(a, c), data.sample(b, c));
+                    if q.analysis.join_matches(&sa, &sb) {
+                        assert!(sa.get(ATTR_ID) < sb.get(ATTR_ID));
+                        let dv = (sa.get(ATTR_V) as i32 - sb.get(ATTR_V) as i32).abs();
+                        assert!(dv > 1000);
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "no Query 3 events in 200 cycles");
+        // Spatial pattern extracted.
+        assert_eq!(q.plan.near.map(|n| n.dist_dm), Some(49));
+    }
+
+    #[test]
+    fn gates_control_send_rates() {
+        let (_, data) = workload(5);
+        let q = query1(3);
+        let mut s_sends = 0u32;
+        let n = 2000;
+        for c in 0..n {
+            if q.analysis.s_sends(&data.sample(NodeId(10), c)) {
+                s_sends += 1;
+            }
+        }
+        let rate = s_sends as f64 / n as f64;
+        assert!((0.45..0.55).contains(&rate), "σs=1/2 measured {rate}");
+    }
+
+    #[test]
+    fn join_selectivity_matches_sigma_st() {
+        let (_, data) = workload(5); // σst = 20%
+        let q = query1(3);
+        let (s, t) = (NodeId(3), NodeId(60));
+        let mut matches = 0u32;
+        let n = 3000;
+        for c in 0..n {
+            let mut sa = data.sample(s, c);
+            let mut ta = data.sample(t, c);
+            // Force the static part to match so we isolate the u-equality.
+            sa.set(ATTR_X, 12);
+            ta.set(ATTR_Y, 7);
+            sa.set(ATTR_ID, 1);
+            ta.set(ATTR_ID, 60);
+            if q.analysis.join_matches(&sa, &ta) {
+                matches += 1;
+            }
+        }
+        let rate = matches as f64 / n as f64;
+        assert!((0.15..0.25).contains(&rate), "σst=20% measured {rate}");
+    }
+}

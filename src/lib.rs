@@ -1,0 +1,22 @@
+//! Aspen sensor-network join optimization — workspace facade.
+//!
+//! Reproduction of "Dynamic Join Optimization in Multi-Hop Wireless Sensor
+//! Networks" (Mihaylov, Jacob, Ives, Guha; VLDB 2010). This crate re-exports
+//! the subsystem crates under one roof for examples and integration tests.
+//!
+//! - [`net`] — topologies and geometry
+//! - [`sim`] — the discrete-time network simulator
+//! - [`summaries`] — Bloom filter / interval / R-tree index summaries
+//! - [`routing`] — routing trees, the multi-tree substrate, GHT/GPSR, DHT
+//! - [`query`] — query model, CNF, static/dynamic predicate classification
+//! - [`workload`] — Table 1/2 workloads and the Intel-lab humidity model
+//! - [`join`] — the paper's contribution: cost-based, adaptive join
+//!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants)
+
+pub use aspen_join as join;
+pub use sensor_net as net;
+pub use sensor_query as query;
+pub use sensor_routing as routing;
+pub use sensor_sim as sim;
+pub use sensor_summaries as summaries;
+pub use sensor_workload as workload;
