@@ -143,8 +143,7 @@ fn bench_algorithms(c: &mut Criterion) {
                     topo,
                     data,
                     spec: query1(3),
-                    cfg: AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.2))
-                        .with_innet_options(opts),
+                    cfg: AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.2)).with_innet_options(opts),
                     sim,
                     num_trees: 3,
                 };

@@ -166,8 +166,13 @@ fn table2() {
 
 // Table 3: analytic cost formulas vs simulated traffic.
 fn table3(o: &Opts) {
-    println!("== Table 3: analytic per-cycle cost vs simulated (Query 1, 1/2:1/2, sigma_st=20%) ==");
-    println!("{:12} {:>14} {:>14} {:>7}", "algorithm", "analytic(B/cyc)", "simulated", "ratio");
+    println!(
+        "== Table 3: analytic per-cycle cost vs simulated (Query 1, 1/2:1/2, sigma_st=20%) =="
+    );
+    println!(
+        "{:12} {:>14} {:>14} {:>7}",
+        "algorithm", "analytic(B/cyc)", "simulated", "ratio"
+    );
     let rates = Rates::new(2, 2, 5);
     let cycles = o.cycles(100);
     let bench = Bench {
@@ -224,10 +229,8 @@ fn table3(o: &Opts) {
                 let q = SearchQuery::new(sc.spec.plan.search_constraints(st));
                 let (results, _) = find_paths(&sub, n, &q);
                 for r in best_path_per_target(&results) {
-                    let hops: Vec<u16> =
-                        r.path.iter().map(|&x| sub.hops_to_base(x)).collect();
-                    let placement =
-                        aspen_join::place_join_node(sigma_of(rates), 3, &hops);
+                    let hops: Vec<u16> = r.path.iter().map(|&x| sub.hops_to_base(x)).collect();
+                    let placement = aspen_join::place_join_node(sigma_of(rates), 3, &hops);
                     match placement {
                         aspen_join::Placement::OnPath { index, .. } => pair_d.push((
                             index as f64,
@@ -258,7 +261,9 @@ fn table3(o: &Opts) {
         let simulated = stats.execution_traffic_bytes() as f64 / cycles as f64;
         println!(
             "{:12} {:>14.0} {:>14.0} {:>7.2}",
-            AlgoConfig::new(algo, sig).with_innet_options(opts_a).label(),
+            AlgoConfig::new(algo, sig)
+                .with_innet_options(opts_a)
+                .label(),
             analytic,
             simulated,
             simulated / analytic.max(1e-9)
@@ -292,7 +297,10 @@ fn fig2_or_3(o: &Opts, q2: bool) {
             [5u16, 10, 20],
         )
     };
-    println!("== {name}: total traffic (KB) / base load (KB), {} cycles, {} seeds ==", bench.cycles, o.seeds);
+    println!(
+        "== {name}: total traffic (KB) / base load (KB), {} cycles, {} seeds ==",
+        bench.cycles, o.seeds
+    );
     println!(
         "{:10} {:6} | {:>22} {:>22} {:>22} {:>22} {:>22} {:>22}",
         "ratio", "sig_st", "Naive", "Base", "GHT", "Innet", "Innet-cmg", "Innet-cmpg"
@@ -382,7 +390,9 @@ fn fig4(o: &Opts) {
 
 // Figure 5: the 15 most-loaded nodes per algorithm.
 fn fig5(o: &Opts) {
-    println!("== Figure 5: load (KB) of the 15 most-loaded nodes, Query 1, 1/2:1/2, sigma_st=20% ==");
+    println!(
+        "== Figure 5: load (KB) of the 15 most-loaded nodes, Query 1, 1/2:1/2, sigma_st=20% =="
+    );
     let bench = Bench {
         query: query1,
         window: 3,
@@ -440,13 +450,17 @@ fn fig6(o: &Opts) {
     let mut c_base = Vec::new();
     let mut c_lat = Vec::new();
     for seed in 0..o.seeds {
-        let sc = bench.scenario(rates, sigma_of(rates), Algorithm::Innet, InnetOptions::CMG, 1000 + seed);
+        let sc = bench.scenario(
+            rates,
+            sigma_of(rates),
+            Algorithm::Innet,
+            InnetOptions::CMG,
+            1000 + seed,
+        );
         let mut run = sc.build();
         run.initiate();
         let st = run.stats();
-        d_base.push(kb(
-            (st.initiation.load_bytes(st.base)) as f64
-        ));
+        d_base.push(kb((st.initiation.load_bytes(st.base)) as f64));
         d_lat.push(st.initiation_cycles as f64);
         // Centralized on the same pairs.
         let pairs: Vec<(NodeId, NodeId)> = (0..sc.topo.len() as u16)
@@ -469,8 +483,14 @@ fn fig6(o: &Opts) {
     let (cb, _) = mean_ci(&c_base);
     let (dl, _) = mean_ci(&d_lat);
     let (cl, _) = mean_ci(&c_lat);
-    println!("(a) base traffic:   distributed {db:.2} KB vs centralized {cb:.2} KB  (x{:.1})", cb / db.max(1e-9));
-    println!("(b) latency:        distributed {dl:.0} cycles vs centralized {cl:.0} cycles (x{:.1})", cl / dl.max(1e-9));
+    println!(
+        "(a) base traffic:   distributed {db:.2} KB vs centralized {cb:.2} KB  (x{:.1})",
+        cb / db.max(1e-9)
+    );
+    println!(
+        "(b) latency:        distributed {dl:.0} cycles vs centralized {cl:.0} cycles (x{:.1})",
+        cl / dl.max(1e-9)
+    );
 }
 
 // Figure 7: optimal (centralized) vs distributed computation across
@@ -486,12 +506,8 @@ fn fig7(o: &Opts) {
         let mut d_hops = Vec::new();
         for seed in 0..o.seeds {
             let topo = TopologySpec::new(class, 100, 40 + seed).build();
-            let data = WorkloadData::new(
-                &topo,
-                Schedule::Uniform(Rates::new(1, 1, 5)),
-                40 + seed,
-            )
-            .with_pairs(10);
+            let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 40 + seed)
+                .with_pairs(10);
             let sub = MultiTreeSubstrate::build(
                 &topo,
                 3,
@@ -527,8 +543,18 @@ fn fig7(o: &Opts) {
 // Figure 8: MPO cost-model validation (5x5) for Query 1 and Query 2.
 fn fig8(o: &Opts) {
     for (label, query, window, st_den) in [
-        ("(a) Query 1, sigma_st=5%, w=3", query1 as fn(usize) -> _, 3usize, 20u16),
-        ("(b) Query 2, sigma_st=10%, w=1", query2 as fn(usize) -> _, 1usize, 10u16),
+        (
+            "(a) Query 1, sigma_st=5%, w=3",
+            query1 as fn(usize) -> _,
+            3usize,
+            20u16,
+        ),
+        (
+            "(b) Query 2, sigma_st=10%, w=1",
+            query2 as fn(usize) -> _,
+            1usize,
+            10u16,
+        ),
     ] {
         println!("== Figure 8{label}: Innet-cmpg traffic (KB); rows=true ratio, cols=assumed ==");
         let stages = Rates::ratio_stages(st_den);
@@ -568,7 +594,9 @@ fn fig8(o: &Opts) {
 
 // Figure 9: (a) traffic vs duration; (b) MPO variants at long horizons.
 fn fig9(o: &Opts) {
-    println!("== Figure 9(a): total traffic (KB) vs duration, Query 2, w=1, 1/2:1/2 sigma_st=10% ==");
+    println!(
+        "== Figure 9(a): total traffic (KB) vs duration, Query 2, w=1, 1/2:1/2 sigma_st=10% =="
+    );
     let rates = Rates::new(2, 2, 10);
     let algos: Vec<(Algorithm, InnetOptions, &str)> = vec![
         (Algorithm::Naive, InnetOptions::PLAIN, "Naive"),
@@ -609,7 +637,10 @@ fn fig9(o: &Opts) {
         }
         println!();
     }
-    println!("== Figure 9(b): MPO variants, {} cycles, Query 2 w=1 ==", if o.quick { 300 } else { 1000 });
+    println!(
+        "== Figure 9(b): MPO variants, {} cycles, Query 2 w=1 ==",
+        if o.quick { 300 } else { 1000 }
+    );
     let long = if o.quick { 300 } else { 1000 };
     print!("{:>7}", "sig_st");
     for n in ["Innet", "Innet-cm", "Innet-cmg", "Innet-cmpg"] {
@@ -631,7 +662,13 @@ fn fig9(o: &Opts) {
             InnetOptions::CMG,
             InnetOptions::CMPG,
         ] {
-            let stats = bench.run_seeds(rates, sigma_of(rates), Algorithm::Innet, opts_a, o.seeds.min(3));
+            let stats = bench.run_seeds(
+                rates,
+                sigma_of(rates),
+                Algorithm::Innet,
+                opts_a,
+                o.seeds.min(3),
+            );
             let (tot, _) = mean_ci(
                 &stats
                     .iter()
@@ -645,7 +682,15 @@ fn fig9(o: &Opts) {
 }
 
 // Figures 10-11: learning gain/loss matrices.
-fn learning_matrix(o: &Opts, query: fn(usize) -> sensor_query::JoinQuerySpec, window: usize, n_pairs: usize, st_den: u16, cycles: u32, label: &str) {
+fn learning_matrix(
+    o: &Opts,
+    query: fn(usize) -> sensor_query::JoinQuerySpec,
+    window: usize,
+    n_pairs: usize,
+    st_den: u16,
+    cycles: u32,
+    label: &str,
+) {
     println!("== {label}: Innet-cmpg traffic (KB) static->learned; rows=true, cols=assumed ==");
     let stages = Rates::ratio_stages(st_den);
     let bench = Bench {
@@ -796,10 +841,30 @@ fn fig13(o: &Opts) {
     println!("== Figure 13: Intel lab, Query 3, {cycles} cycles — total / base / max-node traffic (KB) ==");
     let topo = sensor_net::intel::intel_lab();
     let configs: Vec<(&str, Algorithm, InnetOptions, Sigma)> = vec![
-        ("Yang+07", Algorithm::Yang07, InnetOptions::PLAIN, Sigma::new(1.0, 1.0, 0.2)),
-        ("GHT/GPSR", Algorithm::Ght, InnetOptions::PLAIN, Sigma::new(1.0, 1.0, 0.2)),
-        ("Naive/Base", Algorithm::Naive, InnetOptions::PLAIN, Sigma::new(1.0, 1.0, 0.2)),
-        ("In-net", Algorithm::Innet, InnetOptions::CM, Sigma::new(1.0, 1.0, 0.2)),
+        (
+            "Yang+07",
+            Algorithm::Yang07,
+            InnetOptions::PLAIN,
+            Sigma::new(1.0, 1.0, 0.2),
+        ),
+        (
+            "GHT/GPSR",
+            Algorithm::Ght,
+            InnetOptions::PLAIN,
+            Sigma::new(1.0, 1.0, 0.2),
+        ),
+        (
+            "Naive/Base",
+            Algorithm::Naive,
+            InnetOptions::PLAIN,
+            Sigma::new(1.0, 1.0, 0.2),
+        ),
+        (
+            "In-net",
+            Algorithm::Innet,
+            InnetOptions::CM,
+            Sigma::new(1.0, 1.0, 0.2),
+        ),
         (
             "In-net learn",
             Algorithm::Innet,
@@ -816,12 +881,9 @@ fn fig13(o: &Opts) {
     for (name, algo, opts_a, assumed) in configs {
         let vals: Vec<(f64, f64, f64, f64)> = (0..o.seeds.min(3))
             .map(|s| {
-                let data = WorkloadData::new(
-                    &topo,
-                    Schedule::Uniform(Rates::new(1, 1, 5)),
-                    100 + s,
-                )
-                .with_humidity(&topo);
+                let data =
+                    WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 100 + s)
+                        .with_humidity(&topo);
                 let sc = Scenario {
                     topo: topo.clone(),
                     data,
@@ -868,7 +930,13 @@ fn fig14(o: &Opts) {
                 cycles,
             };
             let rates = Rates::new(1, 1, st_den);
-            let sc = bench.scenario(rates, sigma_of(rates), Algorithm::Innet, InnetOptions::PLAIN, 1000 + seed);
+            let sc = bench.scenario(
+                rates,
+                sigma_of(rates),
+                Algorithm::Innet,
+                InnetOptions::PLAIN,
+                1000 + seed,
+            );
             let mut clean = sc.build();
             clean.initiate();
             clean.execute(cycles);
@@ -896,7 +964,12 @@ fn fig14(o: &Opts) {
 }
 
 // Figures 16-18: routing-substrate path quality.
-fn path_quality(topo: &sensor_net::Topology, trees: usize, sample_pairs: usize, seed: u64) -> (f64, u64) {
+fn path_quality(
+    topo: &sensor_net::Topology,
+    trees: usize,
+    sample_pairs: usize,
+    seed: u64,
+) -> (f64, u64) {
     let data = WorkloadData::new(topo, Schedule::Uniform(Rates::new(1, 1, 5)), seed);
     let sub = MultiTreeSubstrate::build(
         topo,
@@ -917,10 +990,7 @@ fn path_quality(topo: &sensor_net::Topology, trees: usize, sample_pairs: usize, 
         if a == b {
             continue;
         }
-        let q = SearchQuery::new(vec![(
-            sensor_query::schema::ATTR_ID,
-            Constraint::Eq(b.0),
-        )]);
+        let q = SearchQuery::new(vec![(sensor_query::schema::ATTR_ID, Constraint::Eq(b.0))]);
         let (results, _) = find_paths(&sub, a, &q);
         let best = results.iter().map(|r| r.path.len() - 1).min();
         if let Some(len) = best {
@@ -1001,7 +1071,9 @@ fn fig16(o: &Opts) {
 }
 
 fn fig17(o: &Opts) {
-    println!("== Figure 17: mesh path quality — avg path length / max node load; DHT instead of GPSR ==");
+    println!(
+        "== Figure 17: mesh path quality — avg path length / max node load; DHT instead of GPSR =="
+    );
     let pairs = if o.quick { 200 } else { 1000 };
     println!(
         "{:>18} {:>12} {:>12} {:>12} {:>12}",
@@ -1046,9 +1118,14 @@ fn fig17(o: &Opts) {
 }
 
 fn fig18(o: &Opts) {
-    println!("== Figure 18: mesh scale-up — avg path length / max load per path, medium density ==");
+    println!(
+        "== Figure 18: mesh scale-up — avg path length / max load per path, medium density =="
+    );
     let pairs = if o.quick { 200 } else { 1000 };
-    println!("{:>10} {:>12} {:>12} {:>12}", "nodes", "1 tree", "2 trees", "3 trees");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "nodes", "1 tree", "2 trees", "3 trees"
+    );
     for nodes in [50usize, 100, 200] {
         let topo = TopologySpec::new(DensityClass::Medium, nodes, 79).build();
         let mut cells = Vec::new();
@@ -1070,7 +1147,10 @@ fn fig19_or_20(o: &Opts, q2: bool) {
     } else {
         ("Figure 19 (Query 1, w=3, mesh)", query1, 3, [5, 10, 20])
     };
-    println!("== {name}: total msgs (1000s) / base msgs (1000s), {} seeds ==", o.seeds);
+    println!(
+        "== {name}: total msgs (1000s) / base msgs (1000s), {} seeds ==",
+        o.seeds
+    );
     let algos: Vec<(Algorithm, InnetOptions, &str)> = vec![
         (Algorithm::Naive, InnetOptions::PLAIN, "Naive"),
         (Algorithm::Base, InnetOptions::PLAIN, "Base"),

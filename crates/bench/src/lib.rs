@@ -111,7 +111,8 @@ impl Bench {
     ) -> Vec<RunStats> {
         let jobs: Vec<u64> = (0..seeds).map(|s| 1000 + s).collect();
         parallel_map(jobs, |&s| {
-            self.scenario(rates, assumed, algo, opts, s).run(self.cycles)
+            self.scenario(rates, assumed, algo, opts, s)
+                .run(self.cycles)
         })
     }
 }

@@ -249,10 +249,7 @@ impl Msg {
             Msg::CoordPing { path, .. } => 8 + path_bytes(path.len()),
             Msg::GroupDecision { path, .. } => 12 + path_bytes(path.len()),
             Msg::WindowXfer {
-                win_s,
-                win_t,
-                path,
-                ..
+                win_s, win_t, path, ..
             } => 14 + (win_s.len() + win_t.len()) as u32 * data_bytes + path_bytes(path.len()),
             Msg::McastSetup { edges, path, .. } => {
                 let state: u32 = edges.iter().map(|(_, cs)| 2 + 2 * cs.len() as u32).sum();

@@ -172,10 +172,7 @@ mod tests {
     #[test]
     fn shared_prefix_stored_once() {
         // 0-1-2-3 and 0-1-2-4: edge (0,1) and (1,2) shared.
-        let paths = vec![
-            vec![n(0), n(1), n(2), n(3)],
-            vec![n(0), n(1), n(2), n(4)],
-        ];
+        let paths = vec![vec![n(0), n(1), n(2), n(3)], vec![n(0), n(1), n(2), n(4)]];
         let t = McastTree::from_paths(n(0), &paths);
         assert_eq!(t.edge_count(), 4); // 0-1, 1-2, 2-3, 2-4
         assert_eq!(t.children(n(2)), &[n(3), n(4)]);
@@ -196,10 +193,7 @@ mod tests {
     fn cross_link_shortens_tree() {
         // Two disjoint paths 0-1-2-3(j1) and 0-4-5-6(j2) with a snooped
         // link 2~6: the rebuild reaches j2 via ...2-6 instead of 0-4-5-6.
-        let paths = vec![
-            vec![n(0), n(1), n(2), n(3)],
-            vec![n(0), n(4), n(5), n(6)],
-        ];
+        let paths = vec![vec![n(0), n(1), n(2), n(3)], vec![n(0), n(4), n(5), n(6)]];
         let plain = McastTree::from_paths(n(0), &paths);
         assert_eq!(plain.edge_count(), 6);
         let collapsed = McastTree::rebuild_with_links(n(0), &paths, &[(n(2), n(6))]);

@@ -27,7 +27,7 @@ impl JoinNode {
                 st.stats.tick();
             }
         }
-        if cycle == 0 || cycle % interval != 0 {
+        if cycle == 0 || !cycle.is_multiple_of(interval) {
             return;
         }
         // Evaluate join-node pairs.
@@ -93,9 +93,7 @@ impl JoinNode {
         } else {
             self.pairs.remove(&pair);
         }
-        self.dispatch_window_xfer(
-            ctx, pair, seq, path, hops, new_j_idx, est, win_s, win_t,
-        );
+        self.dispatch_window_xfer(ctx, pair, seq, path, hops, new_j_idx, est, win_s, win_t);
     }
 
     /// Route a WindowXfer from the current join point to the new one.
@@ -128,7 +126,14 @@ impl JoinNode {
                 };
                 if !self.forward_tree_up(ctx, msg) {
                     self.adopt_transferred_pair(
-                        ctx, pair, seq, Vec::new(), Vec::new(), None, assumed, Vec::new(),
+                        ctx,
+                        pair,
+                        seq,
+                        Vec::new(),
+                        Vec::new(),
+                        None,
+                        assumed,
+                        Vec::new(),
                         Vec::new(),
                     );
                 }
@@ -216,10 +221,7 @@ impl JoinNode {
                     ctx, pair, seq, path, hops, new_j_idx, assumed, win_s, win_t,
                 );
             }
-            Route::Path {
-                path: rpath,
-                pos,
-            } => {
+            Route::Path { path: rpath, pos } => {
                 let forwarded = self.forward_path(ctx, &rpath, pos, |p| Msg::WindowXfer {
                     pair,
                     seq,
@@ -387,14 +389,14 @@ impl JoinNode {
             return;
         }
         // Reverse along the data path if I am on it; else tree-route.
-        let back_path: Vec<NodeId> = if !path.is_empty() && pos > 0 && path.get(pos) == Some(&self.id)
-        {
-            let mut p = path[..=pos].to_vec();
-            p.reverse();
-            p
-        } else {
-            self.sh.tree_path(self.id, producer)
-        };
+        let back_path: Vec<NodeId> =
+            if !path.is_empty() && pos > 0 && path.get(pos) == Some(&self.id) {
+                let mut p = path[..=pos].to_vec();
+                p.reverse();
+                p
+            } else {
+                self.sh.tree_path(self.id, producer)
+            };
         if back_path.len() > 1 {
             let msg = Msg::RouteBroken {
                 pair: Pair::new(producer, failed), // s slot = producer, t slot unused

@@ -123,8 +123,8 @@ impl JoinNode {
         let use_mcast = self.sh.cfg.innet.multicast && self.mc_tree.is_some();
         for asg in self.assigns.values() {
             let my_side_s = asg.pair.s == self.id;
-            let relevant = (my_side_s && sides & side::S != 0)
-                || (!my_side_s && sides & side::T != 0);
+            let relevant =
+                (my_side_s && sides & side::S != 0) || (!my_side_s && sides & side::T != 0);
             if !relevant {
                 continue;
             }
@@ -361,10 +361,7 @@ impl JoinNode {
                     if *m == origin || m_sides & side::T == 0 {
                         continue;
                     }
-                    if !spec
-                        .analysis
-                        .static_join_matches(&tuple, m_statics)
-                    {
+                    if !spec.analysis.static_join_matches(&tuple, m_statics) {
                         continue;
                     }
                     if let Some(win) = group.windows.get(&(*m, side::T)) {
@@ -385,10 +382,7 @@ impl JoinNode {
                     if *m == origin || m_sides & side::S == 0 {
                         continue;
                     }
-                    if !spec
-                        .analysis
-                        .static_join_matches(m_statics, &tuple)
-                    {
+                    if !spec.analysis.static_join_matches(m_statics, &tuple) {
                         continue;
                     }
                     if let Some(win) = group.windows.get(&(*m, side::S)) {
@@ -496,7 +490,11 @@ impl JoinNode {
             if sides & probe_side == 0 {
                 continue;
             }
-            let opposite = if probe_side == side::S { side::T } else { side::S };
+            let opposite = if probe_side == side::S {
+                side::T
+            } else {
+                side::S
+            };
             let mut partners: Vec<(NodeId, u8)> = b
                 .senders
                 .keys()
@@ -542,11 +540,7 @@ impl JoinNode {
                 }
             }
             b.senders.insert((origin, probe_side), origin_static);
-            push_window(
-                b.windows.entry((origin, probe_side)).or_default(),
-                tuple,
-                w,
-            );
+            push_window(b.windows.entry((origin, probe_side)).or_default(), tuple, w);
             // Pair stats: count arrivals.
             for ps in b.pairs.values_mut() {
                 if probe_side == side::S && ps.pair.s == origin {
@@ -629,4 +623,3 @@ pub(super) fn join_into_pair(
     st.stats.record_results(results);
     results
 }
-

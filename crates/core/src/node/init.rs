@@ -314,10 +314,7 @@ impl JoinNode {
         // own eligibility.
         if s != self.id
             && self.is_t
-            && self
-                .sh
-                .sub
-                .node_matches(self.id, &constraints)
+            && self.sh.sub.node_matches(self.id, &constraints)
             && self.sh.spec.plan.verify_pair(&s_static, &self.statics)
         {
             self.consider_candidate(ctx, s, &path, &hops);
@@ -463,6 +460,7 @@ impl JoinNode {
 
     /// Register a pair at this node (the join node or the base) and notify
     /// the producers.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn install_pair(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -567,6 +565,7 @@ impl JoinNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn on_assign(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -612,19 +611,10 @@ impl JoinNode {
         );
     }
 
-    pub fn adopt_assign(
-        &mut self,
-        pair: Pair,
-        seq: u32,
-        path: Vec<NodeId>,
-        j_idx: Option<usize>,
-    ) {
+    pub fn adopt_assign(&mut self, pair: Pair, seq: u32, path: Vec<NodeId>, j_idx: Option<usize>) {
         // `path` for at-base assigns is a tree path, not the s..t path;
         // producers then route TreeUp so the path is irrelevant.
-        let hops: Vec<u16> = path
-            .iter()
-            .map(|&n| self.sh.sub.hops_to_base(n))
-            .collect();
+        let hops: Vec<u16> = path.iter().map(|&n| self.sh.sub.hops_to_base(n)).collect();
         let entry = self.assigns.entry(pair);
         use std::collections::btree_map::Entry;
         match entry {

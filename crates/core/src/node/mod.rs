@@ -328,7 +328,17 @@ impl Protocol for JoinNode {
                 constraints,
                 path,
                 hops,
-            } => self.on_search(ctx, from, tree, descending, s, s_static, constraints, path, hops),
+            } => self.on_search(
+                ctx,
+                from,
+                tree,
+                descending,
+                s,
+                s_static,
+                constraints,
+                path,
+                hops,
+            ),
             Msg::Nominate {
                 pair,
                 seq,
@@ -416,13 +426,7 @@ impl Protocol for JoinNode {
         }
     }
 
-    fn on_snoop(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        sender: NodeId,
-        next_hop: NodeId,
-        msg: &Msg,
-    ) {
+    fn on_snoop(&mut self, ctx: &mut Ctx<'_, Msg>, sender: NodeId, next_hop: NodeId, msg: &Msg) {
         self.snoop_for_collapse(ctx, sender, next_hop, msg);
     }
 

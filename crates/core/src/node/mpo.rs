@@ -104,7 +104,13 @@ impl JoinNode {
         coordinator: NodeId,
     ) {
         if coordinator == self.id {
-            self.coord_absorb(ctx, group, self.id, members.iter().copied().collect(), delta);
+            self.coord_absorb(
+                ctx,
+                group,
+                self.id,
+                members.iter().copied().collect(),
+                delta,
+            );
             return;
         }
         let path = self.sh.tree_path(self.id, coordinator);
@@ -165,8 +171,7 @@ impl JoinNode {
             // Someone lower-id should coordinate (Algorithm 1 line 8):
             // hand over everything collected so far, preserving each
             // report's original sender.
-            let handoff: Vec<(NodeId, f64)> =
-                state.deltas.iter().map(|(n, d)| (*n, *d)).collect();
+            let handoff: Vec<(NodeId, f64)> = state.deltas.iter().map(|(n, d)| (*n, *d)).collect();
             let all: Vec<NodeId> = state.members.iter().copied().collect();
             self.coord.remove(&group);
             let route = self.sh.tree_path(self.id, lowest);
@@ -335,8 +340,11 @@ impl JoinNode {
         }
         // Adopt strictly lower-id coordinators only.
         for side_s in [true, false] {
-            let Some(local) = (if side_s { self.group_s.as_mut() } else { self.group_t.as_mut() })
-            else {
+            let Some(local) = (if side_s {
+                self.group_s.as_mut()
+            } else {
+                self.group_t.as_mut()
+            }) else {
                 continue;
             };
             if local.id != group || coordinator >= local.coordinator {

@@ -2,16 +2,15 @@
 //! a simulation, drives the initiation and execution phases, and collects
 //! the statistics every figure reports.
 
-
 use crate::node::JoinNode;
 use crate::shared::{AlgoConfig, Algorithm, Shared};
 use sensor_net::{NodeId, Topology};
-use sensor_routing::ght::GpsrRouter;
-use sensor_routing::substrate::{IndexedAttr, MultiTreeSubstrate};
 use sensor_query::schema::{
     ATTR_CID, ATTR_GROUP, ATTR_ID, ATTR_PAIR, ATTR_POS_X, ATTR_RID, ATTR_X, ATTR_Y,
 };
 use sensor_query::JoinQuerySpec;
+use sensor_routing::ght::GpsrRouter;
+use sensor_routing::substrate::{IndexedAttr, MultiTreeSubstrate};
 use sensor_sim::{Engine, Metrics, SimConfig};
 use sensor_summaries::SummaryKind;
 use sensor_workload::WorkloadData;
@@ -116,8 +115,8 @@ impl Scenario {
             default_indexed_attrs(),
             &self.data,
         ));
-        let gpsr = matches!(self.cfg.algorithm, Algorithm::Ght)
-            .then(|| GpsrRouter::new(&self.topo));
+        let gpsr =
+            matches!(self.cfg.algorithm, Algorithm::Ght).then(|| GpsrRouter::new(&self.topo));
         let shared = Arc::new(Shared {
             topo: self.topo.clone(),
             sub,
@@ -157,14 +156,14 @@ impl Run {
         // 1. Query dissemination (all algorithms need the query; Naive and
         //    Yang+07 piggyback it on routing-tree construction, so it is
         //    free for them per Table 3).
-        let free_dissemination =
-            matches!(algo, Algorithm::Naive | Algorithm::Yang07);
+        let free_dissemination = matches!(algo, Algorithm::Naive | Algorithm::Yang07);
         if free_dissemination {
             for i in 0..n {
                 self.engine.node_mut(NodeId(i as u16)).ensure_query();
             }
         } else {
-            self.engine.with_node(base, |node, ctx| node.start_flood(ctx));
+            self.engine
+                .with_node(base, |node, ctx| node.start_flood(ctx));
             self.engine.run_until_quiet(10_000);
             for i in 0..n {
                 self.engine.node_mut(NodeId(i as u16)).ensure_query();
@@ -179,7 +178,8 @@ impl Run {
                     if id == base {
                         continue;
                     }
-                    self.engine.with_node(id, |node, ctx| node.start_announce(ctx));
+                    self.engine
+                        .with_node(id, |node, ctx| node.start_announce(ctx));
                 }
                 self.engine.run_until_quiet(50_000);
             }
@@ -194,11 +194,14 @@ impl Run {
             Algorithm::Innet => {
                 for i in 0..n {
                     let id = NodeId(i as u16);
-                    self.engine.with_node(id, |node, ctx| node.start_search(ctx));
+                    self.engine
+                        .with_node(id, |node, ctx| node.start_search(ctx));
                 }
                 self.engine.run_until_quiet(200_000);
                 for i in 0..n {
-                    self.engine.node_mut(NodeId(i as u16)).finish_t_side_assigns();
+                    self.engine
+                        .node_mut(NodeId(i as u16))
+                        .finish_t_side_assigns();
                 }
                 if self.shared.cfg.innet.group_opt {
                     for i in 0..n {

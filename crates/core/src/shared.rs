@@ -3,9 +3,9 @@
 
 use crate::cost::Sigma;
 use sensor_net::{NodeId, Topology};
+use sensor_query::JoinQuerySpec;
 use sensor_routing::ght::GpsrRouter;
 use sensor_routing::MultiTreeSubstrate;
-use sensor_query::JoinQuerySpec;
 use sensor_workload::WorkloadData;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -196,10 +196,7 @@ mod tests {
         assert_eq!(InnetOptions::CM.suffix(), "Innet-cm");
         assert_eq!(InnetOptions::CMG.suffix(), "Innet-cmg");
         assert_eq!(InnetOptions::CMPG.suffix(), "Innet-cmpg");
-        assert_eq!(
-            InnetOptions::PLAIN.with_learning().suffix(),
-            "Innet learn"
-        );
+        assert_eq!(InnetOptions::PLAIN.with_learning().suffix(), "Innet learn");
     }
 
     #[test]

@@ -166,8 +166,7 @@ fn innet_cmg_not_worse_than_plain_innet() {
 #[test]
 fn query0_one_to_one_all_algorithms_agree() {
     let topo = sensor_net::random_with_degree(80, 7.0, 11);
-    let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, 5)), 11)
-        .with_pairs(10);
+    let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, 5)), 11).with_pairs(10);
     let spec = query0(3);
     let oracle = oracle_result_count(&topo, &data, &spec, CYCLES);
     assert!(oracle > 0);
@@ -207,8 +206,8 @@ fn query2_perimeter_innet() {
 #[test]
 fn query3_region_join_on_intel_lab() {
     let topo = sensor_net::intel::intel_lab();
-    let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 2)
-        .with_humidity(&topo);
+    let data =
+        WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 2).with_humidity(&topo);
     let spec = query3(3);
     let sc = Scenario {
         topo: topo.clone(),
@@ -260,8 +259,7 @@ fn learning_recovers_from_wrong_estimates() {
     );
     // ...and land within 2x of the correctly-informed run.
     assert!(
-        wrong_learn.execution_traffic_bytes()
-            < oracle_run.execution_traffic_bytes() * 2,
+        wrong_learn.execution_traffic_bytes() < oracle_run.execution_traffic_bytes() * 2,
         "learn {} vs informed {}",
         wrong_learn.execution_traffic_bytes(),
         oracle_run.execution_traffic_bytes()

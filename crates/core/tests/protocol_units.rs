@@ -75,13 +75,7 @@ fn hot_joins_go_to_base() {
     let mut run = sc.build();
     run.initiate();
     assert_eq!(find_join_node(&run), None, "no in-network join node");
-    let base_pairs = run
-        .engine
-        .node(NodeId(0))
-        .base_state()
-        .unwrap()
-        .pairs
-        .len();
+    let base_pairs = run.engine.node(NodeId(0)).base_state().unwrap().pairs.len();
     assert_eq!(base_pairs, 1, "the pair registered at the base");
 }
 
@@ -231,8 +225,16 @@ fn ght_members_register_at_common_home() {
     let mut homes_with_full_groups = 0;
     for i in 0..topo.len() as u16 {
         for g in run.engine.node(NodeId(i)).ght_groups.values() {
-            let s_count = g.members.iter().filter(|(_, sides, _)| sides & 1 != 0).count();
-            let t_count = g.members.iter().filter(|(_, sides, _)| sides & 2 != 0).count();
+            let s_count = g
+                .members
+                .iter()
+                .filter(|(_, sides, _)| sides & 1 != 0)
+                .count();
+            let t_count = g
+                .members
+                .iter()
+                .filter(|(_, sides, _)| sides & 2 != 0)
+                .count();
             if s_count >= 1 && t_count >= 1 {
                 homes_with_full_groups += 1;
             }
@@ -279,10 +281,7 @@ fn intermediate_path_failure_repairs_locally() {
     run.engine.kill(victim);
     run.execute(30);
     let stats = run.stats();
-    assert!(
-        stats.results > 0,
-        "no results after mid-path relay failure"
-    );
+    assert!(stats.results > 0, "no results after mid-path relay failure");
 }
 
 #[test]

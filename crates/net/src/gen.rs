@@ -8,7 +8,7 @@
 use crate::geom::Point;
 use crate::topology::{NodeId, Topology};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// The named deployment density classes of Appendix C.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,7 +91,7 @@ pub const AREA_SIDE_M: f64 = 256.0;
 /// disconnected deployments are rejected and resampled deterministically.
 pub fn random_with_degree(n: usize, target_degree: f64, seed: u64) -> Topology {
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_70_0b_a5e);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x05ee_d700_ba5e);
     for attempt in 0..64u32 {
         let mut positions: Vec<Point> = Vec::with_capacity(n);
         // Base station at the bottom edge midpoint.
@@ -108,7 +108,9 @@ pub fn random_with_degree(n: usize, target_degree: f64, seed: u64) -> Topology {
         // Deterministic resample: RNG stream continues.
         let _ = attempt;
     }
-    panic!("failed to generate a connected topology after 64 attempts (n={n}, degree={target_degree})");
+    panic!(
+        "failed to generate a connected topology after 64 attempts (n={n}, degree={target_degree})"
+    );
 }
 
 /// Find a radio range achieving `target_degree` (within tolerance) over fixed
@@ -198,11 +200,7 @@ mod tests {
             assert_eq!(pa, pb);
         }
         let c = random_with_degree(60, 7.0, 8);
-        let same = a
-            .positions()
-            .iter()
-            .zip(c.positions())
-            .all(|(x, y)| x == y);
+        let same = a.positions().iter().zip(c.positions()).all(|(x, y)| x == y);
         assert!(!same, "different seeds should give different layouts");
     }
 

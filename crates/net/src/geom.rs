@@ -96,8 +96,12 @@ impl Rect {
 
     /// Minimum distance between two rectangles (0 if they intersect).
     pub fn dist_to_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.min_x - other.max_x).max(0.0).max(other.min_x - self.max_x);
-        let dy = (self.min_y - other.max_y).max(0.0).max(other.min_y - self.max_y);
+        let dx = (self.min_x - other.max_x)
+            .max(0.0)
+            .max(other.min_x - self.max_x);
+        let dy = (self.min_y - other.max_y)
+            .max(0.0)
+            .max(other.min_y - self.max_y);
         (dx * dx + dy * dy).sqrt()
     }
 

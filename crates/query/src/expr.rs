@@ -93,10 +93,14 @@ impl Expr {
         Expr::Attr(side, attr)
     }
 
+    // Constructor-style associated functions, not `self` methods; they can't
+    // collide with the operator traits.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Arith(ArithOp::Add, Box::new(a), Box::new(b))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Arith(ArithOp::Sub, Box::new(a), Box::new(b))
     }
@@ -248,7 +252,10 @@ mod tests {
 
     fn tup(id: u16, u: u16) -> Tuple {
         let mut t = Tuple::new(NodeId(id), 0);
-        t.set(ATTR_ID, id).set(ATTR_U, u).set(ATTR_X, 10).set(ATTR_Y, 5);
+        t.set(ATTR_ID, id)
+            .set(ATTR_U, u)
+            .set(ATTR_X, 10)
+            .set(ATTR_Y, 5);
         t
     }
 
@@ -266,10 +273,7 @@ mod tests {
         let e = Expr::attr(Side::T, ATTR_ID);
         assert_eq!(e.eval(None, None), Err(EvalError::UnboundSide(Side::T)));
         let s = tup(1, 1);
-        assert_eq!(
-            e.eval(Some(&s), None),
-            Err(EvalError::UnboundSide(Side::T))
-        );
+        assert_eq!(e.eval(Some(&s), None), Err(EvalError::UnboundSide(Side::T)));
     }
 
     #[test]
@@ -324,10 +328,7 @@ mod tests {
     #[test]
     fn mod_is_euclidean() {
         // rem_euclid keeps residues non-negative even for negative LHS.
-        let e = Expr::modulo(
-            Expr::sub(Expr::Const(0), Expr::Const(3)),
-            Expr::Const(4),
-        );
+        let e = Expr::modulo(Expr::sub(Expr::Const(0), Expr::Const(3)), Expr::Const(4));
         assert_eq!(e.eval(None, None), Ok(1));
     }
 }

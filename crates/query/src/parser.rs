@@ -51,7 +51,8 @@ fn lex(input: &str) -> Result<Lexer, ParseError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -523,10 +524,9 @@ mod tests {
 
     #[test]
     fn window_options_in_any_order() {
-        let q = parse_query(
-            "SELECT S.id FROM S, T [sampleinterval=50 windowsize=7] WHERE S.u = T.u",
-        )
-        .expect("parse");
+        let q =
+            parse_query("SELECT S.id FROM S, T [sampleinterval=50 windowsize=7] WHERE S.u = T.u")
+                .expect("parse");
         assert_eq!(q.window, 7);
         assert_eq!(q.sample_interval, 50);
     }

@@ -174,7 +174,9 @@ impl RoutingPlan {
             }
         }
         if let Some(near) = self.near {
-            let dist = Expr::Dist.eval(Some(s_static), Some(t_static)).unwrap_or(i64::MAX);
+            let dist = Expr::Dist
+                .eval(Some(s_static), Some(t_static))
+                .unwrap_or(i64::MAX);
             if dist > near.dist_dm as i64 {
                 return false;
             }
@@ -244,10 +246,9 @@ fn match_join_pred(pred: &Pred) -> Option<RoutingPattern> {
     // attribute form so that group keys computed from S and from T agree:
     // s_expr' = s_expr -/+ c, t_expr' = T.attr.
     let (s_expr, t_expr) = match route {
-        ComponentRoute::AttrEq(a) if !matches!(t_expr, Expr::Attr(_, _)) => (
-            normalize_s_expr(&t_expr, s_expr),
-            Expr::attr(Side::T, a),
-        ),
+        ComponentRoute::AttrEq(a) if !matches!(t_expr, Expr::Attr(_, _)) => {
+            (normalize_s_expr(&t_expr, s_expr), Expr::attr(Side::T, a))
+        }
         _ => (s_expr, t_expr),
     };
     Some(RoutingPattern::Equality(EqComponent {
@@ -438,9 +439,7 @@ mod tests {
         assert!(routes.contains(&&ComponentRoute::AttrEq(ATTR_CID)));
         assert!(routes.contains(&&ComponentRoute::AttrMod(ATTR_ID, 4)));
         // rid=3 selection becomes Eq constraint.
-        assert!(plan
-            .t_constraints
-            .contains(&(ATTR_RID, Constraint::Eq(3))));
+        assert!(plan.t_constraints.contains(&(ATTR_RID, Constraint::Eq(3))));
         // Search constraints for a node with cid=2, id=9.
         let mut s = Tuple::new(NodeId(9), 0);
         s.set(ATTR_CID, 2).set(ATTR_ID, 9);

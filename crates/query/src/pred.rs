@@ -144,7 +144,7 @@ impl BoolExpr {
     }
 
     /// Push negations down to atoms (flipping comparison operators).
-    fn to_nnf(self, negated: bool) -> BoolExpr {
+    fn into_nnf(self, negated: bool) -> BoolExpr {
         match self {
             BoolExpr::Atom(mut p) => {
                 if negated {
@@ -152,9 +152,9 @@ impl BoolExpr {
                 }
                 BoolExpr::Atom(p)
             }
-            BoolExpr::Not(inner) => inner.to_nnf(!negated),
+            BoolExpr::Not(inner) => inner.into_nnf(!negated),
             BoolExpr::And(parts) => {
-                let parts = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                let parts = parts.into_iter().map(|p| p.into_nnf(negated)).collect();
                 if negated {
                     BoolExpr::Or(parts)
                 } else {
@@ -162,7 +162,7 @@ impl BoolExpr {
                 }
             }
             BoolExpr::Or(parts) => {
-                let parts = parts.into_iter().map(|p| p.to_nnf(negated)).collect();
+                let parts = parts.into_iter().map(|p| p.into_nnf(negated)).collect();
                 if negated {
                     BoolExpr::And(parts)
                 } else {
@@ -177,7 +177,7 @@ impl BoolExpr {
     /// conjunctive or nearly so, and a size guard panics past 4096 clauses
     /// rather than looping forever.
     pub fn to_cnf(self) -> Vec<Clause> {
-        let nnf = self.to_nnf(false);
+        let nnf = self.into_nnf(false);
         let clauses = Self::cnf_rec(nnf);
         assert!(
             clauses.len() <= 4096,
@@ -204,7 +204,10 @@ impl BoolExpr {
                         }
                     }
                     acc = next;
-                    assert!(acc.len() <= 4096, "CNF conversion exceeded the clause budget");
+                    assert!(
+                        acc.len() <= 4096,
+                        "CNF conversion exceeded the clause budget"
+                    );
                 }
                 acc
             }
@@ -308,9 +311,7 @@ mod tests {
             for u in [0u16, 1] {
                 let s = tup(id, u);
                 let want = orig.eval(Some(&s), None).unwrap();
-                let got = cnf
-                    .iter()
-                    .all(|cl| cl.eval(Some(&s), None).unwrap());
+                let got = cnf.iter().all(|cl| cl.eval(Some(&s), None).unwrap());
                 assert_eq!(want, got, "id={id} u={u}");
             }
         }

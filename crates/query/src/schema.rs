@@ -88,9 +88,34 @@ impl Schema {
 
     pub fn name(attr: AttrId) -> &'static str {
         const NAMES: [&str; NUM_ATTRS] = [
-            "id", "x", "y", "cid", "rid", "pos_x", "pos_y", "pair", "role", "room", "floor",
-            "group", "u", "v", "temp", "light", "battery", "rfid", "adc0", "adc1", "adc2", "adc3",
-            "accel_x", "accel_y", "mem_free", "local_time", "parent", "queue_len",
+            "id",
+            "x",
+            "y",
+            "cid",
+            "rid",
+            "pos_x",
+            "pos_y",
+            "pair",
+            "role",
+            "room",
+            "floor",
+            "group",
+            "u",
+            "v",
+            "temp",
+            "light",
+            "battery",
+            "rfid",
+            "adc0",
+            "adc1",
+            "adc2",
+            "adc3",
+            "accel_x",
+            "accel_y",
+            "mem_free",
+            "local_time",
+            "parent",
+            "queue_len",
         ];
         NAMES[attr as usize]
     }

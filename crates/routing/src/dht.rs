@@ -60,9 +60,7 @@ impl DhtOverlay {
     /// The node responsible for a key: first ring id clockwise from the key.
     pub fn responsible(&self, key: u64) -> NodeId {
         // Binary search in sorted ring order.
-        let pos = self
-            .ring
-            .partition_point(|n| self.ids[n.index()] < key);
+        let pos = self.ring.partition_point(|n| self.ids[n.index()] < key);
         self.ring[pos % self.ring.len()]
     }
 
@@ -135,7 +133,7 @@ mod tests {
     fn responsibility_partition_is_total_and_deterministic() {
         let t = topo();
         let dht = DhtOverlay::new(&t);
-        for key in (0..2000u64).map(|k| mix64(k)) {
+        for key in (0..2000u64).map(mix64) {
             let r1 = dht.responsible(key);
             let r2 = dht.responsible(key);
             assert_eq!(r1, r2);

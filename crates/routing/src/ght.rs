@@ -56,7 +56,7 @@ impl GpsrRouter {
     pub fn new(topo: &Topology) -> Self {
         let n = topo.len();
         let mut planar = vec![Vec::new(); n];
-        for u in 0..n {
+        for (u, planar_u) in planar.iter_mut().enumerate() {
             let pu = topo.position(NodeId(u as u16));
             'edges: for &v in topo.neighbors(NodeId(u as u16)) {
                 let pv = topo.position(v);
@@ -72,7 +72,7 @@ impl GpsrRouter {
                         continue 'edges;
                     }
                 }
-                planar[u].push(v);
+                planar_u.push(v);
             }
         }
         GpsrRouter { planar }
@@ -120,8 +120,7 @@ impl GpsrRouter {
                         }
                         None => {
                             // Local minimum: enter perimeter mode.
-                            let first =
-                                self.perimeter_first_hop(topo, at, dest)?;
+                            let first = self.perimeter_first_hop(topo, at, dest)?;
                             perimeter = Some(PerimeterState {
                                 entry_dist: d_at,
                                 prev: at,
@@ -277,7 +276,7 @@ mod tests {
         for (s, t) in [(1u16, 50u16), (3, 40), (10, 59)] {
             if let Some(p) = router.route(&topo, NodeId(s), NodeId(t)) {
                 let bfs = topo.hop_distance(NodeId(s), NodeId(t)).unwrap() as usize;
-                assert!(p.len() - 1 >= bfs);
+                assert!(p.len() > bfs);
             }
         }
     }

@@ -48,10 +48,7 @@ pub fn move_leaf(
 
     for ti in 0..sub.num_trees() {
         let tree = sub.tree(ti);
-        let parent = in_range
-            .iter()
-            .copied()
-            .min_by_key(|&n| (tree.depth(n), n));
+        let parent = in_range.iter().copied().min_by_key(|&n| (tree.depth(n), n));
         new_parents.push(parent);
         if let Some(p) = parent {
             // The leaf announces itself to the parent (1 hop), then the

@@ -315,10 +315,7 @@ mod tests {
     fn multi_constraint_and_semantics() {
         let (_, sub) = grid_substrate(2);
         // id in [30, 40] AND id % 3 == 0 -> {30, 33, 36, 39}
-        let q = SearchQuery::new(vec![
-            (0, Constraint::Range(30, 40)),
-            (1, Constraint::Eq(0)),
-        ]);
+        let q = SearchQuery::new(vec![(0, Constraint::Range(30, 40)), (1, Constraint::Eq(0))]);
         let (results, _) = find_paths(&sub, NodeId(1), &q);
         let mut targets: Vec<u16> = results.iter().map(|r| r.target.0).collect();
         targets.sort_unstable();
@@ -328,10 +325,7 @@ mod tests {
 
     #[test]
     fn query_wire_bytes() {
-        let q = SearchQuery::new(vec![
-            (0, Constraint::Eq(1)),
-            (1, Constraint::Range(2, 3)),
-        ]);
+        let q = SearchQuery::new(vec![(0, Constraint::Eq(1)), (1, Constraint::Range(2, 3))]);
         assert_eq!(q.wire_bytes(), (1 + 3) + (1 + 5));
     }
 }

@@ -32,10 +32,7 @@ impl MultiTreeSubstrate {
     ) -> Self {
         assert!(num_trees >= 1);
         let roots = select_roots(topo, topo.base(), num_trees);
-        let trees: Vec<RoutingTree> = roots
-            .iter()
-            .map(|&r| RoutingTree::build(topo, r))
-            .collect();
+        let trees: Vec<RoutingTree> = roots.iter().map(|&r| RoutingTree::build(topo, r)).collect();
         let tables: Vec<TreeTables> = trees
             .iter()
             .map(|t| TreeTables::build(t, &attrs, values))

@@ -141,8 +141,8 @@ mod tests {
     impl StaticValues for TestVals {
         fn scalar(&self, node: NodeId, attr: AttrId) -> Option<u16> {
             match attr {
-                0 => Some(node.0),          // id
-                1 => Some(node.0 % 4),      // group
+                0 => Some(node.0),     // id
+                1 => Some(node.0 % 4), // group
                 _ => None,
             }
         }

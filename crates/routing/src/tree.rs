@@ -39,8 +39,8 @@ impl RoutingTree {
             "topology must be connected to build a routing tree"
         );
         let mut children = vec![Vec::new(); n];
-        for i in 0..n {
-            if let Some(p) = parent[i] {
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
                 children[p.index()].push(NodeId(i as u16));
             }
         }
@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn paths_up_and_between() {
         let t = RoutingTree::build(&line(5), NodeId(2));
-        assert_eq!(t.path_to_root(NodeId(0)), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            t.path_to_root(NodeId(0)),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
         let p = t.path_between(NodeId(0), NodeId(4));
         assert_eq!(
             p,
@@ -205,8 +208,8 @@ mod tests {
         let topo = grid10();
         let t = RoutingTree::build(&topo, NodeId(0));
         let hops = topo.bfs_hops(NodeId(0));
-        for i in 0..topo.len() {
-            assert_eq!(t.depth(NodeId(i as u16)), hops[i]);
+        for (i, &h) in hops.iter().enumerate() {
+            assert_eq!(t.depth(NodeId(i as u16)), h);
         }
     }
 

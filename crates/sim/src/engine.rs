@@ -4,7 +4,7 @@
 use crate::config::SimConfig;
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use sensor_net::{NodeId, Topology};
 use std::collections::VecDeque;
 
@@ -447,7 +447,9 @@ mod tests {
 
     #[test]
     fn one_hop_per_cycle_latency() {
-        let mut eng = Engine::new(line(5), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        let mut eng = Engine::new(line(5), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
         eng.with_node(NodeId(0), |_, ctx| {
             ctx.send(NodeId(1), 4, 7);
         });
@@ -459,7 +461,9 @@ mod tests {
 
     #[test]
     fn tx_bytes_charged_per_hop() {
-        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
         eng.with_node(NodeId(0), |_, ctx| {
             ctx.send(NodeId(1), 4, 1);
         });
@@ -572,11 +576,9 @@ mod tests {
             }
         }
         let run = |snoop: bool| {
-            let mut eng = Engine::new(
-                line(3),
-                SimConfig::lossless().with_snooping(snoop),
-                |_| S { snooped: 0 },
-            );
+            let mut eng = Engine::new(line(3), SimConfig::lossless().with_snooping(snoop), |_| S {
+                snooped: 0,
+            });
             // 1 -> 2; node 0 is a bystander neighbor of 1.
             eng.with_node(NodeId(1), |_, ctx| {
                 ctx.send(NodeId(2), 0, ());
@@ -607,7 +609,9 @@ mod tests {
 
     #[test]
     fn sampling_cycle_advances_clock_in_full_periods() {
-        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
         eng.sampling_cycle(0);
         assert_eq!(eng.now() % 100, 0);
         eng.with_node(NodeId(0), |_, ctx| {
@@ -620,7 +624,9 @@ mod tests {
 
     #[test]
     fn killed_node_does_not_forward() {
-        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay { arrived_at: None });
+        let mut eng = Engine::new(line(4), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
         eng.kill(NodeId(2));
         eng.with_node(NodeId(0), |_, ctx| {
             ctx.send(NodeId(1), 4, 1);

@@ -35,9 +35,7 @@ impl Constraint {
         match self {
             Constraint::Eq(x) => v == *x,
             Constraint::Range(lo, hi) => v >= *lo && v <= *hi,
-            Constraint::Mod { modulus, residue } => {
-                *modulus != 0 && v % *modulus == *residue
-            }
+            Constraint::Mod { modulus, residue } => *modulus != 0 && v % *modulus == *residue,
             _ => false,
         }
     }

@@ -15,7 +15,7 @@ pub struct Histogram {
 
 impl Histogram {
     pub fn new(buckets: usize) -> Self {
-        assert!(buckets >= 1 && buckets <= 65536);
+        assert!((1..=65536).contains(&buckets));
         Histogram {
             counts: vec![0; buckets],
             total: 0,

@@ -48,9 +48,7 @@ impl IntervalSummary {
                 true
             }
         });
-        let pos = self
-            .intervals
-            .partition_point(|&(a, _)| a < new_lo);
+        let pos = self.intervals.partition_point(|&(a, _)| a < new_lo);
         self.intervals.insert(pos, (new_lo, new_hi));
         self.enforce_capacity();
     }
@@ -100,8 +98,7 @@ impl IntervalSummary {
                 if *modulus == 0 {
                     return false;
                 }
-                (b - a) as u32 + 1 >= *modulus as u32
-                    || (a..=b).any(|v| v % *modulus == *residue)
+                (b - a) as u32 + 1 >= *modulus as u32 || (a..=b).any(|v| v % *modulus == *residue)
             }),
             Constraint::NearPoint { .. } | Constraint::InRect(_) => false,
         }

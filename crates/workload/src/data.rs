@@ -92,7 +92,8 @@ impl WorkloadData {
 
     fn draw(&self, node: NodeId, cycle: u32, salt: u64) -> u64 {
         mix64(
-            self.seed ^ salt.wrapping_mul(0x1000_0001)
+            self.seed
+                ^ salt.wrapping_mul(0x1000_0001)
                 ^ ((node.0 as u64) << 40)
                 ^ ((cycle as u64) << 8),
         )
@@ -106,10 +107,17 @@ impl TupleSource for WorkloadData {
         let r = self.rates_at(node, cycle);
         // Join attribute: uniform over [0, st_den) so two independent
         // samples collide with probability σst (Table 1).
-        t.set(ATTR_U, (self.draw(node, cycle, SALT_U) % r.st_den as u64) as u16);
+        t.set(
+            ATTR_U,
+            (self.draw(node, cycle, SALT_U) % r.st_den as u64) as u16,
+        );
         // Producer gates: indicator 0 with probability 1/den.
-        let s_gate = self.draw(node, cycle, SALT_GATE_S) % r.s_den as u64 == 0;
-        let t_gate = self.draw(node, cycle, SALT_GATE_T) % r.t_den as u64 == 0;
+        let s_gate = self
+            .draw(node, cycle, SALT_GATE_S)
+            .is_multiple_of(r.s_den as u64);
+        let t_gate = self
+            .draw(node, cycle, SALT_GATE_T)
+            .is_multiple_of(r.t_den as u64);
         t.set(ATTR_ADC0, if s_gate { 0 } else { 1 });
         t.set(ATTR_ADC1, if t_gate { 0 } else { 1 });
         t.set(ATTR_LOCAL_TIME, cycle as u16);

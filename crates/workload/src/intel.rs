@@ -42,9 +42,10 @@ const ZONE_PERIOD: f64 = 160.0;
 impl HumidityModel {
     pub fn new(topo: &Topology, seed: u64) -> Self {
         let _n = topo.len();
-        let (min_x, max_x) = topo.positions().iter().fold((f64::MAX, f64::MIN), |(a, b), p| {
-            (a.min(p.x), b.max(p.x))
-        });
+        let (min_x, max_x) = topo
+            .positions()
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), p| (a.min(p.x), b.max(p.x)));
         let span = (max_x - min_x).max(1e-9);
         let base = topo
             .positions()
@@ -76,10 +77,13 @@ impl HumidityModel {
         let episode_amp =
             2_400.0 * (unit(mix64(self.seed ^ zone.wrapping_mul(0x2417) ^ episode)) - 0.3);
         let phase_in_episode = (t % ZONE_PERIOD) / ZONE_PERIOD;
-        let burst = if phase_in_episode < 0.4 { episode_amp } else { 0.0 };
+        let burst = if phase_in_episode < 0.4 {
+            episode_amp
+        } else {
+            0.0
+        };
         // Small per-sample sensor noise (uncorrelated).
-        let noise =
-            500.0 * (unit(mix64(self.seed ^ ((i as u64) << 32) ^ cycle as u64)) - 0.5);
+        let noise = 500.0 * (unit(mix64(self.seed ^ ((i as u64) << 32) ^ cycle as u64)) - 0.5);
         (self.base[i] + diurnal + burst + noise).clamp(0.0, 65535.0) as u16
     }
 }
@@ -124,8 +128,7 @@ mod tests {
             for &b in topo.neighbors(a) {
                 if b > a {
                     for c in (0..400u32).step_by(40) {
-                        near_diff +=
-                            (m.value(a, c) as f64 - m.value(b, c) as f64).abs();
+                        near_diff += (m.value(a, c) as f64 - m.value(b, c) as f64).abs();
                         near_n += 1;
                     }
                 }

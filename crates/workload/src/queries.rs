@@ -176,12 +176,8 @@ mod tests {
 
     fn workload(st_den: u16) -> (sensor_net::Topology, WorkloadData) {
         let topo = sensor_net::random_with_degree(100, 7.0, 11);
-        let data = WorkloadData::new(
-            &topo,
-            Schedule::Uniform(Rates::new(2, 2, st_den)),
-            9,
-        )
-        .with_pairs(10);
+        let data =
+            WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, st_den)), 9).with_pairs(10);
         (topo, data)
     }
 
@@ -227,9 +223,7 @@ mod tests {
             for t in 0..100u16 {
                 let st = data.static_of(NodeId(s));
                 let tt = data.static_of(NodeId(t));
-                let expected = s < 25
-                    && t > 50
-                    && st.get(ATTR_X) == tt.get(ATTR_Y) + 5;
+                let expected = s < 25 && t > 50 && st.get(ATTR_X) == tt.get(ATTR_Y) + 5;
                 let got = q.analysis.s_eligible(st)
                     && q.analysis.t_eligible(tt)
                     && q.analysis.static_join_matches(st, tt);

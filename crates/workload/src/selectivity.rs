@@ -148,7 +148,10 @@ mod tests {
     fn stage_labels_match_paper() {
         let stages = Rates::ratio_stages(5);
         let labels: Vec<String> = stages.iter().map(Rates::ratio_label).collect();
-        assert_eq!(labels, ["1/10:1", "1/6:1/2", "1/2:1/2", "1/2:1/6", "1:1/10"]);
+        assert_eq!(
+            labels,
+            ["1/10:1", "1/6:1/2", "1/2:1/2", "1/2:1/6", "1:1/10"]
+        );
     }
 
     #[test]

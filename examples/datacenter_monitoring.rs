@@ -24,8 +24,8 @@ fn main() {
     // Query R as Table 2's Query 3: pair sensors within 5 m whose readings
     // diverge by more than 1000 ADC units.
     let spec = query3(3);
-    let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 7)
-        .with_humidity(&topo);
+    let data =
+        WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 7).with_humidity(&topo);
 
     // The operator has no idea what the selectivities are: start assuming
     // everything joins (sigma = 100%), which places all joins at the base,

@@ -19,7 +19,10 @@ fn main() {
                AND S.x = T.y + 5 AND S.u = T.u";
     let spec = parse_query(sql).expect("valid StreamSQL");
 
-    println!("parsed: {} (w={}, interval={})", sql, spec.window, spec.sample_interval);
+    println!(
+        "parsed: {} (w={}, interval={})",
+        sql, spec.window, spec.sample_interval
+    );
     println!(
         "classification: {} static / {} dynamic selection clauses, {} static / {} dynamic join clauses",
         spec.analysis.s_static_sel.len() + spec.analysis.t_static_sel.len(),

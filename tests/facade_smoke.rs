@@ -1,0 +1,84 @@
+//! Smoke tests for the `aspen` facade: every subsystem re-export in
+//! `src/lib.rs` must resolve and do real (if tiny) work, and the shipped
+//! examples must keep compiling.
+
+use aspen::join::prelude::*;
+use aspen::join::Algorithm;
+use aspen::net::NodeId;
+
+/// One-liner use of each `aspen::*` re-export so a broken facade path
+/// fails this test rather than only the examples.
+#[test]
+fn every_facade_reexport_resolves() {
+    // aspen::net — topology families and geometry.
+    let topo = aspen::net::random_with_degree(40, 7.0, 7);
+    assert_eq!(topo.len(), 40);
+    let grid = aspen::net::grid(5, 5);
+    assert_eq!(grid.len(), 25);
+    let p = aspen::net::Point::new(1.0, 2.0);
+    assert!(p.x < p.y);
+
+    // aspen::summaries — the four summary structures.
+    let mut bloom = aspen::summaries::BloomFilter::new(128, 3);
+    bloom.insert(17);
+    assert!(bloom.contains(17));
+    let mut iv = aspen::summaries::IntervalSummary::new(4);
+    iv.insert(9);
+    assert!(iv.contains(9));
+    let mut hist = aspen::summaries::Histogram::new(16);
+    hist.insert(5);
+    assert!(hist.may_match(&aspen::summaries::Constraint::Eq(5)));
+    let mut rects = aspen::summaries::RectSummary::new(3);
+    rects.insert(p);
+
+    // aspen::routing — trees and the multi-tree substrate.
+    let tree = aspen::routing::RoutingTree::build(&grid, NodeId(0));
+    assert_eq!(tree.depth(NodeId(0)), 0);
+
+    // aspen::query — the StreamSQL parser.
+    let spec = aspen::query::parser::parse_query(
+        "SELECT S.id, T.id FROM S, T [windowsize=2] WHERE S.u = T.u",
+    )
+    .expect("facade parser");
+    assert_eq!(spec.window, 2);
+
+    // aspen::sim — simulator configuration.
+    let sim = aspen::sim::SimConfig::lossless();
+
+    // aspen::workload — Table 1/2 workloads.
+    let data = aspen::workload::WorkloadData::new(
+        &topo,
+        aspen::workload::Schedule::Uniform(Rates::new(2, 2, 5)),
+        7,
+    );
+
+    // aspen::join — the optimizer, end to end at miniature scale.
+    let sc = Scenario {
+        topo,
+        data,
+        spec: aspen::workload::query1(2),
+        cfg: AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2)),
+        sim,
+        num_trees: 2,
+    };
+    let stats = sc.run(5);
+    assert!(stats.total_traffic_bytes() > 0);
+
+    // aspen::join cost model, directly.
+    let placement = aspen::join::place_join_node(Sigma::new(0.5, 0.5, 0.2), 2, &[4, 3, 2, 3, 4]);
+    assert!(placement.cost().is_finite());
+}
+
+/// Keep the 4 `examples/*.rs` compiling as part of the test flow: this
+/// shells out to `cargo check --examples` with the same toolchain that is
+/// running the tests.
+#[test]
+fn examples_stay_compilable() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/Cargo.toml");
+    let status = std::process::Command::new(cargo)
+        .args(["check", "--examples", "--manifest-path", manifest])
+        .status()
+        .expect("spawn cargo check --examples");
+    assert!(status.success(), "`cargo check --examples` failed");
+}

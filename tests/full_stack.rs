@@ -105,7 +105,10 @@ fn mesh_profile_message_counts_track_bytes() {
         let st = sc.run(40);
         totals.push((st.total_traffic_msgs(), st.total_traffic_bytes()));
     }
-    assert!(totals[1].0 < totals[0].0, "Base must beat Naive in messages");
+    assert!(
+        totals[1].0 < totals[0].0,
+        "Base must beat Naive in messages"
+    );
     assert!(totals[1].1 < totals[0].1, "Base must beat Naive in bytes");
 }
 
@@ -161,8 +164,7 @@ fn three_trees_find_shorter_paths_than_one() {
                     aspen::query::schema::ATTR_ID,
                     aspen::summaries::Constraint::Eq(t),
                 )]);
-                let (results, _) =
-                    aspen::routing::search::find_paths(&sub, NodeId(s), &q);
+                let (results, _) = aspen::routing::search::find_paths(&sub, NodeId(s), &q);
                 if let Some(best) = results.iter().map(|r| r.path.len()).min() {
                     total += best - 1;
                     count += 1;
@@ -196,8 +198,7 @@ fn repair_and_mobility_work_on_the_same_substrate() {
     let path = sub.primary().path_between(NodeId(10), NodeId(70));
     if path.len() >= 3 {
         let failed = path[path.len() / 2];
-        let repaired =
-            aspen::routing::repair::repair_path(&topo, &path, failed, |n| n != failed);
+        let repaired = aspen::routing::repair::repair_path(&topo, &path, failed, |n| n != failed);
         if let Some(r) = repaired {
             assert!(!r.contains(&failed));
         }
