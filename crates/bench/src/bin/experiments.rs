@@ -1,14 +1,20 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and exposes
+//! the scenario-sweep subsystem from the CLI.
 //!
 //! Usage: `experiments <id> [--quick] [--seeds N] [--cycles N]` where `<id>`
 //! is one of: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //! fig10 fig11 fig12 fig13 fig14 fig16 fig17 fig18 fig19 fig20 appg all.
+//!
+//! `experiments sweep [...]` runs a declarative multi-seed grid over
+//! {size, density, loss, query, rates, algorithm} in parallel and emits an
+//! aligned table (stdout) plus JSON and CSV files; see `sweep --help`.
 //!
 //! Numbers will not equal the paper's absolute values (different simulator,
 //! synthetic Intel data) — the *shape* is the reproduction target: who
 //! wins, by what rough factor, and where crossovers fall. EXPERIMENTS.md
 //! records paper-vs-measured for every experiment.
 
+use aspen_bench::sweep::{parse_algo, parse_density, seed_range, QueryId, SweepGrid, SEED_BASE};
 use aspen_bench::*;
 use aspen_join::prelude::*;
 use aspen_join::{centralized, Algorithm};
@@ -35,6 +41,11 @@ impl Opts {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The sweep subcommand owns its argument grammar (list-valued flags).
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_cmd(&args[1..]);
+        return;
+    }
     let mut which: Vec<String> = Vec::new();
     let mut opts = Opts {
         seeds: QUICK_SEEDS,
@@ -59,7 +70,8 @@ fn main() {
         }
     }
     if which.is_empty() {
-        eprintln!("usage: experiments <table1|table2|table3|fig2|...|fig20|appg|all> [--quick|--full|--seeds N|--cycles N]");
+        eprintln!("usage: experiments <table1|table2|table3|fig2|...|fig20|appg|all|sweep> [--quick|--full|--seeds N|--cycles N]");
+        eprintln!("       experiments sweep --help");
         std::process::exit(2);
     }
     let all = [
@@ -105,6 +117,205 @@ fn main() {
 
 fn sigma_of(r: Rates) -> Sigma {
     Sigma::from_rates(r)
+}
+
+// ----------------------------------------------------------------------
+// The `sweep` subcommand: the full scenario grid from the CLI.
+
+const SWEEP_USAGE: &str = "usage: experiments sweep [options]
+  --quick              the 24-run CI grid (2 sizes x 3 loss x 2 algos x 2 seeds)
+  --sizes N,N,..       topology sizes            (default 100)
+  --densities a,b,..   sparse|moderate|medium|dense|grid (default moderate)
+  --loss p,p,..        link-loss probabilities   (default 0.05)
+  --queries q,q,..     q0|q1|q2|q3               (default q1)
+  --st-dens N,N,..     sigma_st denominators, crossed with the 5 ratio stages
+  --algos a,a,..       naive|base|ght|yang+07|innet|innet-cm|innet-cmp|innet-cmg|innet-cmpg
+  --seeds N            replicate seeds per cell  (default 3)
+  --cycles N           execution sampling cycles (default 60)
+  --trees N            routing trees             (default 3)
+  --threads N          OS threads, 0 = all cores (default 0)
+  --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
+                       (default target/sweep/sweep)
+  --check-determinism  re-run single-threaded and verify identical output";
+
+fn sweep_bad(msg: &str) -> ! {
+    eprintln!("sweep: {msg}\n{SWEEP_USAGE}");
+    std::process::exit(2);
+}
+
+/// Comma-separated list value of `flag`; a missing or empty value is a
+/// usage error (an empty dimension would silently yield a 0-cell sweep).
+fn csv_items(flag: &str, v: Option<&String>) -> Vec<String> {
+    let items: Vec<String> = v
+        .map(|s| {
+            s.split(',')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if items.is_empty() {
+        sweep_bad(&format!("{flag} needs a comma-separated value list"));
+    }
+    items
+}
+
+fn sweep_cmd(args: &[String]) {
+    // --quick selects the base grid, so apply it first regardless of where
+    // it appears: every other flag then overrides it, in any order.
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut grid = if quick {
+        SweepGrid::quick()
+    } else {
+        SweepGrid::default()
+    };
+    let mut out_prefix = if quick {
+        "target/sweep/quick".to_string()
+    } else {
+        "target/sweep/sweep".to_string()
+    };
+    let mut check_determinism = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{SWEEP_USAGE}");
+                return;
+            }
+            "--quick" => {}
+            "--sizes" => {
+                grid.sizes = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| sweep_bad(&format!("bad size {s}")))
+                    })
+                    .collect();
+            }
+            "--densities" => {
+                grid.densities = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        parse_density(s).unwrap_or_else(|| sweep_bad(&format!("bad density {s}")))
+                    })
+                    .collect();
+            }
+            "--loss" => {
+                grid.loss_probs = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        let p: f64 = s
+                            .parse()
+                            .unwrap_or_else(|_| sweep_bad(&format!("bad loss {s}")));
+                        if !(0.0..1.0).contains(&p) {
+                            sweep_bad(&format!("loss {s} outside [0,1)"));
+                        }
+                        p
+                    })
+                    .collect();
+            }
+            "--queries" => {
+                grid.queries = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        QueryId::parse(s).unwrap_or_else(|| sweep_bad(&format!("bad query {s}")))
+                    })
+                    .collect();
+            }
+            "--st-dens" => {
+                let st_dens: Vec<u16> = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|_| sweep_bad(&format!("bad st-den {s}")))
+                    })
+                    .collect();
+                grid.rates = st_dens
+                    .iter()
+                    .flat_map(|&st| Rates::ratio_stages(st))
+                    .collect();
+            }
+            "--algos" => {
+                grid.algorithms = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        parse_algo(s).unwrap_or_else(|| sweep_bad(&format!("bad algorithm {s}")))
+                    })
+                    .collect();
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| sweep_bad("bad --seeds"));
+                if n == 0 {
+                    sweep_bad("--seeds must be at least 1");
+                }
+                grid.seeds = seed_range(n);
+            }
+            "--cycles" => {
+                grid.cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| sweep_bad("bad --cycles"));
+            }
+            "--trees" => {
+                grid.num_trees = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| sweep_bad("bad --trees"));
+            }
+            "--threads" => {
+                grid.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| sweep_bad("bad --threads"));
+            }
+            "--out" => {
+                out_prefix = it.next().cloned().unwrap_or_else(|| sweep_bad("bad --out"));
+            }
+            "--check-determinism" => check_determinism = true,
+            other => sweep_bad(&format!("unknown option {other}")),
+        }
+    }
+    let n_cells = grid.cells().len();
+    eprintln!(
+        "sweep: {} cells x {} seeds = {} runs ({} threads)",
+        n_cells,
+        grid.seeds.len(),
+        grid.total_runs(),
+        if grid.threads == 0 {
+            "all".to_string()
+        } else {
+            grid.threads.to_string()
+        }
+    );
+    let t0 = std::time::Instant::now();
+    let report = grid.run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("{}", report.to_table().to_aligned_string());
+    if check_determinism {
+        let mut single = grid.clone();
+        single.threads = 1;
+        let rerun = single.run();
+        assert_eq!(
+            report.to_json(),
+            rerun.to_json(),
+            "sweep output must not depend on thread count"
+        );
+        eprintln!("determinism check: multi-threaded == single-threaded ✓");
+    }
+    if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
+    std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
+    eprintln!(
+        "sweep: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
+        grid.total_runs()
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -273,34 +484,31 @@ fn table3(o: &Opts) {
 
 // ----------------------------------------------------------------------
 // Figures 2 & 3: total traffic + base load across selectivity stages.
+// One declarative sweep over the figure's (ratio x sigma_st x algorithm)
+// grid; all runs fan out together instead of per-point seed loops.
 fn fig2_or_3(o: &Opts, q2: bool) {
-    let (name, bench, st_dens) = if q2 {
-        (
-            "Figure 3 (Query 2, w=1)",
-            Bench {
-                query: query2,
-                window: 1,
-                n_pairs: 0,
-                cycles: o.cycles(100),
-            },
-            [5u16, 10, 20],
-        )
+    let (name, query) = if q2 {
+        ("Figure 3 (Query 2, w=1)", QueryId::Q2)
     } else {
-        (
-            "Figure 2 (Query 1, w=3)",
-            Bench {
-                query: query1,
-                window: 3,
-                n_pairs: 0,
-                cycles: o.cycles(100),
-            },
-            [5u16, 10, 20],
-        )
+        ("Figure 2 (Query 1, w=3)", QueryId::Q1)
+    };
+    let st_dens = [5u16, 10, 20];
+    let grid = SweepGrid {
+        queries: vec![query],
+        rates: Rates::ratio_stages(5)
+            .iter()
+            .flat_map(|stage| st_dens.map(|st| Rates::new(stage.s_den, stage.t_den, st)))
+            .collect(),
+        algorithms: figure2_algorithms(),
+        seeds: seed_range(o.seeds),
+        cycles: o.cycles(100),
+        ..SweepGrid::default()
     };
     println!(
         "== {name}: total traffic (KB) / base load (KB), {} cycles, {} seeds ==",
-        bench.cycles, o.seeds
+        grid.cycles, o.seeds
     );
+    let report = grid.run();
     println!(
         "{:10} {:6} | {:>22} {:>22} {:>22} {:>22} {:>22} {:>22}",
         "ratio", "sig_st", "Naive", "Base", "GHT", "Innet", "Innet-cmg", "Innet-cmpg"
@@ -310,20 +518,17 @@ fn fig2_or_3(o: &Opts, q2: bool) {
             let rates = Rates::new(stage.s_den, stage.t_den, st);
             let mut cells = Vec::new();
             for (algo, opts_a) in figure2_algorithms() {
-                let stats = bench.run_seeds(rates, sigma_of(rates), algo, opts_a, o.seeds);
-                let (tot, tot_ci) = mean_ci(
-                    &stats
-                        .iter()
-                        .map(|s| kb(s.total_traffic_bytes() as f64))
-                        .collect::<Vec<_>>(),
-                );
-                let (bl, _) = mean_ci(
-                    &stats
-                        .iter()
-                        .map(|s| kb(s.base_load_bytes() as f64))
-                        .collect::<Vec<_>>(),
-                );
-                cells.push(format!("{tot:7.1}±{tot_ci:<4.1}/{bl:6.1}"));
+                let cell = report
+                    .find(|c| c.rates == rates && c.algo == algo && c.opts == opts_a)
+                    .expect("cell in grid");
+                let tot = cell.stat("total_traffic_bytes");
+                let bl = cell.stat("base_load_bytes");
+                cells.push(format!(
+                    "{:7.1}±{:<4.1}/{:6.1}",
+                    kb(tot.mean),
+                    kb(tot.ci95),
+                    kb(bl.mean)
+                ));
             }
             println!(
                 "{:10} {:5.0}% | {}",
@@ -455,7 +660,7 @@ fn fig6(o: &Opts) {
             sigma_of(rates),
             Algorithm::Innet,
             InnetOptions::CMG,
-            1000 + seed,
+            SEED_BASE + seed,
         );
         let mut run = sc.build();
         run.initiate();
@@ -593,19 +798,29 @@ fn fig8(o: &Opts) {
 }
 
 // Figure 9: (a) traffic vs duration; (b) MPO variants at long horizons.
+// Both panels are sweep grids; durations vary the run length, so panel (a)
+// is one grid per duration.
 fn fig9(o: &Opts) {
     println!(
         "== Figure 9(a): total traffic (KB) vs duration, Query 2, w=1, 1/2:1/2 sigma_st=10% =="
     );
-    let rates = Rates::new(2, 2, 10);
-    let algos: Vec<(Algorithm, InnetOptions, &str)> = vec![
-        (Algorithm::Naive, InnetOptions::PLAIN, "Naive"),
-        (Algorithm::Base, InnetOptions::PLAIN, "Base"),
-        (Algorithm::Ght, InnetOptions::PLAIN, "GHT"),
-        (Algorithm::Innet, InnetOptions::PLAIN, "Innet"),
-        (Algorithm::Innet, InnetOptions::CM, "Innet-cm"),
-        (Algorithm::Innet, InnetOptions::CMG, "Innet-cmg"),
-        (Algorithm::Innet, InnetOptions::CMPG, "Innet-cmpg"),
+    let algos: Vec<(Algorithm, InnetOptions)> = vec![
+        (Algorithm::Naive, InnetOptions::PLAIN),
+        (Algorithm::Base, InnetOptions::PLAIN),
+        (Algorithm::Ght, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::CM),
+        (Algorithm::Innet, InnetOptions::CMG),
+        (Algorithm::Innet, InnetOptions::CMPG),
+    ];
+    let names = [
+        "Naive",
+        "Base",
+        "GHT",
+        "Innet",
+        "Innet-cm",
+        "Innet-cmg",
+        "Innet-cmpg",
     ];
     let durations: Vec<u32> = if o.quick {
         vec![30, 90, 150]
@@ -613,35 +828,43 @@ fn fig9(o: &Opts) {
         vec![30, 60, 90, 120, 150, 180, 210, 240, 270, 300]
     };
     print!("{:>7}", "cycles");
-    for (_, _, n) in &algos {
+    for n in &names {
         print!(" {n:>10}");
     }
     println!();
     for d in durations {
-        let bench = Bench {
-            query: query2,
-            window: 1,
-            n_pairs: 0,
+        let grid = SweepGrid {
+            queries: vec![QueryId::Q2],
+            rates: vec![Rates::new(2, 2, 10)],
+            algorithms: algos.clone(),
+            seeds: seed_range(o.seeds.min(3)),
             cycles: d,
+            ..SweepGrid::default()
         };
+        let report = grid.run();
         print!("{d:>7}");
-        for (algo, opts_a, _) in &algos {
-            let stats = bench.run_seeds(rates, sigma_of(rates), *algo, *opts_a, o.seeds.min(3));
-            let (tot, _) = mean_ci(
-                &stats
-                    .iter()
-                    .map(|s| kb(s.total_traffic_bytes() as f64))
-                    .collect::<Vec<_>>(),
-            );
-            print!(" {tot:>10.1}");
+        for cell in &report.cells {
+            print!(" {:>10.1}", kb(cell.stat("total_traffic_bytes").mean));
         }
         println!();
     }
-    println!(
-        "== Figure 9(b): MPO variants, {} cycles, Query 2 w=1 ==",
-        if o.quick { 300 } else { 1000 }
-    );
     let long = if o.quick { 300 } else { 1000 };
+    println!("== Figure 9(b): MPO variants, {long} cycles, Query 2 w=1 ==");
+    let variants = [
+        InnetOptions::PLAIN,
+        InnetOptions::CM,
+        InnetOptions::CMG,
+        InnetOptions::CMPG,
+    ];
+    let grid = SweepGrid {
+        queries: vec![QueryId::Q2],
+        rates: [5u16, 10, 20].map(|st| Rates::new(2, 2, st)).to_vec(),
+        algorithms: variants.map(|v| (Algorithm::Innet, v)).to_vec(),
+        seeds: seed_range(o.seeds.min(3)),
+        cycles: long,
+        ..SweepGrid::default()
+    };
+    let report = grid.run();
     print!("{:>7}", "sig_st");
     for n in ["Innet", "Innet-cm", "Innet-cmg", "Innet-cmpg"] {
         print!(" {n:>10}");
@@ -649,33 +872,12 @@ fn fig9(o: &Opts) {
     println!();
     for st in [5u16, 10, 20] {
         let rates = Rates::new(2, 2, st);
-        let bench = Bench {
-            query: query2,
-            window: 1,
-            n_pairs: 0,
-            cycles: long,
-        };
         print!("{:>6.0}%", 100.0 / st as f64);
-        for opts_a in [
-            InnetOptions::PLAIN,
-            InnetOptions::CM,
-            InnetOptions::CMG,
-            InnetOptions::CMPG,
-        ] {
-            let stats = bench.run_seeds(
-                rates,
-                sigma_of(rates),
-                Algorithm::Innet,
-                opts_a,
-                o.seeds.min(3),
-            );
-            let (tot, _) = mean_ci(
-                &stats
-                    .iter()
-                    .map(|s| kb(s.total_traffic_bytes() as f64))
-                    .collect::<Vec<_>>(),
-            );
-            print!(" {tot:>10.1}");
+        for opts_a in variants {
+            let cell = report
+                .find(|c| c.rates == rates && c.opts == opts_a)
+                .expect("cell in grid");
+            print!(" {:>10.1}", kb(cell.stat("total_traffic_bytes").mean));
         }
         println!();
     }
@@ -722,7 +924,7 @@ fn learning_matrix(
                             sigma_of(*assumed_r),
                             Algorithm::Innet,
                             InnetOptions::CMPG.with_learning(),
-                            1000 + s,
+                            SEED_BASE + s,
                         )
                         .run(cycles)
                 })
@@ -822,7 +1024,7 @@ fn fig12(o: &Opts) {
                             assumed,
                             Algorithm::Innet,
                             opts_a,
-                            1000 + s,
+                            SEED_BASE + s,
                         );
                         mb(sc.run(cycles).total_traffic_bytes() as f64)
                     })
@@ -935,7 +1137,7 @@ fn fig14(o: &Opts) {
                 sigma_of(rates),
                 Algorithm::Innet,
                 InnetOptions::PLAIN,
-                1000 + seed,
+                SEED_BASE + seed,
             );
             let mut clean = sc.build();
             clean.initiate();
@@ -1141,53 +1343,53 @@ fn fig18(o: &Opts) {
 }
 
 // Figures 19-20: mesh-profile query runs (message counts, DHT grouped).
+// One sweep grid over (ratio x sigma_st x algorithm); mesh profile means no
+// snooping/path collapse (App. F), which holds for every algorithm here.
 fn fig19_or_20(o: &Opts, q2: bool) {
-    let (name, query, window, st_dens): (&str, fn(usize) -> _, usize, [u16; 3]) = if q2 {
-        ("Figure 20 (Query 2, w=1, mesh)", query2, 1, [5, 10, 20])
+    let (name, query) = if q2 {
+        ("Figure 20 (Query 2, w=1, mesh)", QueryId::Q2)
     } else {
-        ("Figure 19 (Query 1, w=3, mesh)", query1, 3, [5, 10, 20])
+        ("Figure 19 (Query 1, w=3, mesh)", QueryId::Q1)
     };
-    println!(
-        "== {name}: total msgs (1000s) / base msgs (1000s), {} seeds ==",
-        o.seeds
-    );
-    let algos: Vec<(Algorithm, InnetOptions, &str)> = vec![
-        (Algorithm::Naive, InnetOptions::PLAIN, "Naive"),
-        (Algorithm::Base, InnetOptions::PLAIN, "Base"),
-        (Algorithm::Ght, InnetOptions::PLAIN, "DHT"),
-        (Algorithm::Innet, InnetOptions::CMG, "Innet-cmg"),
+    let st_dens = [5u16, 10, 20];
+    let n_seeds = o.seeds.min(3);
+    println!("== {name}: total msgs (1000s) / base msgs (1000s), {n_seeds} seeds ==");
+    let algos: Vec<(Algorithm, InnetOptions)> = vec![
+        (Algorithm::Naive, InnetOptions::PLAIN),
+        (Algorithm::Base, InnetOptions::PLAIN),
+        (Algorithm::Ght, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::CMG),
     ];
+    let grid = SweepGrid {
+        queries: vec![query],
+        rates: Rates::ratio_stages(5)
+            .iter()
+            .flat_map(|stage| st_dens.map(|st| Rates::new(stage.s_den, stage.t_den, st)))
+            .collect(),
+        algorithms: algos.clone(),
+        seeds: seed_range(n_seeds),
+        cycles: o.cycles(100),
+        ..SweepGrid::default()
+    };
+    let report = grid.run();
     print!("{:>10} {:>6}", "ratio", "sig_st");
-    for (_, _, n) in &algos {
+    for n in ["Naive", "Base", "DHT", "Innet-cmg"] {
         print!(" {n:>15}");
     }
     println!();
-    let bench = Bench {
-        query,
-        window,
-        n_pairs: 0,
-        cycles: o.cycles(100),
-    };
     for stage in Rates::ratio_stages(5) {
         for st in st_dens {
             let rates = Rates::new(stage.s_den, stage.t_den, st);
             print!("{:>10} {:>5.0}%", rates.ratio_label(), 100.0 / st as f64);
-            for (algo, opts_a, _) in &algos {
-                // Mesh: no snooping/path collapse (App. F).
-                let stats = bench.run_seeds(rates, sigma_of(rates), *algo, *opts_a, o.seeds.min(3));
-                let (tot, _) = mean_ci(
-                    &stats
-                        .iter()
-                        .map(|s| s.total_traffic_msgs() as f64 / 1000.0)
-                        .collect::<Vec<_>>(),
+            for &(algo, opts_a) in &algos {
+                let cell = report
+                    .find(|c| c.rates == rates && c.algo == algo && c.opts == opts_a)
+                    .expect("cell in grid");
+                print!(
+                    " {:>8.2}/{:<6.2}",
+                    cell.stat("total_traffic_msgs").mean / 1000.0,
+                    cell.stat("base_load_msgs").mean / 1000.0
                 );
-                let (bl, _) = mean_ci(
-                    &stats
-                        .iter()
-                        .map(|s| s.base_load_msgs() as f64 / 1000.0)
-                        .collect::<Vec<_>>(),
-                );
-                print!(" {tot:>8.2}/{bl:<6.2}");
             }
             println!();
         }

@@ -1,5 +1,10 @@
 //! Experiment harness support: seed-averaged runs, confidence intervals,
 //! and the standard scenario builders shared by every figure.
+//!
+//! The declarative multi-dimensional sweep lives in [`sweep`]; the helpers
+//! here remain for the figure drivers that predate it.
+
+pub mod sweep;
 
 use aspen_join::prelude::*;
 use aspen_join::Algorithm;
@@ -12,20 +17,12 @@ pub const FULL_SEEDS: u64 = 9;
 /// Reduced seed count for quick runs.
 pub const QUICK_SEEDS: u64 = 3;
 
-/// Mean and 95% confidence half-interval of a sample.
+/// Mean and 95% confidence half-interval of a sample. Delegates to the
+/// sweep subsystem's [`sensor_sim::sweep::SummaryStat`] so every figure —
+/// sweep-driven or not — computes its CI with the same t-quantile.
 pub fn mean_ci(xs: &[f64]) -> (f64, f64) {
-    let n = xs.len() as f64;
-    if xs.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mean = xs.iter().sum::<f64>() / n;
-    if xs.len() < 2 {
-        return (mean, 0.0);
-    }
-    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    // t-quantile: 2.31 for n=9 (the paper's run count); conservative for
-    // smaller samples.
-    (mean, 2.31 * (var / n).sqrt())
+    let s = sensor_sim::sweep::SummaryStat::from_samples(xs);
+    (s.mean, s.ci95)
 }
 
 pub fn kb(bytes: f64) -> f64 {
@@ -109,7 +106,7 @@ impl Bench {
         opts: InnetOptions,
         seeds: u64,
     ) -> Vec<RunStats> {
-        let jobs: Vec<u64> = (0..seeds).map(|s| 1000 + s).collect();
+        let jobs: Vec<u64> = crate::sweep::seed_range(seeds);
         parallel_map(jobs, |&s| {
             self.scenario(rates, assumed, algo, opts, s)
                 .run(self.cycles)
@@ -118,31 +115,10 @@ impl Bench {
 }
 
 /// Simple parallel map over independent jobs (the paper ran its sweeps on
-/// a 20-machine cluster; we use the local cores).
+/// a 20-machine cluster; we use the local cores). Thin wrapper over the
+/// engine-side deterministic fan-out in [`sensor_sim::sweep`].
 pub fn parallel_map<T: Send + Sync, R: Send>(jobs: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        jobs.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("job completed"))
-        .collect()
+    sensor_sim::sweep::parallel_map(&jobs, 0, f)
 }
 
 /// The victim for Fig 14: the busiest in-network join node of a run.

@@ -1,0 +1,533 @@
+//! The declarative scenario-sweep grid: the cross product of
+//! {topology size, density class, loss probability, workload query,
+//! selectivity rates, algorithm} with per-cell seed replicates.
+//!
+//! A grid expands to cells in a fixed nested order, every (cell, seed) run
+//! is an independent deterministic simulation, and the runs fan out across
+//! OS threads through [`sensor_sim::sweep::parallel_map`] — so a report is
+//! byte-identical for any thread count. Aggregation (mean / stddev / 95% CI
+//! over seeds) and the JSON/CSV/table emitters live here; the figure
+//! drivers in the `experiments` binary are thin formatters over a
+//! [`SweepReport`].
+
+use aspen_join::prelude::*;
+use aspen_join::{Algorithm, InnetOptions};
+use sensor_net::{DensityClass, TopologySpec};
+use sensor_query::JoinQuerySpec;
+use sensor_sim::sweep::{parallel_map, stat_json, Json, SummaryStat, Table};
+use sensor_workload::{query0, query1, query2, query3, WorkloadData};
+
+/// The named workload queries of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryId {
+    Q0,
+    Q1,
+    Q2,
+    Q3,
+}
+
+impl QueryId {
+    pub const ALL: [QueryId; 4] = [QueryId::Q0, QueryId::Q1, QueryId::Q2, QueryId::Q3];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q0 => "q0",
+            QueryId::Q1 => "q1",
+            QueryId::Q2 => "q2",
+            QueryId::Q3 => "q3",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<QueryId> {
+        QueryId::ALL
+            .into_iter()
+            .find(|q| q.name() == s.to_ascii_lowercase())
+    }
+
+    /// The window size each figure uses for this query.
+    pub fn window(self) -> usize {
+        match self {
+            QueryId::Q2 => 1,
+            _ => 3,
+        }
+    }
+
+    /// Query 0 joins explicitly paired nodes; the figures instantiate 10
+    /// random pairs.
+    pub fn n_pairs(self) -> usize {
+        match self {
+            QueryId::Q0 => 10,
+            _ => 0,
+        }
+    }
+
+    pub fn spec(self) -> JoinQuerySpec {
+        match self {
+            QueryId::Q0 => query0(self.window()),
+            QueryId::Q1 => query1(self.window()),
+            QueryId::Q2 => query2(self.window()),
+            QueryId::Q3 => query3(self.window()),
+        }
+    }
+}
+
+/// Short machine-readable slug for a density class (CSV/JSON keys).
+pub fn density_slug(c: DensityClass) -> &'static str {
+    match c {
+        DensityClass::Sparse => "sparse",
+        DensityClass::Moderate => "moderate",
+        DensityClass::Medium => "medium",
+        DensityClass::Dense => "dense",
+        DensityClass::Grid => "grid",
+    }
+}
+
+pub fn parse_density(s: &str) -> Option<DensityClass> {
+    DensityClass::ALL
+        .into_iter()
+        .find(|&c| density_slug(c) == s.to_ascii_lowercase())
+}
+
+/// Display name for an algorithm + options pair ("Naive", "Innet-cmg", …).
+pub fn algo_name(algo: Algorithm, opts: InnetOptions) -> String {
+    match algo {
+        Algorithm::Innet => opts.suffix().replace(' ', "-"),
+        a => a.name().to_string(),
+    }
+}
+
+pub fn parse_algo(s: &str) -> Option<(Algorithm, InnetOptions)> {
+    let all: [(Algorithm, InnetOptions); 9] = [
+        (Algorithm::Naive, InnetOptions::PLAIN),
+        (Algorithm::Base, InnetOptions::PLAIN),
+        (Algorithm::Ght, InnetOptions::PLAIN),
+        (Algorithm::Yang07, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::CM),
+        (Algorithm::Innet, InnetOptions::CMP),
+        (Algorithm::Innet, InnetOptions::CMG),
+        (Algorithm::Innet, InnetOptions::CMPG),
+    ];
+    let want = s.to_ascii_lowercase();
+    all.into_iter().find(|&(a, o)| {
+        algo_name(a, o).to_ascii_lowercase() == want || {
+            // Accept the bare enum name too ("ght" for "GHT").
+            a != Algorithm::Innet && a.name().to_ascii_lowercase() == want
+        }
+    })
+}
+
+/// Base of the replicate-seed range. Every figure driver and sweep grid
+/// derives its seeds from here so cells stay comparable across figures
+/// (same seed ⇒ same topology + workload trace).
+pub const SEED_BASE: u64 = 1000;
+
+/// The first `n` replicate seeds.
+pub fn seed_range(n: u64) -> Vec<u64> {
+    (0..n).map(|s| SEED_BASE + s).collect()
+}
+
+/// The metrics aggregated per cell, in report column order.
+pub const SWEEP_METRICS: [&str; 9] = [
+    "total_traffic_bytes",
+    "base_load_bytes",
+    "max_node_load_bytes",
+    "total_traffic_msgs",
+    "base_load_msgs",
+    "results",
+    "avg_delay_cycles",
+    "send_failures",
+    "queue_drops",
+];
+
+/// One grid point: everything that identifies a simulation configuration
+/// except the seed (seeds are the replicates aggregated *within* a cell).
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    pub nodes: usize,
+    pub density: DensityClass,
+    pub loss: f64,
+    pub query: QueryId,
+    pub rates: Rates,
+    pub algo: Algorithm,
+    pub opts: InnetOptions,
+}
+
+impl CellSpec {
+    pub fn algo_name(&self) -> String {
+        algo_name(self.algo, self.opts)
+    }
+
+    /// Run this cell for one seed and return the metric values in
+    /// [`SWEEP_METRICS`] order. Seed covers topology, workload and link RNG,
+    /// exactly as the figure harness seeds its scenarios.
+    pub fn run_one(&self, seed: u64, cycles: u32, num_trees: usize) -> [f64; 9] {
+        let topo = TopologySpec::new(self.density, self.nodes, seed).build();
+        let mut data = WorkloadData::new(&topo, Schedule::Uniform(self.rates), seed);
+        if self.query.n_pairs() > 0 {
+            data = data.with_pairs(self.query.n_pairs());
+        }
+        let mut sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        if self.opts.path_collapse {
+            sim = sim.with_snooping(true);
+        }
+        let sc = Scenario {
+            topo,
+            data,
+            spec: self.query.spec(),
+            cfg: AlgoConfig::new(self.algo, Sigma::from_rates(self.rates))
+                .with_innet_options(self.opts),
+            sim,
+            num_trees,
+        };
+        let st = sc.run(cycles);
+        [
+            st.total_traffic_bytes() as f64,
+            st.base_load_bytes() as f64,
+            st.max_node_load_bytes() as f64,
+            st.total_traffic_msgs() as f64,
+            st.base_load_msgs() as f64,
+            st.results as f64,
+            st.avg_delay_tx,
+            (st.initiation.total_send_failures() + st.execution.total_send_failures()) as f64,
+            (st.initiation.total_queue_drops() + st.execution.total_queue_drops()) as f64,
+        ]
+    }
+}
+
+/// A declarative sweep: the grid dimensions plus run parameters.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    pub sizes: Vec<usize>,
+    pub densities: Vec<DensityClass>,
+    pub loss_probs: Vec<f64>,
+    pub queries: Vec<QueryId>,
+    pub rates: Vec<Rates>,
+    pub algorithms: Vec<(Algorithm, InnetOptions)>,
+    /// Replicate seeds; each cell runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Execution sampling cycles per run.
+    pub cycles: u32,
+    pub num_trees: usize,
+    /// OS threads to fan runs across; 0 = all available cores. The report
+    /// is identical for any value (determinism contract).
+    pub threads: usize,
+}
+
+impl Default for SweepGrid {
+    /// The standard evaluation setting: 100-node moderate random topology,
+    /// default link loss, Query 1, the headline algorithms, 3 seeds.
+    fn default() -> Self {
+        SweepGrid {
+            sizes: vec![100],
+            densities: vec![DensityClass::Moderate],
+            loss_probs: vec![SimConfig::default().loss_prob],
+            queries: vec![QueryId::Q1],
+            rates: vec![Rates::new(2, 2, 5)],
+            algorithms: vec![
+                (Algorithm::Naive, InnetOptions::PLAIN),
+                (Algorithm::Base, InnetOptions::PLAIN),
+                (Algorithm::Ght, InnetOptions::PLAIN),
+                (Algorithm::Innet, InnetOptions::CMG),
+            ],
+            seeds: seed_range(3),
+            cycles: 60,
+            num_trees: 3,
+            threads: 0,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// The CI smoke grid: 2 sizes x 3 loss rates x 2 algorithms x 2 seeds
+    /// (24 grid points, 12 aggregate cells) over heterogeneous loss regimes.
+    pub fn quick() -> Self {
+        SweepGrid {
+            sizes: vec![60, 100],
+            loss_probs: vec![0.0, 0.05, 0.15],
+            algorithms: vec![
+                (Algorithm::Naive, InnetOptions::PLAIN),
+                (Algorithm::Innet, InnetOptions::CMG),
+            ],
+            seeds: seed_range(2),
+            cycles: 30,
+            ..SweepGrid::default()
+        }
+    }
+
+    /// Expand the grid to cells in the canonical nested order
+    /// (query, size, density, loss, rates, algorithm).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for &query in &self.queries {
+            for &nodes in &self.sizes {
+                for &density in &self.densities {
+                    for &loss in &self.loss_probs {
+                        for &rates in &self.rates {
+                            for &(algo, opts) in &self.algorithms {
+                                out.push(CellSpec {
+                                    nodes,
+                                    density,
+                                    loss,
+                                    query,
+                                    rates,
+                                    algo,
+                                    opts,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn total_runs(&self) -> usize {
+        self.cells().len() * self.seeds.len()
+    }
+
+    /// Fan every (cell, seed) run out across OS threads, then aggregate
+    /// seed replicates per cell.
+    pub fn run(&self) -> SweepReport {
+        let cells = self.cells();
+        let jobs: Vec<(usize, u64)> = cells
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, _)| self.seeds.iter().map(move |&s| (ci, s)))
+            .collect();
+        let samples: Vec<[f64; 9]> = parallel_map(&jobs, self.threads, |&(ci, seed)| {
+            cells[ci].run_one(seed, self.cycles, self.num_trees)
+        });
+        let per_cell = self.seeds.len();
+        let results = cells
+            .into_iter()
+            .enumerate()
+            .map(|(ci, spec)| {
+                let rows = &samples[ci * per_cell..(ci + 1) * per_cell];
+                let stats = SWEEP_METRICS
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, &name)| {
+                        let xs: Vec<f64> = rows.iter().map(|r| r[mi]).collect();
+                        (name, SummaryStat::from_samples(&xs))
+                    })
+                    .collect();
+                CellResult {
+                    spec,
+                    runs: per_cell,
+                    stats,
+                }
+            })
+            .collect();
+        SweepReport {
+            cells: results,
+            seeds: self.seeds.clone(),
+            cycles: self.cycles,
+        }
+    }
+}
+
+/// Aggregated replicates of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub spec: CellSpec,
+    pub runs: usize,
+    stats: Vec<(&'static str, SummaryStat)>,
+}
+
+impl CellResult {
+    pub fn stat(&self, name: &str) -> &SummaryStat {
+        self.stats
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("unknown sweep metric {name}"))
+    }
+}
+
+/// The aggregated outcome of a sweep, with the three emitters the ISSUE's
+/// acceptance criteria name: aligned text table, CSV, JSON.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub cells: Vec<CellResult>,
+    pub seeds: Vec<u64>,
+    pub cycles: u32,
+}
+
+impl SweepReport {
+    /// First cell matching a predicate over its spec (figure formatters).
+    pub fn find(&self, pred: impl Fn(&CellSpec) -> bool) -> Option<&CellResult> {
+        self.cells.iter().find(|c| pred(&c.spec))
+    }
+
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "query",
+            "nodes",
+            "density",
+            "loss",
+            "rates",
+            "algorithm",
+            "runs",
+            "traffic_kb",
+            "base_kb",
+            "maxload_kb",
+            "results",
+            "delay_cyc",
+        ]);
+        let kb = |s: &SummaryStat| format!("{:.1}±{:.1}", s.mean / 1024.0, s.ci95 / 1024.0);
+        for c in &self.cells {
+            t.push_row(vec![
+                c.spec.query.name().to_string(),
+                c.spec.nodes.to_string(),
+                density_slug(c.spec.density).to_string(),
+                format!("{:.2}", c.spec.loss),
+                c.spec.rates.ratio_label(),
+                c.spec.algo_name(),
+                c.runs.to_string(),
+                kb(c.stat("total_traffic_bytes")),
+                kb(c.stat("base_load_bytes")),
+                kb(c.stat("max_node_load_bytes")),
+                format!(
+                    "{:.0}±{:.0}",
+                    c.stat("results").mean,
+                    c.stat("results").ci95
+                ),
+                format!(
+                    "{:.1}±{:.1}",
+                    c.stat("avg_delay_cycles").mean,
+                    c.stat("avg_delay_cycles").ci95
+                ),
+            ]);
+        }
+        t
+    }
+
+    /// Wide-format CSV: one row per cell, (mean, stddev, ci95) per metric.
+    pub fn to_csv(&self) -> String {
+        let mut headers = vec![
+            "query".to_string(),
+            "nodes".to_string(),
+            "density".to_string(),
+            "loss".to_string(),
+            "rates".to_string(),
+            "algorithm".to_string(),
+            "runs".to_string(),
+        ];
+        for m in SWEEP_METRICS {
+            for suffix in ["mean", "stddev", "ci95"] {
+                headers.push(format!("{m}_{suffix}"));
+            }
+        }
+        let mut t = Table::new(headers);
+        for c in &self.cells {
+            let mut row = vec![
+                c.spec.query.name().to_string(),
+                c.spec.nodes.to_string(),
+                density_slug(c.spec.density).to_string(),
+                format!("{}", c.spec.loss),
+                c.spec.rates.ratio_label(),
+                c.spec.algo_name(),
+                c.runs.to_string(),
+            ];
+            for m in SWEEP_METRICS {
+                let s = c.stat(m);
+                row.push(format!("{}", s.mean));
+                row.push(format!("{}", s.stddev));
+                row.push(format!("{}", s.ci95));
+            }
+            t.push_row(row);
+        }
+        t.to_csv()
+    }
+
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let metrics = SWEEP_METRICS
+                    .iter()
+                    .map(|&m| (m.to_string(), stat_json(c.stat(m))))
+                    .collect();
+                Json::Obj(vec![
+                    ("query".into(), Json::str(c.spec.query.name())),
+                    ("nodes".into(), Json::num(c.spec.nodes as f64)),
+                    ("density".into(), Json::str(density_slug(c.spec.density))),
+                    ("loss".into(), Json::num(c.spec.loss)),
+                    ("rates".into(), Json::str(c.spec.rates.ratio_label())),
+                    ("algorithm".into(), Json::str(c.spec.algo_name())),
+                    ("runs".into(), Json::num(c.runs as f64)),
+                    ("metrics".into(), Json::Obj(metrics)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "seeds".into(),
+                Json::Arr(self.seeds.iter().map(|&s| Json::num(s as f64)).collect()),
+            ),
+            ("cycles".into(), Json::num(self.cycles as f64)),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_order_and_count() {
+        let g = SweepGrid::quick();
+        let cells = g.cells();
+        assert_eq!(cells.len(), 2 * 3 * 2); // sizes x loss x algos
+        assert_eq!(g.total_runs(), 24); // x 2 seeds: the acceptance grid
+                                        // Nested order: size-major over loss, algorithm innermost.
+        assert_eq!(cells[0].nodes, 60);
+        assert_eq!(cells[0].loss, 0.0);
+        assert_eq!(cells[1].algo_name(), "Innet-cmg");
+        assert_eq!(cells[6].nodes, 100);
+    }
+
+    #[test]
+    fn algo_and_query_parsing_round_trip() {
+        for (a, o) in [
+            (Algorithm::Naive, InnetOptions::PLAIN),
+            (Algorithm::Innet, InnetOptions::CMPG),
+        ] {
+            let (pa, po) = parse_algo(&algo_name(a, o)).unwrap();
+            assert_eq!(algo_name(pa, po), algo_name(a, o));
+        }
+        assert_eq!(parse_algo("ght").unwrap().0, Algorithm::Ght);
+        assert!(parse_algo("nope").is_none());
+        assert_eq!(QueryId::parse("Q2"), Some(QueryId::Q2));
+        assert_eq!(parse_density("grid"), Some(DensityClass::Grid));
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_emits_all_formats() {
+        let g = SweepGrid {
+            sizes: vec![30],
+            loss_probs: vec![0.1],
+            algorithms: vec![(Algorithm::Naive, InnetOptions::PLAIN)],
+            seeds: seed_range(2),
+            cycles: 5,
+            ..SweepGrid::default()
+        };
+        let rep = g.run();
+        assert_eq!(rep.cells.len(), 1);
+        let c = &rep.cells[0];
+        assert_eq!(c.runs, 2);
+        assert!(c.stat("total_traffic_bytes").mean > 0.0);
+        let table = rep.to_table().to_aligned_string();
+        assert!(table.contains("Naive"));
+        let csv = rep.to_csv();
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("total_traffic_bytes_mean"));
+        let json = rep.to_json();
+        assert!(json.contains("\"algorithm\": \"Naive\""));
+    }
+}

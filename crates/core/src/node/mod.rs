@@ -303,6 +303,9 @@ impl JoinNode {
 impl Protocol for JoinNode {
     type Msg = Msg;
 
+    // Path collapsing consumes snoop events (Appendix E).
+    const WANTS_SNOOP: bool = true;
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::QueryFlood => self.on_flood(ctx),

@@ -13,6 +13,12 @@ use std::collections::VecDeque;
 pub trait Protocol {
     type Msg: Clone;
 
+    /// Whether this protocol consumes [`Protocol::on_snoop`] events.
+    /// Protocols overriding `on_snoop` must set this to `true`; the engine
+    /// skips snoop-event generation (and the per-snooper message clones)
+    /// entirely when it is `false`, even with [`SimConfig::snooping`] on.
+    const WANTS_SNOOP: bool = false;
+
     /// A message addressed to this node arrived (link layer already charged
     /// TX/RX for the hop).
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
@@ -63,15 +69,21 @@ pub struct Ctx<'a, M> {
     outbox: &'a mut VecDeque<Outgoing<M>>,
     queue_capacity: usize,
     queue_drops: &'a mut u64,
+    self_send_drops: &'a mut u64,
     header_bytes: u32,
 }
 
 impl<M> Ctx<'_, M> {
     /// Enqueue a unicast message to a (normally neighboring) node.
     /// `payload_bytes` excludes the link header, which the engine adds.
-    /// Returns `false` if the queue was full and the message dropped.
+    /// Returns `false` if the message was rejected: queue full (counted in
+    /// `queue_drops`) or self-addressed (counted in `self_send_drops` — a
+    /// radio cannot unicast to itself, in any build profile).
     pub fn send(&mut self, to: NodeId, payload_bytes: u32, msg: M) -> bool {
-        debug_assert_ne!(to, self.id, "node sending to itself");
+        if to == self.id {
+            *self.self_send_drops += 1;
+            return false;
+        }
         self.enqueue(Target::Unicast(to), payload_bytes, msg)
     }
 
@@ -139,6 +151,9 @@ pub struct Engine<P: Protocol> {
     metrics: Metrics,
     rng: StdRng,
     now: u64,
+    /// Event buffer reused across [`Engine::step`] calls so the hot path
+    /// does not allocate a fresh `Vec` every transmission cycle.
+    events: Vec<Event<P::Msg>>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -154,6 +169,7 @@ impl<P: Protocol> Engine<P> {
             metrics: Metrics::new(n),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x51e6_0e0f_ca11),
             now: 0,
+            events: Vec::new(),
             topo,
             cfg,
         }
@@ -226,6 +242,7 @@ impl<P: Protocol> Engine<P> {
         f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
     ) -> R {
         let mut drops = 0u64;
+        let mut self_sends = 0u64;
         let r = {
             let mut ctx = Ctx {
                 id,
@@ -234,11 +251,14 @@ impl<P: Protocol> Engine<P> {
                 outbox: &mut self.outboxes[id.index()],
                 queue_capacity: self.cfg.queue_capacity,
                 queue_drops: &mut drops,
+                self_send_drops: &mut self_sends,
                 header_bytes: self.cfg.header_bytes,
             };
             f(&mut self.nodes[id.index()], &mut ctx)
         };
-        self.metrics.node_mut(id).queue_drops += drops;
+        let m = self.metrics.node_mut(id);
+        m.queue_drops += drops;
+        m.self_send_drops += self_sends;
         r
     }
 
@@ -246,88 +266,112 @@ impl<P: Protocol> Engine<P> {
     /// MAC budget, then deliveries/snoops/failures are dispatched in
     /// deterministic order.
     pub fn step(&mut self) {
-        let n = self.topo.len();
-        let mut events: Vec<Event<P::Msg>> = Vec::new();
+        // The event buffer persists across steps (capacity reuse); it is
+        // always drained before `step` returns, so it starts empty here.
+        let mut events = std::mem::take(&mut self.events);
+        debug_assert!(events.is_empty());
 
-        for i in 0..n {
-            if !self.alive[i] {
-                continue;
-            }
-            let sender = NodeId(i as u16);
-            let mut budget = self.cfg.tx_per_cycle;
-            while budget > 0 {
-                let Some(mut out) = self.outboxes[i].pop_front() else {
-                    break;
-                };
-                budget -= 1;
-                // Charge the attempt.
-                {
-                    let m = self.metrics.node_mut(sender);
-                    m.tx_bytes += out.wire_bytes as u64;
-                    m.tx_msgs += 1;
+        {
+            // Split the borrow so neighbor slices, the RNG and the metrics
+            // can be used together without per-broadcast Vec copies.
+            let Engine {
+                topo,
+                cfg,
+                outboxes,
+                alive,
+                metrics,
+                rng,
+                ..
+            } = self;
+            let n = topo.len();
+            let snoop = cfg.snooping && P::WANTS_SNOOP;
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
                 }
-                match out.target {
-                    Target::Unicast(to) => {
-                        let receiver_ok = self.alive[to.index()];
-                        let lost = self.cfg.loss_prob > 0.0
-                            && self.rng.random::<f64>() < self.cfg.loss_prob;
-                        if receiver_ok && !lost {
-                            if self.cfg.snooping {
-                                for &nb in self.topo.neighbors(sender) {
-                                    if nb != to && self.alive[nb.index()] {
-                                        events.push(Event::Snoop {
-                                            snooper: nb,
-                                            sender,
-                                            next_hop: to,
-                                            msg: out.msg.clone(),
-                                        });
+                let sender = NodeId(i as u16);
+                let mut budget = cfg.tx_per_cycle;
+                // Lost unicasts awaiting retransmission. They rejoin the
+                // queue head only after the node's loop, so a lossy link
+                // consumes exactly one attempt per message per cycle (the
+                // link-ACK model: the retry happens in a *later* cycle) and
+                // the remaining budget serves the messages behind it.
+                let mut deferred: Vec<Outgoing<P::Msg>> = Vec::new();
+                while budget > 0 {
+                    let Some(mut out) = outboxes[i].pop_front() else {
+                        break;
+                    };
+                    budget -= 1;
+                    // Charge the attempt.
+                    {
+                        let m = metrics.node_mut(sender);
+                        m.tx_bytes += out.wire_bytes as u64;
+                        m.tx_msgs += 1;
+                    }
+                    match out.target {
+                        Target::Unicast(to) => {
+                            let receiver_ok = alive[to.index()];
+                            let lost = cfg.loss_prob > 0.0 && rng.random::<f64>() < cfg.loss_prob;
+                            if receiver_ok && !lost {
+                                if snoop {
+                                    for &nb in topo.neighbors(sender) {
+                                        if nb != to && alive[nb.index()] {
+                                            events.push(Event::Snoop {
+                                                snooper: nb,
+                                                sender,
+                                                next_hop: to,
+                                                msg: out.msg.clone(),
+                                            });
+                                        }
                                     }
                                 }
-                            }
-                            events.push(Event::Deliver {
-                                dst: to,
-                                from: sender,
-                                msg: out.msg,
-                                wire_bytes: out.wire_bytes,
-                            });
-                        } else if out.attempts < self.cfg.max_retries {
-                            out.attempts += 1;
-                            self.outboxes[i].push_front(out);
-                            // A retried message consumes the rest of this
-                            // cycle's budget for that message slot only.
-                        } else {
-                            self.metrics.node_mut(sender).send_failures += 1;
-                            events.push(Event::SendFailed {
-                                sender,
-                                to,
-                                msg: out.msg,
-                            });
-                        }
-                    }
-                    Target::Broadcast => {
-                        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
-                        for nb in neighbors {
-                            if !self.alive[nb.index()] {
-                                continue;
-                            }
-                            let lost = self.cfg.loss_prob > 0.0
-                                && self.rng.random::<f64>() < self.cfg.loss_prob;
-                            if !lost {
                                 events.push(Event::Deliver {
-                                    dst: nb,
+                                    dst: to,
                                     from: sender,
-                                    msg: out.msg.clone(),
+                                    msg: out.msg,
                                     wire_bytes: out.wire_bytes,
+                                });
+                            } else if out.attempts < cfg.max_retries {
+                                out.attempts += 1;
+                                deferred.push(out);
+                            } else {
+                                metrics.node_mut(sender).send_failures += 1;
+                                events.push(Event::SendFailed {
+                                    sender,
+                                    to,
+                                    msg: out.msg,
                                 });
                             }
                         }
+                        Target::Broadcast => {
+                            for &nb in topo.neighbors(sender) {
+                                if !alive[nb.index()] {
+                                    continue;
+                                }
+                                let lost =
+                                    cfg.loss_prob > 0.0 && rng.random::<f64>() < cfg.loss_prob;
+                                if !lost {
+                                    events.push(Event::Deliver {
+                                        dst: nb,
+                                        from: sender,
+                                        msg: out.msg.clone(),
+                                        wire_bytes: out.wire_bytes,
+                                    });
+                                }
+                            }
+                        }
                     }
+                }
+                // Retries go back to the queue *head* in their original
+                // order, keeping link-layer FIFO semantics for next cycle.
+                for out in deferred.into_iter().rev() {
+                    outboxes[i].push_front(out);
                 }
             }
         }
 
         self.now += 1;
-        for ev in events {
+        for ev in events.drain(..) {
             match ev {
                 Event::Deliver {
                     dst,
@@ -364,10 +408,12 @@ impl<P: Protocol> Engine<P> {
                 }
             }
         }
+        self.events = events;
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>)) {
         let mut drops = 0u64;
+        let mut self_sends = 0u64;
         {
             let mut ctx = Ctx {
                 id,
@@ -376,11 +422,14 @@ impl<P: Protocol> Engine<P> {
                 outbox: &mut self.outboxes[id.index()],
                 queue_capacity: self.cfg.queue_capacity,
                 queue_drops: &mut drops,
+                self_send_drops: &mut self_sends,
                 header_bytes: self.cfg.header_bytes,
             };
             f(&mut self.nodes[id.index()], &mut ctx);
         }
-        self.metrics.node_mut(id).queue_drops += drops;
+        let m = self.metrics.node_mut(id);
+        m.queue_drops += drops;
+        m.self_send_drops += self_sends;
     }
 
     /// Run transmission cycles until no message is queued anywhere, or the
@@ -396,6 +445,11 @@ impl<P: Protocol> Engine<P> {
     /// Run one *sampling* cycle: fire `on_sampling_cycle` at every alive
     /// node, then advance `tx_per_sampling_cycle` transmission cycles.
     pub fn sampling_cycle(&mut self, cycle: u32) {
+        // Anchor the period at the clock's value on entry: the fast-forward
+        // below must land on `start + tx_per_sampling_cycle` even when the
+        // clock was not reset on a phase boundary (a `now % period`
+        // computation would misalign for non-zero starting clocks).
+        let start = self.now;
         for i in 0..self.topo.len() {
             if self.alive[i] {
                 self.dispatch(NodeId(i as u16), |p, ctx| p.on_sampling_cycle(ctx, cycle));
@@ -407,10 +461,7 @@ impl<P: Protocol> Engine<P> {
                 // Fast-forward idle remainder of the sampling period; no
                 // protocol acts between transmissions, so skipping idle
                 // cycles only adjusts the clock.
-                let done = self.now % self.cfg.tx_per_sampling_cycle as u64;
-                if done != 0 {
-                    self.now += self.cfg.tx_per_sampling_cycle as u64 - done;
-                }
+                self.now = start + self.cfg.tx_per_sampling_cycle as u64;
                 break;
             }
         }
@@ -570,6 +621,7 @@ mod tests {
         }
         impl Protocol for S {
             type Msg = ();
+            const WANTS_SNOOP: bool = true;
             fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
             fn on_snoop(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: NodeId, _: &()) {
                 self.snooped += 1;
@@ -620,6 +672,121 @@ mod tests {
         eng.sampling_cycle(1);
         assert_eq!(eng.now() % 100, 0);
         assert!(!eng.in_flight());
+    }
+
+    /// Regression (ISSUE 2 headline): a lost unicast must consume exactly
+    /// one transmission attempt per cycle. Before the fix, the retried
+    /// message was `push_front`ed and re-popped by the same budget loop, so
+    /// one lossy link burned all `max_retries` attempts plus the node's
+    /// whole `tx_per_cycle` budget within a single cycle.
+    #[test]
+    fn lost_unicast_consumes_one_attempt_per_cycle() {
+        struct F;
+        impl Protocol for F {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        // A dead receiver forces every attempt to fail deterministically.
+        let cfg = SimConfig::lossless(); // tx_per_cycle = 4, max_retries = 3
+        let mut eng = Engine::new(line(3), cfg, |_| F);
+        eng.kill(NodeId(1));
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 0, ());
+        });
+        // One attempt per cycle: 1 + max_retries cycles until abandonment.
+        for cycle in 1..=4u64 {
+            assert!(
+                eng.in_flight(),
+                "message still pending before cycle {cycle}"
+            );
+            eng.step();
+            assert_eq!(
+                eng.metrics().node(NodeId(0)).tx_msgs,
+                cycle,
+                "exactly one attempt per cycle"
+            );
+        }
+        assert!(!eng.in_flight());
+        assert_eq!(eng.metrics().total_send_failures(), 1);
+    }
+
+    /// The deferred retry must not block the rest of the cycle's budget:
+    /// other queued messages still transmit in the same cycle.
+    #[test]
+    fn deferred_retry_leaves_budget_for_other_messages() {
+        struct F;
+        impl Protocol for F {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {}
+        }
+        // Star: node 0 neighbors 1 (dead) and 2 (alive).
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+        ];
+        let topo = Topology::from_positions(pts, 1.1, NodeId(0));
+        let mut eng = Engine::new(topo, SimConfig::lossless(), |_| F);
+        eng.kill(NodeId(1));
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 0, ()); // head of queue, will be deferred
+            ctx.send(NodeId(2), 0, ()); // must still go out this cycle
+        });
+        eng.step();
+        // Two attempts this cycle: the failed one to 1 and the delivery to 2.
+        assert_eq!(eng.metrics().node(NodeId(0)).tx_msgs, 2);
+        assert_eq!(eng.metrics().node(NodeId(2)).rx_msgs, 1);
+        // The retry is still queued for the next cycle.
+        assert!(eng.in_flight());
+    }
+
+    /// Self-addressed unicasts are rejected in every build profile: charged
+    /// nothing, delivered nowhere, counted in `self_send_drops`.
+    #[test]
+    fn self_send_rejected_and_counted() {
+        struct F {
+            got: u32,
+        }
+        impl Protocol for F {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: ()) {
+                self.got += 1;
+            }
+        }
+        let mut eng = Engine::new(line(2), SimConfig::lossless(), |_| F { got: 0 });
+        let ok = eng.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(0), 4, ()));
+        assert!(!ok);
+        assert!(!eng.in_flight());
+        eng.run_until_quiet(10);
+        assert_eq!(eng.node(NodeId(0)).got, 0);
+        let m = eng.metrics().node(NodeId(0));
+        assert_eq!(m.tx_msgs, 0);
+        assert_eq!(m.self_send_drops, 1);
+        assert_eq!(eng.metrics().total_self_send_drops(), 1);
+    }
+
+    /// The idle fast-forward must anchor to the sampling cycle's *starting*
+    /// clock, not to `now % period` (which misaligns when the clock was not
+    /// reset on a phase boundary).
+    #[test]
+    fn sampling_cycle_fast_forward_anchored_to_start() {
+        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
+        // Advance the raw clock off the period grid (no reset afterwards).
+        for _ in 0..3 {
+            eng.step();
+        }
+        assert_eq!(eng.now(), 3);
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 1);
+        });
+        eng.sampling_cycle(0);
+        // One full period from the non-zero start: 3 + 100, not 100.
+        assert_eq!(
+            eng.now(),
+            3 + SimConfig::default().tx_per_sampling_cycle as u64
+        );
     }
 
     #[test]

@@ -23,9 +23,11 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod sweep;
 
 pub use config::SimConfig;
 pub use engine::{Ctx, Engine, Protocol};
 pub use metrics::{Metrics, NodeMetrics};
+pub use sweep::{parallel_map, Json, SummaryStat, Table};
 
 pub use sensor_net::NodeId;

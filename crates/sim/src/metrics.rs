@@ -17,6 +17,9 @@ pub struct NodeMetrics {
     pub send_failures: u64,
     /// Messages dropped because the outgoing queue was full.
     pub queue_drops: u64,
+    /// Self-addressed unicasts rejected by the link layer (a radio cannot
+    /// unicast to itself; these are protocol bugs surfaced as a metric).
+    pub self_send_drops: u64,
 }
 
 impl NodeMetrics {
@@ -32,8 +35,9 @@ impl NodeMetrics {
     }
 }
 
-/// Aggregated metrics for a simulation run.
-#[derive(Debug, Clone)]
+/// Aggregated metrics for a simulation run. `PartialEq`/`Eq` support the
+/// determinism contract: equal seeds must yield *identical* metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     per_node: Vec<NodeMetrics>,
 }
@@ -116,7 +120,12 @@ impl Metrics {
             a.rx_msgs += b.rx_msgs;
             a.send_failures += b.send_failures;
             a.queue_drops += b.queue_drops;
+            a.self_send_drops += b.self_send_drops;
         }
+    }
+
+    pub fn total_self_send_drops(&self) -> u64 {
+        self.per_node.iter().map(|m| m.self_send_drops).sum()
     }
 }
 

@@ -12,7 +12,11 @@
 //! - [`workload`] — Table 1/2 workloads and the Intel-lab humidity model
 //! - [`join`] — the paper's contribution: cost-based, adaptive join
 //!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants)
+//! - [`bench`] — the experiment harness, including the declarative
+//!   multi-seed scenario-sweep subsystem ([`bench::sweep`], built on the
+//!   engine-side fan-out in [`sim::sweep`])
 
+pub use aspen_bench as bench;
 pub use aspen_join as join;
 pub use sensor_net as net;
 pub use sensor_query as query;

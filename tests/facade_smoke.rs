@@ -67,6 +67,22 @@ fn every_facade_reexport_resolves() {
     // aspen::join cost model, directly.
     let placement = aspen::join::place_join_node(Sigma::new(0.5, 0.5, 0.2), 2, &[4, 3, 2, 3, 4]);
     assert!(placement.cost().is_finite());
+
+    // aspen::sim::sweep + aspen::bench::sweep — the scenario-sweep
+    // subsystem: stats, fan-out, and a one-cell grid end to end.
+    let stat = aspen::sim::sweep::SummaryStat::from_samples(&[1.0, 3.0]);
+    assert_eq!(stat.mean, 2.0);
+    let doubled = aspen::sim::sweep::parallel_map(&[1u32, 2, 3], 2, |&x| x * 2);
+    assert_eq!(doubled, vec![2, 4, 6]);
+    let grid = aspen::bench::sweep::SweepGrid {
+        sizes: vec![25],
+        seeds: vec![1000],
+        cycles: 2,
+        ..Default::default()
+    };
+    let report = grid.run();
+    assert_eq!(report.cells.len(), grid.cells().len());
+    assert!(report.to_json().contains("\"cells\""));
 }
 
 /// Keep the 4 `examples/*.rs` compiling as part of the test flow: this
