@@ -6,15 +6,21 @@
 //! fig10 fig11 fig12 fig13 fig14 fig16 fig17 fig18 fig19 fig20 appg all.
 //!
 //! `experiments sweep [...]` runs a declarative multi-seed grid over
-//! {size, density, loss, query, rates, algorithm} in parallel and emits an
-//! aligned table (stdout) plus JSON and CSV files; see `sweep --help`.
+//! {size, density, loss, query, rates, algorithm, dynamics} in parallel and
+//! emits an aligned table (stdout) plus JSON and CSV files; see
+//! `sweep --help`. `experiments recovery [...]` is the same machinery with
+//! the §7 failure schedules as defaults and the recovery-metric table
+//! (repair success rate, tuples lost, recovery overhead, re-convergence)
+//! as output.
 //!
 //! Numbers will not equal the paper's absolute values (different simulator,
 //! synthetic Intel data) — the *shape* is the reproduction target: who
 //! wins, by what rough factor, and where crossovers fall. EXPERIMENTS.md
 //! records paper-vs-measured for every experiment.
 
-use aspen_bench::sweep::{parse_algo, parse_density, seed_range, QueryId, SweepGrid, SEED_BASE};
+use aspen_bench::sweep::{
+    parse_algo, parse_density, seed_range, DynamicsSpec, QueryId, SweepGrid, SEED_BASE,
+};
 use aspen_bench::*;
 use aspen_join::prelude::*;
 use aspen_join::{centralized, Algorithm};
@@ -41,10 +47,18 @@ impl Opts {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // The sweep subcommand owns its argument grammar (list-valued flags).
-    if args.first().map(String::as_str) == Some("sweep") {
-        sweep_cmd(&args[1..]);
-        return;
+    // The sweep/recovery subcommands own their argument grammar
+    // (list-valued flags).
+    match args.first().map(String::as_str) {
+        Some("sweep") => {
+            sweep_cmd(&args[1..], SweepMode::Sweep);
+            return;
+        }
+        Some("recovery") => {
+            sweep_cmd(&args[1..], SweepMode::Recovery);
+            return;
+        }
+        _ => {}
     }
     let mut which: Vec<String> = Vec::new();
     let mut opts = Opts {
@@ -70,8 +84,9 @@ fn main() {
         }
     }
     if which.is_empty() {
-        eprintln!("usage: experiments <table1|table2|table3|fig2|...|fig20|appg|all|sweep> [--quick|--full|--seeds N|--cycles N]");
+        eprintln!("usage: experiments <table1|table2|table3|fig2|...|fig20|appg|all|sweep|recovery> [--quick|--full|--seeds N|--cycles N]");
         eprintln!("       experiments sweep --help");
+        eprintln!("       experiments recovery --help");
         std::process::exit(2);
     }
     let all = [
@@ -120,22 +135,36 @@ fn sigma_of(r: Rates) -> Sigma {
 }
 
 // ----------------------------------------------------------------------
-// The `sweep` subcommand: the full scenario grid from the CLI.
+// The `sweep` and `recovery` subcommands: the full scenario grid from the
+// CLI. `recovery` is the same machinery with the §7 dynamics presets as
+// defaults and the recovery-metric table as output.
 
-const SWEEP_USAGE: &str = "usage: experiments sweep [options]
-  --quick              the 24-run CI grid (2 sizes x 3 loss x 2 algos x 2 seeds)
+#[derive(Clone, Copy, PartialEq)]
+enum SweepMode {
+    Sweep,
+    Recovery,
+}
+
+const SWEEP_USAGE: &str = "usage: experiments <sweep|recovery> [options]
+  --quick              sweep: the 24-run CI grid (2 sizes x 3 loss x 2 algos x 2 seeds)
+                       recovery: the 16-run §7 grid (static + 3 failure schedules x 2 algos x 2 seeds)
   --sizes N,N,..       topology sizes            (default 100)
   --densities a,b,..   sparse|moderate|medium|dense|grid (default moderate)
   --loss p,p,..        link-loss probabilities   (default 0.05)
   --queries q,q,..     q0|q1|q2|q3               (default q1)
   --st-dens N,N,..     sigma_st denominators, crossed with the 5 ratio stages
-  --algos a,a,..       naive|base|ght|yang+07|innet|innet-cm|innet-cmp|innet-cmg|innet-cmpg
+  --algos a,a,..       naive|base|ght|yang+07|innet|innet-cm|innet-cmp|innet-cmg|innet-cmpg|innet-learn|innet-cmg-learn
+  --dynamics d,d,..    network-dynamics scenarios fired at cycle boundaries:
+                       none | randN@C (N random kills at cycle C) | join@C (busiest
+                       join node) | regionR@C (all nodes within R radio ranges of a
+                       random center) | rateshift@C (swap sigma_s/sigma_t) | lossP@C
+                       (step link loss to P)      (default none)
   --seeds N            replicate seeds per cell  (default 3)
   --cycles N           execution sampling cycles (default 60)
   --trees N            routing trees             (default 3)
   --threads N          OS threads, 0 = all cores (default 0)
   --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
-                       (default target/sweep/sweep)
+                       (default target/sweep/sweep or target/recovery/recovery)
   --check-determinism  re-run single-threaded and verify identical output";
 
 fn sweep_bad(msg: &str) -> ! {
@@ -160,19 +189,23 @@ fn csv_items(flag: &str, v: Option<&String>) -> Vec<String> {
     items
 }
 
-fn sweep_cmd(args: &[String]) {
+fn sweep_cmd(args: &[String], mode: SweepMode) {
     // --quick selects the base grid, so apply it first regardless of where
     // it appears: every other flag then overrides it, in any order.
     let quick = args.iter().any(|a| a == "--quick");
-    let mut grid = if quick {
-        SweepGrid::quick()
-    } else {
-        SweepGrid::default()
+    let mut grid = match (mode, quick) {
+        (SweepMode::Sweep, true) => SweepGrid::quick(),
+        (SweepMode::Sweep, false) => SweepGrid::default(),
+        // Recovery defaults to the §7 grid either way; --quick trims seeds.
+        (SweepMode::Recovery, _) => SweepGrid::recovery_quick(),
     };
-    let mut out_prefix = if quick {
-        "target/sweep/quick".to_string()
-    } else {
-        "target/sweep/sweep".to_string()
+    if mode == SweepMode::Recovery && !quick {
+        grid.seeds = seed_range(3);
+    }
+    let mut out_prefix = match (mode, quick) {
+        (SweepMode::Sweep, true) => "target/sweep/quick".to_string(),
+        (SweepMode::Sweep, false) => "target/sweep/sweep".to_string(),
+        (SweepMode::Recovery, _) => "target/recovery/recovery".to_string(),
     };
     let mut check_determinism = false;
     let mut it = args.iter();
@@ -243,6 +276,15 @@ fn sweep_cmd(args: &[String]) {
                     })
                     .collect();
             }
+            "--dynamics" => {
+                grid.dynamics = csv_items(a, it.next())
+                    .iter()
+                    .map(|s| {
+                        DynamicsSpec::parse(s)
+                            .unwrap_or_else(|| sweep_bad(&format!("bad dynamics {s}")))
+                    })
+                    .collect();
+            }
             "--seeds" => {
                 let n: u64 = it
                     .next()
@@ -278,9 +320,13 @@ fn sweep_cmd(args: &[String]) {
             other => sweep_bad(&format!("unknown option {other}")),
         }
     }
+    let cmd = match mode {
+        SweepMode::Sweep => "sweep",
+        SweepMode::Recovery => "recovery",
+    };
     let n_cells = grid.cells().len();
     eprintln!(
-        "sweep: {} cells x {} seeds = {} runs ({} threads)",
+        "{cmd}: {} cells x {} seeds = {} runs ({} threads)",
         n_cells,
         grid.seeds.len(),
         grid.total_runs(),
@@ -293,7 +339,10 @@ fn sweep_cmd(args: &[String]) {
     let t0 = std::time::Instant::now();
     let report = grid.run();
     let elapsed = t0.elapsed().as_secs_f64();
-    println!("{}", report.to_table().to_aligned_string());
+    match mode {
+        SweepMode::Sweep => println!("{}", report.to_table().to_aligned_string()),
+        SweepMode::Recovery => println!("{}", report.to_recovery_table().to_aligned_string()),
+    }
     if check_determinism {
         let mut single = grid.clone();
         single.threads = 1;
@@ -301,7 +350,7 @@ fn sweep_cmd(args: &[String]) {
         assert_eq!(
             report.to_json(),
             rerun.to_json(),
-            "sweep output must not depend on thread count"
+            "{cmd} output must not depend on thread count"
         );
         eprintln!("determinism check: multi-threaded == single-threaded ✓");
     }
@@ -313,7 +362,7 @@ fn sweep_cmd(args: &[String]) {
     std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
     std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
     eprintln!(
-        "sweep: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
+        "{cmd}: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
         grid.total_runs()
     );
 }

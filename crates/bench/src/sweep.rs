@@ -12,7 +12,7 @@
 
 use aspen_join::prelude::*;
 use aspen_join::{Algorithm, InnetOptions};
-use sensor_net::{DensityClass, TopologySpec};
+use sensor_net::{DensityClass, NodeId, Topology, TopologySpec};
 use sensor_query::JoinQuerySpec;
 use sensor_sim::sweep::{parallel_map, stat_json, Json, SummaryStat, Table};
 use sensor_workload::{query0, query1, query2, query3, WorkloadData};
@@ -97,7 +97,7 @@ pub fn algo_name(algo: Algorithm, opts: InnetOptions) -> String {
 }
 
 pub fn parse_algo(s: &str) -> Option<(Algorithm, InnetOptions)> {
-    let all: [(Algorithm, InnetOptions); 9] = [
+    let all: [(Algorithm, InnetOptions); 11] = [
         (Algorithm::Naive, InnetOptions::PLAIN),
         (Algorithm::Base, InnetOptions::PLAIN),
         (Algorithm::Ght, InnetOptions::PLAIN),
@@ -107,6 +107,10 @@ pub fn parse_algo(s: &str) -> Option<(Algorithm, InnetOptions)> {
         (Algorithm::Innet, InnetOptions::CMP),
         (Algorithm::Innet, InnetOptions::CMG),
         (Algorithm::Innet, InnetOptions::CMPG),
+        // Learning variants ("innet-learn", "innet-cmg-learn"): §6
+        // adaptation on — the interesting setting under dynamics plans.
+        (Algorithm::Innet, InnetOptions::PLAIN.with_learning()),
+        (Algorithm::Innet, InnetOptions::CMG.with_learning()),
     ];
     let want = s.to_ascii_lowercase();
     all.into_iter().find(|&(a, o)| {
@@ -127,8 +131,121 @@ pub fn seed_range(n: u64) -> Vec<u64> {
     (0..n).map(|s| SEED_BASE + s).collect()
 }
 
-/// The metrics aggregated per cell, in report column order.
-pub const SWEEP_METRICS: [&str; 9] = [
+/// A named network-dynamics scenario: what changes mid-run, and when.
+/// One value per sweep cell (the `dynamics` grid dimension); expands to a
+/// [`DynamicsPlan`] plus (for rate shifts) a non-uniform workload
+/// [`Schedule`] at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicsSpec {
+    /// Static network — the pre-dynamics sweep behaviour.
+    None,
+    /// Kill `count` uniform-random non-base nodes at `at_cycle`.
+    RandomKill { count: usize, at_cycle: u32 },
+    /// Kill the busiest join node at `at_cycle` (§7 / Fig 14's victim).
+    JoinKill { at_cycle: u32 },
+    /// Region outage: kill every node within `radius` radio ranges of a
+    /// seed-chosen center at `at_cycle` (spatially-correlated failure).
+    RegionKill { radius: f64, at_cycle: u32 },
+    /// Swap σs and σt at `at_cycle` — the §6 selectivity-drift trigger.
+    RateShift { at_cycle: u32 },
+    /// Step the link-loss probability to `loss` at `at_cycle`.
+    LossRamp { loss: f64, at_cycle: u32 },
+}
+
+impl DynamicsSpec {
+    /// Machine-readable slug, e.g. `rand3@20`, `join@20`, `region1.5@20`,
+    /// `rateshift@20`, `loss0.2@20`, `none`.
+    pub fn name(self) -> String {
+        match self {
+            DynamicsSpec::None => "none".to_string(),
+            DynamicsSpec::RandomKill { count, at_cycle } => format!("rand{count}@{at_cycle}"),
+            DynamicsSpec::JoinKill { at_cycle } => format!("join@{at_cycle}"),
+            DynamicsSpec::RegionKill { radius, at_cycle } => format!("region{radius}@{at_cycle}"),
+            DynamicsSpec::RateShift { at_cycle } => format!("rateshift@{at_cycle}"),
+            DynamicsSpec::LossRamp { loss, at_cycle } => format!("loss{loss}@{at_cycle}"),
+        }
+    }
+
+    /// Parse the [`DynamicsSpec::name`] syntax.
+    pub fn parse(s: &str) -> Option<DynamicsSpec> {
+        let s = s.to_ascii_lowercase();
+        if s == "none" {
+            return Some(DynamicsSpec::None);
+        }
+        let (kind, at) = s.split_once('@')?;
+        let at_cycle: u32 = at.parse().ok()?;
+        if kind == "join" {
+            Some(DynamicsSpec::JoinKill { at_cycle })
+        } else if kind == "rateshift" {
+            Some(DynamicsSpec::RateShift { at_cycle })
+        } else if let Some(n) = kind.strip_prefix("rand") {
+            Some(DynamicsSpec::RandomKill {
+                count: n.parse().ok()?,
+                at_cycle,
+            })
+        } else if let Some(r) = kind.strip_prefix("region") {
+            let radius: f64 = r.parse().ok()?;
+            (radius > 0.0).then_some(DynamicsSpec::RegionKill { radius, at_cycle })
+        } else if let Some(p) = kind.strip_prefix("loss") {
+            let loss: f64 = p.parse().ok()?;
+            (0.0..1.0)
+                .contains(&loss)
+                .then_some(DynamicsSpec::LossRamp { loss, at_cycle })
+        } else {
+            None
+        }
+    }
+
+    /// The engine-level plan for one run of this scenario.
+    pub fn plan(self, seed: u64, topo: &Topology) -> DynamicsPlan {
+        // Decorrelate victim draws from the link/workload RNG streams.
+        let base = DynamicsPlan::none().with_seed(seed ^ 0xD15E_A5E5_0BAD);
+        match self {
+            DynamicsSpec::None => base,
+            DynamicsSpec::RandomKill { count, at_cycle } => base.kill_random(at_cycle, count),
+            DynamicsSpec::JoinKill { at_cycle } => base.kill_picked(at_cycle),
+            DynamicsSpec::RegionKill { radius, at_cycle } => {
+                // Seed-chosen non-base outage center.
+                let n = topo.len() as u64;
+                let mut idx = (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % n;
+                if NodeId(idx as u16) == topo.base() {
+                    idx = (idx + 1) % n;
+                }
+                base.kill_region(at_cycle, NodeId(idx as u16), radius * topo.radio_range())
+            }
+            // The shift itself lives in the workload schedule; the plan
+            // only carries the mark for recovery accounting.
+            DynamicsSpec::RateShift { at_cycle } => base.mark(at_cycle),
+            DynamicsSpec::LossRamp { loss, at_cycle } => base.shift_loss(at_cycle, loss),
+        }
+    }
+
+    /// The workload schedule for this scenario (rate shifts swap the
+    /// producer-side selectivities mid-run; everything else is uniform).
+    pub fn schedule(self, rates: Rates) -> Schedule {
+        match self {
+            DynamicsSpec::RateShift { at_cycle } => Schedule::TemporalSwitch {
+                before: rates,
+                after: Rates::new(rates.t_den, rates.s_den, rates.st_den),
+                at_cycle,
+            },
+            _ => Schedule::Uniform(rates),
+        }
+    }
+}
+
+/// The metrics aggregated per cell, in report column order. The last eight
+/// are the recovery metrics of the dynamics subsystem: repair
+/// attempts/successes, tuples lost in transit (protocol drops plus
+/// messages discarded in dead nodes' queues), tuples salvaged via
+/// tree-up diversion, recovery control payload bytes, post-event cost
+/// re-convergence cycles paired with `reconv_observed` (1 if the run
+/// re-converged, 0 for static runs *and* runs that never settled —
+/// `reconv_cycles` is 0 in both of those cases, so the observed flag is
+/// what disambiguates them; mean cycles over converged runs =
+/// `reconv_cycles_mean / reconv_observed_mean`), and join results
+/// delivered at or after the first scheduled event.
+pub const SWEEP_METRICS: [&str; 17] = [
     "total_traffic_bytes",
     "base_load_bytes",
     "max_node_load_bytes",
@@ -138,6 +255,14 @@ pub const SWEEP_METRICS: [&str; 9] = [
     "avg_delay_cycles",
     "send_failures",
     "queue_drops",
+    "repair_attempts",
+    "repair_successes",
+    "tuples_lost",
+    "tuples_rerouted",
+    "recovery_bytes",
+    "reconv_cycles",
+    "reconv_observed",
+    "results_post_event",
 ];
 
 /// One grid point: everything that identifies a simulation configuration
@@ -151,6 +276,7 @@ pub struct CellSpec {
     pub rates: Rates,
     pub algo: Algorithm,
     pub opts: InnetOptions,
+    pub dynamics: DynamicsSpec,
 }
 
 impl CellSpec {
@@ -158,12 +284,18 @@ impl CellSpec {
         algo_name(self.algo, self.opts)
     }
 
+    pub fn dynamics_name(&self) -> String {
+        self.dynamics.name()
+    }
+
     /// Run this cell for one seed and return the metric values in
-    /// [`SWEEP_METRICS`] order. Seed covers topology, workload and link RNG,
-    /// exactly as the figure harness seeds its scenarios.
-    pub fn run_one(&self, seed: u64, cycles: u32, num_trees: usize) -> [f64; 9] {
+    /// [`SWEEP_METRICS`] order. Seed covers topology, workload, link RNG
+    /// and dynamics-plan victim draws, exactly as the figure harness seeds
+    /// its scenarios.
+    pub fn run_one(&self, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
-        let mut data = WorkloadData::new(&topo, Schedule::Uniform(self.rates), seed);
+        let plan = self.dynamics.plan(seed, &topo);
+        let mut data = WorkloadData::new(&topo, self.dynamics.schedule(self.rates), seed);
         if self.query.n_pairs() > 0 {
             data = data.with_pairs(self.query.n_pairs());
         }
@@ -180,7 +312,11 @@ impl CellSpec {
             sim,
             num_trees,
         };
-        let st = sc.run(cycles);
+        let mut run = sc.build();
+        run.initiate();
+        let outcome = run.execute_with_plan(cycles, &plan);
+        let rec = run.recovery_totals();
+        let st = run.stats();
         [
             st.total_traffic_bytes() as f64,
             st.base_load_bytes() as f64,
@@ -191,6 +327,14 @@ impl CellSpec {
             st.avg_delay_tx,
             (st.initiation.total_send_failures() + st.execution.total_send_failures()) as f64,
             (st.initiation.total_queue_drops() + st.execution.total_queue_drops()) as f64,
+            rec.repair_attempts as f64,
+            rec.repair_successes as f64,
+            (rec.tuples_lost + outcome.queued_msgs_lost) as f64,
+            rec.tuples_rerouted as f64,
+            rec.control_bytes as f64,
+            outcome.reconvergence_cycles.map(f64::from).unwrap_or(0.0),
+            outcome.reconvergence_cycles.is_some() as u8 as f64,
+            outcome.results_post_event as f64,
         ]
     }
 }
@@ -204,6 +348,9 @@ pub struct SweepGrid {
     pub queries: Vec<QueryId>,
     pub rates: Vec<Rates>,
     pub algorithms: Vec<(Algorithm, InnetOptions)>,
+    /// Network-dynamics scenarios (failure schedules, rate shifts, loss
+    /// ramps); `DynamicsSpec::None` is the static network.
+    pub dynamics: Vec<DynamicsSpec>,
     /// Replicate seeds; each cell runs once per seed.
     pub seeds: Vec<u64>,
     /// Execution sampling cycles per run.
@@ -230,6 +377,7 @@ impl Default for SweepGrid {
                 (Algorithm::Ght, InnetOptions::PLAIN),
                 (Algorithm::Innet, InnetOptions::CMG),
             ],
+            dynamics: vec![DynamicsSpec::None],
             seeds: seed_range(3),
             cycles: 60,
             num_trees: 3,
@@ -255,8 +403,38 @@ impl SweepGrid {
         }
     }
 
+    /// The §7-style recovery grid (`experiments recovery --quick`): the
+    /// explicitly-paired Query 0 on a 60-node network under a static
+    /// baseline plus three failure schedules firing mid-run, for plain
+    /// Innet and the learning MPO variant.
+    pub fn recovery_quick() -> Self {
+        SweepGrid {
+            sizes: vec![60],
+            queries: vec![QueryId::Q0],
+            algorithms: vec![
+                (Algorithm::Innet, InnetOptions::PLAIN),
+                (Algorithm::Innet, InnetOptions::CMG.with_learning()),
+            ],
+            dynamics: vec![
+                DynamicsSpec::None,
+                DynamicsSpec::RandomKill {
+                    count: 3,
+                    at_cycle: 20,
+                },
+                DynamicsSpec::JoinKill { at_cycle: 20 },
+                DynamicsSpec::RegionKill {
+                    radius: 1.5,
+                    at_cycle: 20,
+                },
+            ],
+            seeds: seed_range(2),
+            cycles: 40,
+            ..SweepGrid::default()
+        }
+    }
+
     /// Expand the grid to cells in the canonical nested order
-    /// (query, size, density, loss, rates, algorithm).
+    /// (query, size, density, loss, rates, algorithm, dynamics).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
         for &query in &self.queries {
@@ -265,15 +443,18 @@ impl SweepGrid {
                     for &loss in &self.loss_probs {
                         for &rates in &self.rates {
                             for &(algo, opts) in &self.algorithms {
-                                out.push(CellSpec {
-                                    nodes,
-                                    density,
-                                    loss,
-                                    query,
-                                    rates,
-                                    algo,
-                                    opts,
-                                });
+                                for &dynamics in &self.dynamics {
+                                    out.push(CellSpec {
+                                        nodes,
+                                        density,
+                                        loss,
+                                        query,
+                                        rates,
+                                        algo,
+                                        opts,
+                                        dynamics,
+                                    });
+                                }
                             }
                         }
                     }
@@ -296,7 +477,7 @@ impl SweepGrid {
             .enumerate()
             .flat_map(|(ci, _)| self.seeds.iter().map(move |&s| (ci, s)))
             .collect();
-        let samples: Vec<[f64; 9]> = parallel_map(&jobs, self.threads, |&(ci, seed)| {
+        let samples: Vec<[f64; 17]> = parallel_map(&jobs, self.threads, |&(ci, seed)| {
             cells[ci].run_one(seed, self.cycles, self.num_trees)
         });
         let per_cell = self.seeds.len();
@@ -369,6 +550,7 @@ impl SweepReport {
             "loss",
             "rates",
             "algorithm",
+            "dynamics",
             "runs",
             "traffic_kb",
             "base_kb",
@@ -385,6 +567,7 @@ impl SweepReport {
                 format!("{:.2}", c.spec.loss),
                 c.spec.rates.ratio_label(),
                 c.spec.algo_name(),
+                c.spec.dynamics_name(),
                 c.runs.to_string(),
                 kb(c.stat("total_traffic_bytes")),
                 kb(c.stat("base_load_bytes")),
@@ -404,6 +587,66 @@ impl SweepReport {
         t
     }
 
+    /// The recovery view (`experiments recovery`): per dynamics scenario,
+    /// result completeness around the event and the §7 reaction metrics —
+    /// repair success rate, tuples lost in transit, recovery control
+    /// overhead, and post-event cost re-convergence.
+    pub fn to_recovery_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "dynamics",
+            "algorithm",
+            "nodes",
+            "loss",
+            "runs",
+            "results",
+            "post_event",
+            "repairs",
+            "repair_ok",
+            "lost",
+            "rerouted",
+            "recov_b",
+            "reconv_cyc",
+        ]);
+        for c in &self.cells {
+            let att = c.stat("repair_attempts").mean;
+            let ok = c.stat("repair_successes").mean;
+            let rate = if att > 0.0 {
+                format!("{:.0}%", 100.0 * ok / att)
+            } else {
+                "-".to_string() // no repairs attempted: rate is undefined
+            };
+            // Mean re-convergence over the runs that actually settled;
+            // "-" when none did (or the cell is static) — a bare 0 would
+            // make never-converging cells look instantly settled.
+            let observed = c.stat("reconv_observed").mean;
+            let reconv = if observed > 0.0 {
+                format!("{:.1}", c.stat("reconv_cycles").mean / observed)
+            } else {
+                "-".to_string()
+            };
+            t.push_row(vec![
+                c.spec.dynamics_name(),
+                c.spec.algo_name(),
+                c.spec.nodes.to_string(),
+                format!("{:.2}", c.spec.loss),
+                c.runs.to_string(),
+                format!(
+                    "{:.0}±{:.0}",
+                    c.stat("results").mean,
+                    c.stat("results").ci95
+                ),
+                format!("{:.0}", c.stat("results_post_event").mean),
+                format!("{att:.1}"),
+                rate,
+                format!("{:.1}", c.stat("tuples_lost").mean),
+                format!("{:.1}", c.stat("tuples_rerouted").mean),
+                format!("{:.0}", c.stat("recovery_bytes").mean),
+                reconv,
+            ]);
+        }
+        t
+    }
+
     /// Wide-format CSV: one row per cell, (mean, stddev, ci95) per metric.
     pub fn to_csv(&self) -> String {
         let mut headers = vec![
@@ -413,6 +656,7 @@ impl SweepReport {
             "loss".to_string(),
             "rates".to_string(),
             "algorithm".to_string(),
+            "dynamics".to_string(),
             "runs".to_string(),
         ];
         for m in SWEEP_METRICS {
@@ -429,6 +673,7 @@ impl SweepReport {
                 format!("{}", c.spec.loss),
                 c.spec.rates.ratio_label(),
                 c.spec.algo_name(),
+                c.spec.dynamics_name(),
                 c.runs.to_string(),
             ];
             for m in SWEEP_METRICS {
@@ -458,6 +703,7 @@ impl SweepReport {
                     ("loss".into(), Json::num(c.spec.loss)),
                     ("rates".into(), Json::str(c.spec.rates.ratio_label())),
                     ("algorithm".into(), Json::str(c.spec.algo_name())),
+                    ("dynamics".into(), Json::str(c.spec.dynamics_name())),
                     ("runs".into(), Json::num(c.runs as f64)),
                     ("metrics".into(), Json::Obj(metrics)),
                 ])
@@ -497,14 +743,75 @@ mod tests {
         for (a, o) in [
             (Algorithm::Naive, InnetOptions::PLAIN),
             (Algorithm::Innet, InnetOptions::CMPG),
+            (Algorithm::Innet, InnetOptions::CMG.with_learning()),
         ] {
             let (pa, po) = parse_algo(&algo_name(a, o)).unwrap();
             assert_eq!(algo_name(pa, po), algo_name(a, o));
         }
         assert_eq!(parse_algo("ght").unwrap().0, Algorithm::Ght);
+        assert!(parse_algo("innet-cmg-learn").unwrap().1.learning);
         assert!(parse_algo("nope").is_none());
         assert_eq!(QueryId::parse("Q2"), Some(QueryId::Q2));
         assert_eq!(parse_density("grid"), Some(DensityClass::Grid));
+    }
+
+    #[test]
+    fn dynamics_parsing_round_trip() {
+        for d in [
+            DynamicsSpec::None,
+            DynamicsSpec::RandomKill {
+                count: 3,
+                at_cycle: 20,
+            },
+            DynamicsSpec::JoinKill { at_cycle: 15 },
+            DynamicsSpec::RegionKill {
+                radius: 1.5,
+                at_cycle: 8,
+            },
+            DynamicsSpec::RateShift { at_cycle: 30 },
+            DynamicsSpec::LossRamp {
+                loss: 0.25,
+                at_cycle: 10,
+            },
+        ] {
+            assert_eq!(DynamicsSpec::parse(&d.name()), Some(d), "{}", d.name());
+        }
+        assert_eq!(DynamicsSpec::parse("nope"), None);
+        assert_eq!(DynamicsSpec::parse("rand@3"), None);
+        assert_eq!(DynamicsSpec::parse("loss1.5@3"), None);
+    }
+
+    #[test]
+    fn dynamics_plan_expansion() {
+        let topo = TopologySpec::new(DensityClass::Moderate, 40, 7).build();
+        let none = DynamicsSpec::None.plan(7, &topo);
+        assert!(none.is_static());
+        let kill = DynamicsSpec::RandomKill {
+            count: 2,
+            at_cycle: 9,
+        }
+        .plan(7, &topo);
+        assert_eq!(kill.first_event_cycle(), Some(9));
+        // Rate shifts mark the plan and swap the schedule mid-run.
+        let shift = DynamicsSpec::RateShift { at_cycle: 12 };
+        assert_eq!(shift.plan(7, &topo).first_event_cycle(), Some(12));
+        let rates = Rates::new(10, 1, 5);
+        match shift.schedule(rates) {
+            Schedule::TemporalSwitch {
+                before,
+                after,
+                at_cycle,
+            } => {
+                assert_eq!(at_cycle, 12);
+                assert_eq!(before, rates);
+                assert_eq!(after, Rates::new(1, 10, 5));
+            }
+            other => panic!("expected temporal switch, got {other:?}"),
+        }
+        assert!(matches!(
+            DynamicsSpec::None.schedule(rates),
+            Schedule::Uniform(r) if r == rates
+        ));
     }
 
     #[test]
@@ -529,5 +836,39 @@ mod tests {
         assert!(csv.contains("total_traffic_bytes_mean"));
         let json = rep.to_json();
         assert!(json.contains("\"algorithm\": \"Naive\""));
+        assert!(json.contains("\"dynamics\": \"none\""));
+    }
+
+    #[test]
+    fn dynamics_sweep_reports_recovery_metrics() {
+        let g = SweepGrid {
+            sizes: vec![40],
+            loss_probs: vec![0.0],
+            queries: vec![QueryId::Q0],
+            algorithms: vec![(Algorithm::Innet, InnetOptions::PLAIN)],
+            dynamics: vec![DynamicsSpec::None, DynamicsSpec::JoinKill { at_cycle: 8 }],
+            seeds: seed_range(2),
+            cycles: 20,
+            ..SweepGrid::default()
+        };
+        let rep = g.run();
+        assert_eq!(rep.cells.len(), 2);
+        let faulty = rep
+            .find(|c| c.dynamics != DynamicsSpec::None)
+            .expect("faulty cell");
+        // The network reacted to the join-node kill...
+        assert!(
+            faulty.stat("repair_attempts").mean + faulty.stat("tuples_lost").mean > 0.0,
+            "no recovery activity recorded"
+        );
+        assert!(faulty.stat("recovery_bytes").mean > 0.0);
+        // ...and results kept arriving after the event.
+        assert!(faulty.stat("results_post_event").mean > 0.0);
+        // Static cell: events never fire, post-event results stay zero.
+        let clean = rep.find(|c| c.dynamics == DynamicsSpec::None).unwrap();
+        assert_eq!(clean.stat("results_post_event").mean, 0.0);
+        let table = rep.to_recovery_table().to_aligned_string();
+        assert!(table.contains("join@8"));
+        assert!(rep.to_csv().contains("repair_attempts_mean"));
     }
 }

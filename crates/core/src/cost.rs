@@ -28,10 +28,20 @@ impl Sigma {
         Sigma::new(r.sigma_s(), r.sigma_t(), r.sigma_st())
     }
 
-    /// Relative divergence between two estimates of one parameter —
-    /// the §6 re-optimization trigger compares against 33%.
+    /// Absolute floor for the divergence denominator. Selectivities are
+    /// probabilities, so a change smaller than `threshold × this` is
+    /// operationally meaningless no matter how large it looks *relatively*:
+    /// with `old ≈ 0` (e.g. a pair that has produced no join results yet) a
+    /// pure relative test declares any nonzero estimate "diverged" and
+    /// migrates the join node every evaluation — the thrash the hybrid
+    /// absolute/relative test below exists to prevent.
+    pub const DIVERGENCE_ABS_FLOOR: f64 = 0.02;
+
+    /// Hybrid divergence between two estimates of one parameter — the §6
+    /// re-optimization trigger compares against 33%. Relative for
+    /// non-negligible baselines, absolute (floored denominator) near zero.
     pub fn rel_divergence(old: f64, new: f64) -> f64 {
-        let denom = old.abs().max(1e-9);
+        let denom = old.abs().max(Self::DIVERGENCE_ABS_FLOOR);
         (new - old).abs() / denom
     }
 
@@ -265,6 +275,21 @@ mod tests {
         assert!(old.diverged(&sig(0.5, 0.5, 0.27), 0.33)); // 35% change
         assert!(old.diverged(&sig(0.1, 0.5, 0.2), 0.33));
         assert!(Sigma::rel_divergence(0.0, 0.1) > 1.0); // from zero: diverged
+    }
+
+    /// Regression (ISSUE 3): a pair with no join results yet (`old ≈ 0`)
+    /// must not treat a tiny nonzero estimate as >33% divergence — the
+    /// old `1e-9` denominator made `0 → 0.005` look like a 5-million-fold
+    /// change and re-migrated the join node on every evaluation cycle.
+    #[test]
+    fn near_zero_baseline_does_not_thrash() {
+        let cold = sig(0.5, 0.5, 0.0);
+        assert!(!cold.diverged(&sig(0.5, 0.5, 0.005), 0.33));
+        assert!(Sigma::rel_divergence(0.0, 0.005) < 0.33);
+        // Changes that matter in absolute terms still trigger.
+        assert!(cold.diverged(&sig(0.5, 0.5, 0.05), 0.33));
+        // And the relative test is unchanged away from zero.
+        assert!((Sigma::rel_divergence(0.4, 0.5) - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -52,15 +52,17 @@ pub mod shared;
 
 pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
 pub use msg::{Msg, Pair};
-pub use node::JoinNode;
-pub use scenario::{oracle_result_count, Run, RunStats, Scenario};
+pub use node::{JoinNode, RecoveryStats};
+pub use scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
 pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::cost::Sigma;
-    pub use crate::scenario::{oracle_result_count, Run, RunStats, Scenario};
+    pub use crate::node::RecoveryStats;
+    pub use crate::scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
     pub use crate::shared::{AlgoConfig, Algorithm, InnetOptions};
+    pub use sensor_sim::dynamics::DynamicsPlan;
     pub use sensor_sim::SimConfig;
     pub use sensor_workload::{Rates, Schedule};
 }

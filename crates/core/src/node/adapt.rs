@@ -62,7 +62,10 @@ impl JoinNode {
             return;
         }
         let Some(est) = st.stats.estimate(w) else {
-            st.stats.tick();
+            // No evidence yet: leave the local time span running.
+            // (`learning_tick` already ticked every pair this cycle; an
+            // extra tick here double-counted evaluation cycles and deflated
+            // every σ estimate — ISSUE 3 regression.)
             return;
         };
         if !st.assumed.diverged(&est, threshold) {
@@ -293,7 +296,12 @@ impl JoinNode {
     pub(super) fn handle_send_failure(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, msg: Msg) {
         self.known_dead.insert(to);
         // Local liveness probing around the failure (costed).
+        self.recovery.control_bytes +=
+            Msg::Probe.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
         self.broadcast(ctx, Msg::Probe);
+        // Splice my own stored paths around the dead node so later traffic
+        // and placement decisions stop referencing it.
+        self.patch_paths_around(to);
         match msg {
             Msg::Data {
                 from,
@@ -302,13 +310,19 @@ impl JoinNode {
                 route: Route::Path { path, pos },
                 fallback,
             } => {
+                self.recovery.repair_attempts += 1;
                 let alive = |n: NodeId| !self.known_dead.contains(&n) && !self.sh.is_dead(n);
                 match repair_path(&self.sh.topo, &path, to, alive) {
                     Some(new_path) => {
+                        self.recovery.repair_successes += 1;
                         // Resume from my position on the repaired path and
                         // tell the producer about the detour.
-                        if let Some(my_pos) = new_path.iter().position(|&n| n == self.id) {
-                            if my_pos + 1 < new_path.len() {
+                        let resume = new_path
+                            .iter()
+                            .position(|&n| n == self.id)
+                            .filter(|&p| p + 1 < new_path.len());
+                        match resume {
+                            Some(my_pos) => {
                                 let m = Msg::Data {
                                     from,
                                     sides,
@@ -321,10 +335,40 @@ impl JoinNode {
                                 };
                                 self.send(ctx, new_path[my_pos + 1], m);
                             }
+                            None => {
+                                // The repaired path no longer runs through
+                                // me (stale or desynced route). Divert the
+                                // in-flight tuple onto the routing tree
+                                // instead of dropping it (ISSUE 3
+                                // regression). `forward_tree_up` returns
+                                // true even with no alive parent, so check
+                                // the parent to keep the salvage counter
+                                // honest.
+                                let m = Msg::Data {
+                                    from,
+                                    sides,
+                                    tuple,
+                                    route: Route::TreeUp,
+                                    fallback,
+                                };
+                                if !self.forward_tree_up(ctx, m) {
+                                    self.base_consume_data(ctx, from, sides, tuple, fallback);
+                                    self.recovery.tuples_rerouted += 1;
+                                } else if self.alive_parent().is_some() {
+                                    self.recovery.tuples_rerouted += 1;
+                                } else {
+                                    // Isolated from the tree: nothing left.
+                                    self.recovery.tuples_lost += 1;
+                                }
+                            }
                         }
                         self.notify_route_broken(ctx, from, to, &path, pos, false);
                     }
                     None => {
+                        // No local bypass: this tuple instance is gone; the
+                        // producer's buffered fallback (§7) re-ships its
+                        // window to the base.
+                        self.recovery.tuples_lost += 1;
                         self.notify_route_broken(ctx, from, to, &path, pos, true);
                     }
                 }
@@ -366,11 +410,113 @@ impl JoinNode {
                 ..
             } => {
                 let _ = from;
+                self.recovery.tuples_lost += 1;
                 self.notify_route_broken(ctx, owner, to, &[], 0, true);
+            }
+            // A lost migration hand-off would strand the pair entirely —
+            // the old join node already dropped its state. Divert the
+            // transfer onto the routing tree with the destination retargeted
+            // to the base (`new_j_idx: None`): the intended join node is
+            // unreachable, and a tree-up transfer that kept `Some(j)` would
+            // make the base adopt a pair whose assigns point at a node that
+            // never received the window state.
+            Msg::WindowXfer {
+                pair,
+                seq,
+                path,
+                hops,
+                assumed,
+                win_s,
+                win_t,
+                ..
+            } => {
+                if self.id == self.sh.base() || self.alive_parent().is_some() {
+                    self.on_window_xfer(
+                        ctx,
+                        pair,
+                        seq,
+                        path,
+                        hops,
+                        None,
+                        assumed,
+                        win_s,
+                        win_t,
+                        Route::TreeUp,
+                    );
+                } else {
+                    // Isolated from the tree: the migration state is
+                    // unrecoverable (the old join node already dropped it).
+                    // Record the loss instead of pretending the divert
+                    // succeeded.
+                    self.recovery.tuples_lost += (win_s.len() + win_t.len()) as u64;
+                }
             }
             // Control traffic losses during initiation self-correct via
             // re-nomination; drop silently.
             _ => {}
+        }
+    }
+
+    /// Splice every stored path (producer assignments, join-node pair
+    /// state, base-registered pairs) around a newly-dead node, recomputing
+    /// the `hops` base-distance vector and remapping `j_idx` — stale
+    /// pre-repair distances would otherwise keep feeding §6's placement
+    /// decisions (ISSUE 3 regression). Paths whose join node *is* the dead
+    /// node are left for the fatal base-fallback handling.
+    pub(super) fn patch_paths_around(&mut self, failed: NodeId) {
+        let sh = &self.sh;
+        let known_dead = &self.known_dead;
+        let alive = |n: NodeId| !known_dead.contains(&n) && !sh.is_dead(n) && n != failed;
+        let patch =
+            |path: &mut Vec<NodeId>, hops: &mut Vec<u16>, j_idx: &mut Option<usize>| -> bool {
+                if path.is_empty() || !path.contains(&failed) {
+                    return false;
+                }
+                let old_j = j_idx.map(|j| path[j]);
+                if old_j == Some(failed) {
+                    return false;
+                }
+                let Some(new_path) = repair_path(&sh.topo, path, failed, alive) else {
+                    return false;
+                };
+                let new_j = match old_j {
+                    // Bypass splices keep every non-failed node, but guard
+                    // anyway: losing the join node would corrupt j_idx.
+                    Some(j) => match new_path.iter().position(|&n| n == j) {
+                        Some(p) => Some(p),
+                        None => return false,
+                    },
+                    None => None,
+                };
+                *hops = new_path.iter().map(|&n| sh.sub.hops_to_base(n)).collect();
+                *path = new_path;
+                *j_idx = new_j;
+                true
+            };
+        let mut patched = 0u64;
+        let mut assigns_patched = false;
+        for a in self.assigns.values_mut() {
+            if !a.base_mode && patch(&mut a.path, &mut a.hops, &mut a.j_idx) {
+                patched += 1;
+                assigns_patched = true;
+            }
+        }
+        for st in self.pairs.values_mut() {
+            if patch(&mut st.path, &mut st.hops, &mut st.j_idx) {
+                patched += 1;
+            }
+        }
+        if let Some(b) = self.base.as_mut() {
+            for st in b.pairs.values_mut() {
+                if patch(&mut st.path, &mut st.hops, &mut st.j_idx) {
+                    patched += 1;
+                }
+            }
+        }
+        self.recovery.paths_patched += patched;
+        if assigns_patched {
+            // Producer routes changed: the multicast tree must follow.
+            self.mc_dirty = true;
         }
     }
 
@@ -404,6 +550,8 @@ impl JoinNode {
                 path: back_path.clone(),
                 pos: 1,
             };
+            self.recovery.control_bytes +=
+                msg.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
             self.send(ctx, back_path[1], msg);
         }
     }
@@ -432,9 +580,15 @@ impl JoinNode {
     /// tuples so the base can reconstruct the join window.
     fn producer_route_broken(&mut self, ctx: &mut Ctx<'_, Msg>, failed: NodeId, fatal: bool) {
         self.known_dead.insert(failed);
+        // Adopt the detour locally: splice my stored paths around the dead
+        // node so future tuples route past it directly instead of hitting
+        // the same upstream repair every cycle.
+        self.patch_paths_around(failed);
         if !fatal {
             return;
         }
+        // Only pairs the local splice could not save (join node dead, or
+        // no bypass within limited exploration) fall back to the base.
         let affected: Vec<Pair> = self
             .assigns
             .values()
@@ -450,6 +604,7 @@ impl JoinNode {
                 a.base_mode = true;
             }
         }
+        self.recovery.base_fallbacks += affected.len() as u64;
         self.mc_dirty = true;
         // Forward the last w tuples, tagged so the base pins the pair.
         let my_side = if affected.iter().any(|p| p.s == self.id) {

@@ -139,6 +139,44 @@ pub struct CoordState {
     pub last_decision: Option<bool>,
 }
 
+/// §7 recovery accounting at one node: how the failure-handling layer
+/// reacted to abandoned sends. Aggregated network-wide by the harness
+/// (`Run::recovery_totals`) into the dynamics sweeps' recovery metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Path repairs attempted after an abandoned in-flight data unicast.
+    pub repair_attempts: u64,
+    /// Repairs that found a local bypass (§7's limited exploration).
+    pub repair_successes: u64,
+    /// In-flight tuples dropped with no immediate re-route (the producer's
+    /// buffered fallback is their only remaining chance).
+    pub tuples_lost: u64,
+    /// In-flight tuples salvaged by diverting onto the routing tree when
+    /// the repaired path no longer runs through this node.
+    pub tuples_rerouted: u64,
+    /// Payload bytes of recovery control traffic this node originated
+    /// (liveness probes and route-broken notifications).
+    pub control_bytes: u64,
+    /// Pairs this producer switched to base-mode on a fatal route break.
+    pub base_fallbacks: u64,
+    /// Stored path/hops vectors recomputed after a successful repair, so
+    /// later placement decisions use post-repair distances.
+    pub paths_patched: u64,
+}
+
+impl RecoveryStats {
+    /// Sum another node's counters into this one.
+    pub fn absorb(&mut self, o: &RecoveryStats) {
+        self.repair_attempts += o.repair_attempts;
+        self.repair_successes += o.repair_successes;
+        self.tuples_lost += o.tuples_lost;
+        self.tuples_rerouted += o.tuples_rerouted;
+        self.control_bytes += o.control_bytes;
+        self.base_fallbacks += o.base_fallbacks;
+        self.paths_patched += o.paths_patched;
+    }
+}
+
 /// The protocol instance at one node.
 pub struct JoinNode {
     pub id: NodeId,
@@ -180,6 +218,8 @@ pub struct JoinNode {
     pub coord: BTreeMap<u64, CoordState>,
     /// Locally discovered dead neighbors.
     pub known_dead: HashSet<NodeId>,
+    /// §7 recovery reaction counters (see [`RecoveryStats`]).
+    pub recovery: RecoveryStats,
     /// Diagnostics: join results this node produced as a join node.
     pub produced_results: u64,
 }
@@ -214,6 +254,7 @@ impl JoinNode {
             group_t: None,
             coord: BTreeMap::new(),
             known_dead: HashSet::new(),
+            recovery: RecoveryStats::default(),
             produced_results: 0,
             sh,
         }

@@ -2,7 +2,7 @@
 //! a simulation, drives the initiation and execution phases, and collects
 //! the statistics every figure reports.
 
-use crate::node::JoinNode;
+use crate::node::{JoinNode, RecoveryStats};
 use crate::shared::{AlgoConfig, Algorithm, Shared};
 use sensor_net::{NodeId, Topology};
 use sensor_query::schema::{
@@ -11,6 +11,7 @@ use sensor_query::schema::{
 use sensor_query::JoinQuerySpec;
 use sensor_routing::ght::GpsrRouter;
 use sensor_routing::substrate::{IndexedAttr, MultiTreeSubstrate};
+use sensor_sim::dynamics::DynamicsPlan;
 use sensor_sim::{Engine, Metrics, SimConfig};
 use sensor_summaries::SummaryKind;
 use sensor_workload::WorkloadData;
@@ -228,27 +229,70 @@ impl Run {
         self.engine.run_until_quiet(5_000);
     }
 
-    /// Run execution with a node failure injected at `fail_cycle`.
+    /// Run execution with a node failure injected at `fail_cycle`
+    /// (single-victim convenience over [`Run::execute_with_plan`]).
     pub fn execute_with_failure(&mut self, cycles: u32, victim: NodeId, fail_cycle: u32) {
+        let plan = DynamicsPlan::none().kill_nodes(fail_cycle, vec![victim]);
+        self.execute_with_plan(cycles, &plan);
+    }
+
+    /// Run execution under a declarative dynamics plan: scheduled fault
+    /// events, loss shifts and workload-shift marks fire at sampling-cycle
+    /// boundaries; per-cycle traffic is tracked for recovery accounting.
+    pub fn execute_with_plan(&mut self, cycles: u32, plan: &DynamicsPlan) -> DynamicsOutcome {
+        let base = self.shared.base();
+        // Events scheduled at or beyond the run length never fire; they
+        // must not skew the pre/post-event split or re-convergence.
+        let first_event = plan.first_event_before(cycles);
+        let last_event = plan.last_event_before(cycles);
+        let mut out = DynamicsOutcome::default();
+        let results_at = |engine: &sensor_sim::Engine<JoinNode>| {
+            engine
+                .node(base)
+                .base_state()
+                .map(|b| b.results)
+                .unwrap_or(0)
+        };
         for c in 0..cycles {
-            if c == fail_cycle {
-                self.shared.mark_dead(victim);
-                self.engine.kill(victim);
+            if Some(c) == first_event {
+                out.results_pre_event = results_at(&self.engine);
             }
+            // `Picked` targets resolve to the busiest join node — §7's
+            // worst-case victim (Fig 14).
+            let fired = plan.fire(c, &mut self.engine, |eng| busiest_join_node_of(eng, base));
+            out.queued_msgs_lost += fired.queued_msgs_dropped;
+            for &v in &fired.killed {
+                self.shared.mark_dead(v);
+                out.killed.push((c, v));
+            }
+            let tx_before = self.engine.metrics().total_tx_bytes();
             self.engine.sampling_cycle(c);
+            out.per_cycle_tx_bytes
+                .push(self.engine.metrics().total_tx_bytes() - tx_before);
         }
         self.engine.run_until_quiet(5_000);
+        let total = results_at(&self.engine);
+        if first_event.is_none() {
+            out.results_pre_event = total;
+        }
+        out.results_post_event = total - out.results_pre_event;
+        out.reconvergence_cycles = reconvergence(&out.per_cycle_tx_bytes, first_event, last_event);
+        out
+    }
+
+    /// Network-wide sum of the per-node §7 recovery counters.
+    pub fn recovery_totals(&self) -> RecoveryStats {
+        let mut total = RecoveryStats::default();
+        for node in self.engine.nodes() {
+            total.absorb(&node.recovery);
+        }
+        total
     }
 
     /// The join node currently serving the most pairs (failure target
     /// selection for Fig 14).
     pub fn busiest_join_node(&self) -> Option<NodeId> {
-        let base = self.shared.base();
-        (0..self.engine.topology().len() as u16)
-            .map(NodeId)
-            .filter(|&id| id != base)
-            .max_by_key(|&id| self.engine.node(id).pair_count())
-            .filter(|&id| self.engine.node(id).pair_count() > 0)
+        busiest_join_node_of(&self.engine, self.shared.base())
     }
 
     pub fn stats(&self) -> RunStats {
@@ -276,6 +320,65 @@ impl Run {
             base,
         }
     }
+}
+
+/// What happened during a dynamics-driven execution: who died when, what
+/// was lost with them, and how the system's cost behaved around the
+/// events. Complements [`RunStats`] (traffic/results) and
+/// [`Run::recovery_totals`] (protocol-level recovery reactions).
+#[derive(Debug, Clone, Default)]
+pub struct DynamicsOutcome {
+    /// `(cycle, node)` for every node the plan killed.
+    pub killed: Vec<(u32, NodeId)>,
+    /// Messages discarded from victims' queues at kill time.
+    pub queued_msgs_lost: u64,
+    /// Execution TX bytes per sampling cycle (recovery-overhead trace).
+    pub per_cycle_tx_bytes: Vec<u64>,
+    /// Join results delivered before the first scheduled event (all of
+    /// them, for a static plan).
+    pub results_pre_event: u64,
+    /// Join results delivered at or after the first scheduled event.
+    pub results_post_event: u64,
+    /// Sampling cycles after the last event until per-cycle traffic
+    /// settled back within 25% of the pre-event baseline for 3 consecutive
+    /// cycles. `None` for static plans or if the run ended first.
+    pub reconvergence_cycles: Option<u32>,
+}
+
+/// The alive non-base node serving the most join pairs.
+fn busiest_join_node_of(engine: &sensor_sim::Engine<JoinNode>, base: NodeId) -> Option<NodeId> {
+    (0..engine.topology().len() as u16)
+        .map(NodeId)
+        .filter(|&id| id != base && engine.is_alive(id))
+        .max_by_key(|&id| engine.node(id).pair_count())
+        .filter(|&id| engine.node(id).pair_count() > 0)
+}
+
+/// Post-event cost re-convergence: cycles after `last_event` until the
+/// per-cycle traffic trace stays within 25% of the pre-event mean for 3
+/// consecutive cycles (dropping *below* the baseline — dead producers —
+/// also counts as settled).
+fn reconvergence(
+    per_cycle: &[u64],
+    first_event: Option<u32>,
+    last_event: Option<u32>,
+) -> Option<u32> {
+    const WINDOW: usize = 3;
+    let (first, last) = (first_event? as usize, last_event? as usize);
+    if first == 0 || last + 1 >= per_cycle.len() {
+        return None;
+    }
+    // Baseline: mean over (up to) the last 10 pre-event cycles.
+    let pre = &per_cycle[first.saturating_sub(10)..first];
+    let baseline = pre.iter().sum::<u64>() as f64 / pre.len() as f64;
+    let ceiling = baseline * 1.25;
+    let trace = &per_cycle[last + 1..];
+    for (i, w) in trace.windows(WINDOW).enumerate() {
+        if w.iter().all(|&x| (x as f64) <= ceiling) {
+            return Some((i + 1) as u32);
+        }
+    }
+    None
 }
 
 /// Oracle: expected number of join results over `cycles` sampling cycles,

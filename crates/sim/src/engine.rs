@@ -223,10 +223,21 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Permanently fail a node (§7): its queue is discarded and it neither
-    /// transmits nor receives from now on.
-    pub fn kill(&mut self, id: NodeId) {
+    /// transmits nor receives from now on. Returns the number of queued
+    /// messages discarded with it (traffic lost in transit to the failure).
+    pub fn kill(&mut self, id: NodeId) -> usize {
         self.alive[id.index()] = false;
-        self.outboxes[id.index()].clear();
+        let q = &mut self.outboxes[id.index()];
+        let dropped = q.len();
+        q.clear();
+        dropped
+    }
+
+    /// Change the link-loss probability mid-run (environmental shifts and
+    /// the dynamics plans' loss ramps).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss probability must be in [0,1)");
+        self.cfg.loss_prob = p;
     }
 
     /// Any messages still queued anywhere?

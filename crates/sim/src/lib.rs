@@ -14,18 +14,23 @@
 //!   every figure;
 //! - radio broadcast lets neighbors *snoop* on transmissions — the hook the
 //!   path-collapsing optimization (Appendix E) relies on;
-//! - nodes can be killed mid-run for the failure experiments (§7).
+//! - nodes can be killed mid-run for the failure experiments (§7), either
+//!   directly or through a declarative [`dynamics::DynamicsPlan`] of
+//!   scheduled faults (uniform-random, targeted, region outages) and
+//!   link-loss shifts fired at cycle boundaries.
 //!
 //! Protocols (the join algorithms of `aspen-join`) implement [`Protocol`]
 //! and are instantiated once per node; the engine owns them and dispatches
 //! link-layer events deterministically (node-id order, seeded RNG).
 
 pub mod config;
+pub mod dynamics;
 pub mod engine;
 pub mod metrics;
 pub mod sweep;
 
 pub use config::SimConfig;
+pub use dynamics::{DynamicsPlan, FaultEvent, FaultTarget, FireOutcome, LossShift};
 pub use engine::{Ctx, Engine, Protocol};
 pub use metrics::{Metrics, NodeMetrics};
 pub use sweep::{parallel_map, Json, SummaryStat, Table};

@@ -5,7 +5,10 @@
 //! the subsystem crates under one roof for examples and integration tests.
 //!
 //! - [`net`] — topologies and geometry
-//! - [`sim`] — the discrete-time network simulator
+//! - [`sim`] — the discrete-time network simulator, including the
+//!   network-dynamics subsystem ([`sim::dynamics`]): declarative fault
+//!   plans (scheduled kills, region outages, loss ramps) fired at
+//!   sampling-cycle boundaries
 //! - [`summaries`] — Bloom filter / interval / R-tree index summaries
 //! - [`routing`] — routing trees, the multi-tree substrate, GHT/GPSR, DHT
 //! - [`query`] — query model, CNF, static/dynamic predicate classification
@@ -14,7 +17,8 @@
 //!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants)
 //! - [`bench`] — the experiment harness, including the declarative
 //!   multi-seed scenario-sweep subsystem ([`bench::sweep`], built on the
-//!   engine-side fan-out in [`sim::sweep`])
+//!   engine-side fan-out in [`sim::sweep`]) with its `dynamics` grid
+//!   dimension and §7 recovery metrics (`experiments recovery`)
 
 pub use aspen_bench as bench;
 pub use aspen_join as join;

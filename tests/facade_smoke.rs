@@ -83,6 +83,25 @@ fn every_facade_reexport_resolves() {
     let report = grid.run();
     assert_eq!(report.cells.len(), grid.cells().len());
     assert!(report.to_json().contains("\"cells\""));
+
+    // aspen::sim::dynamics + the sweep grid's dynamics dimension — the
+    // network-dynamics subsystem (fault plans, §7 recovery metrics).
+    let plan = aspen::sim::dynamics::DynamicsPlan::none().kill_random(3, 1);
+    assert_eq!(plan.first_event_cycle(), Some(3));
+    let spec = aspen::bench::sweep::DynamicsSpec::parse("rand2@3").expect("dynamics slug");
+    let faulty = aspen::bench::sweep::SweepGrid {
+        sizes: vec![25],
+        seeds: vec![1000],
+        cycles: 6,
+        dynamics: vec![spec],
+        ..Default::default()
+    };
+    let report = faulty.run();
+    assert!(report.to_json().contains("\"dynamics\": \"rand2@3\""));
+    assert!(report
+        .to_recovery_table()
+        .to_aligned_string()
+        .contains("rand2@3"));
 }
 
 /// Keep the 4 `examples/*.rs` compiling as part of the test flow: this
