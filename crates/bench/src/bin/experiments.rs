@@ -18,8 +18,10 @@
 //! wins, by what rough factor, and where crossovers fall. EXPERIMENTS.md
 //! records paper-vs-measured for every experiment.
 
+use aspen_bench::multiq::MultiqConfig;
 use aspen_bench::sweep::{
-    parse_algo, parse_density, seed_range, DynamicsSpec, QueryId, SweepGrid, SEED_BASE,
+    parse_algo, parse_density, seed_range, DynamicsSpec, MultiSpec, QueryId, SweepGrid,
+    WorkloadSel, SEED_BASE,
 };
 use aspen_bench::*;
 use aspen_join::prelude::*;
@@ -45,10 +47,66 @@ impl Opts {
     }
 }
 
+type ExpFn = fn(&Opts);
+
+/// Every named experiment, in presentation order. `main`'s dispatch *and*
+/// the usage string derive from this one table, so a new experiment
+/// registers exactly once and can no longer be omitted from the usage
+/// list (the drift this replaces: sweep/recovery were missing from it).
+const EXPERIMENTS: &[(&str, ExpFn)] = &[
+    ("table1", table1),
+    ("table2", table2),
+    ("table3", table3),
+    ("fig2", |o| fig2_or_3(o, false)),
+    ("fig3", |o| fig2_or_3(o, true)),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("fig13", fig13),
+    ("fig14", fig14),
+    ("fig16", fig16),
+    ("fig17", fig17),
+    ("fig18", fig18),
+    ("fig19", |o| fig19_or_20(o, false)),
+    ("fig20", |o| fig19_or_20(o, true)),
+    ("appg", appg),
+];
+
+/// Grid-style subcommands with their own argument grammar, dispatched
+/// before figure parsing. Also part of the generated usage.
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("sweep", "declarative multi-seed scenario grid"),
+    ("recovery", "§7 failure schedules + recovery metrics"),
+    (
+        "multiq",
+        "concurrent multi-query workloads, shared vs independent",
+    ),
+];
+
+fn usage_string() -> String {
+    let ids: Vec<&str> = EXPERIMENTS.iter().map(|&(n, _)| n).collect();
+    let mut out = format!(
+        "usage: experiments <{}|all> [--quick|--full|--seeds N|--cycles N]\n",
+        ids.join("|")
+    );
+    for (name, blurb) in SUBCOMMANDS {
+        out.push_str(&format!(
+            "       experiments {name} [options]   # {blurb} (see `{name} --help`)\n"
+        ));
+    }
+    out.pop();
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // The sweep/recovery subcommands own their argument grammar
-    // (list-valued flags).
+    // The grid subcommands own their argument grammar (list-valued flags).
     match args.first().map(String::as_str) {
         Some("sweep") => {
             sweep_cmd(&args[1..], SweepMode::Sweep);
@@ -56,6 +114,10 @@ fn main() {
         }
         Some("recovery") => {
             sweep_cmd(&args[1..], SweepMode::Recovery);
+            return;
+        }
+        Some("multiq") => {
+            multiq_cmd(&args[1..]);
             return;
         }
         _ => {}
@@ -84,47 +146,22 @@ fn main() {
         }
     }
     if which.is_empty() {
-        eprintln!("usage: experiments <table1|table2|table3|fig2|...|fig20|appg|all|sweep|recovery> [--quick|--full|--seeds N|--cycles N]");
-        eprintln!("       experiments sweep --help");
-        eprintln!("       experiments recovery --help");
+        eprintln!("{}", usage_string());
         std::process::exit(2);
     }
-    let all = [
-        "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "fig19",
-        "fig20", "appg",
-    ];
     let selected: Vec<&str> = if which.iter().any(|w| w == "all") {
-        all.to_vec()
+        EXPERIMENTS.iter().map(|&(n, _)| n).collect()
     } else {
         which.iter().map(String::as_str).collect()
     };
     for exp in selected {
         let t0 = std::time::Instant::now();
-        match exp {
-            "table1" => table1(&opts),
-            "table2" => table2(),
-            "table3" => table3(&opts),
-            "fig2" => fig2_or_3(&opts, false),
-            "fig3" => fig2_or_3(&opts, true),
-            "fig4" => fig4(&opts),
-            "fig5" => fig5(&opts),
-            "fig6" => fig6(&opts),
-            "fig7" => fig7(&opts),
-            "fig8" => fig8(&opts),
-            "fig9" => fig9(&opts),
-            "fig10" => fig10(&opts),
-            "fig11" => fig11(&opts),
-            "fig12" => fig12(&opts),
-            "fig13" => fig13(&opts),
-            "fig14" => fig14(&opts),
-            "fig16" => fig16(&opts),
-            "fig17" => fig17(&opts),
-            "fig18" => fig18(&opts),
-            "fig19" => fig19_or_20(&opts, false),
-            "fig20" => fig19_or_20(&opts, true),
-            "appg" => appg(&opts),
-            other => eprintln!("unknown experiment: {other}"),
+        match EXPERIMENTS.iter().find(|&&(n, _)| n == exp) {
+            Some(&(_, f)) => f(&opts),
+            None => {
+                eprintln!("unknown experiment: {exp}\n{}", usage_string());
+                continue;
+            }
         }
         eprintln!("[{exp} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
@@ -151,7 +188,9 @@ const SWEEP_USAGE: &str = "usage: experiments <sweep|recovery> [options]
   --sizes N,N,..       topology sizes            (default 100)
   --densities a,b,..   sparse|moderate|medium|dense|grid (default moderate)
   --loss p,p,..        link-loss probabilities   (default 0.05)
-  --queries q,q,..     q0|q1|q2|q3               (default q1)
+  --queries q,q,..     q0|q1|q2|q3, or concurrent sets qKxN / mixN with
+                       optional @S arrival stagger and +shared aggregation
+                       (e.g. q1x4, mix4@5+shared)  (default q1)
   --st-dens N,N,..     sigma_st denominators, crossed with the 5 ratio stages
   --algos a,a,..       naive|base|ght|yang+07|innet|innet-cm|innet-cmp|innet-cmg|innet-cmpg|innet-learn|innet-cmg-learn
   --dynamics d,d,..    network-dynamics scenarios fired at cycle boundaries:
@@ -251,7 +290,8 @@ fn sweep_cmd(args: &[String], mode: SweepMode) {
                 grid.queries = csv_items(a, it.next())
                     .iter()
                     .map(|s| {
-                        QueryId::parse(s).unwrap_or_else(|| sweep_bad(&format!("bad query {s}")))
+                        WorkloadSel::parse(s)
+                            .unwrap_or_else(|| sweep_bad(&format!("bad query {s}")))
                     })
                     .collect();
             }
@@ -368,6 +408,151 @@ fn sweep_cmd(args: &[String], mode: SweepMode) {
 }
 
 // ----------------------------------------------------------------------
+// The `multiq` subcommand: concurrent multi-query workloads on one
+// network, both sharing modes compared side by side.
+
+const MULTIQ_USAGE: &str = "usage: experiments multiq [options]
+  --quick              CI smoke config (60 nodes, 4 mixed queries, 2 seeds, 20 cycles)
+  --nodes N            topology size                  (default 100)
+  --queries SPEC       workload: qKxN | mixN, optional @S arrival stagger
+                       (default mix4; any +shared/+indep suffix is ignored —
+                       both sharing modes always run and are compared)
+  --algo A             naive|base|innet|innet-cm|innet-cmg|... (default innet-cmg)
+  --loss P             link-loss probability          (default 0.05)
+  --seeds N            replicate seeds per mode       (default 3)
+  --cycles N           execution sampling cycles      (default 40)
+  --trees N            routing trees                  (default 3)
+  --threads N          OS threads, 0 = all cores      (default 0)
+  --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
+                       (default target/multiq/multiq)
+  --check-determinism  re-run single-threaded and verify identical output";
+
+fn multiq_bad(msg: &str) -> ! {
+    eprintln!("multiq: {msg}\n{MULTIQ_USAGE}");
+    std::process::exit(2);
+}
+
+fn multiq_cmd(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        MultiqConfig::quick()
+    } else {
+        MultiqConfig::default()
+    };
+    let mut out_prefix = "target/multiq/multiq".to_string();
+    let mut check_determinism = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{MULTIQ_USAGE}");
+                return;
+            }
+            "--quick" => {}
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --nodes"));
+            }
+            "--queries" => {
+                let s = it.next().unwrap_or_else(|| multiq_bad("missing --queries"));
+                let m = MultiSpec::parse(s)
+                    .unwrap_or_else(|| multiq_bad(&format!("bad workload spec {s}")));
+                cfg.n_queries = m.n;
+                cfg.base_query = m.base;
+                cfg.stagger = m.stagger;
+            }
+            "--algo" => {
+                let s = it.next().unwrap_or_else(|| multiq_bad("missing --algo"));
+                cfg.algo =
+                    parse_algo(s).unwrap_or_else(|| multiq_bad(&format!("bad algorithm {s}")));
+            }
+            "--loss" => {
+                let p: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --loss"));
+                if !(0.0..1.0).contains(&p) {
+                    multiq_bad("loss outside [0,1)");
+                }
+                cfg.loss = p;
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --seeds"));
+                if n == 0 {
+                    multiq_bad("--seeds must be at least 1");
+                }
+                cfg.seeds = seed_range(n);
+            }
+            "--cycles" => {
+                cfg.cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --cycles"));
+            }
+            "--trees" => {
+                cfg.num_trees = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --trees"));
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --threads"));
+            }
+            "--out" => {
+                out_prefix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| multiq_bad("bad --out"));
+            }
+            "--check-determinism" => check_determinism = true,
+            other => multiq_bad(&format!("unknown option {other}")),
+        }
+    }
+    eprintln!(
+        "multiq: {} x {} queries, 2 modes x {} seeds = {} runs",
+        cfg.spec(aspen_join::Sharing::Independent).name(),
+        cfg.n_queries,
+        cfg.seeds.len(),
+        2 * cfg.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = cfg.run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("{}", report.to_table().to_aligned_string());
+    println!("{}", report.savings_line());
+    if check_determinism {
+        let mut single = cfg.clone();
+        single.threads = 1;
+        let rerun = single.run();
+        assert_eq!(
+            report.to_json(),
+            rerun.to_json(),
+            "multiq output must not depend on thread count"
+        );
+        eprintln!("determinism check: multi-threaded == single-threaded ✓");
+    }
+    if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
+    std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
+    eprintln!(
+        "multiq: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
+        2 * cfg.seeds.len()
+    );
+}
+
+// ----------------------------------------------------------------------
 // Table 1: attribute distributions of the synthetic workload.
 fn table1(_o: &Opts) {
     println!("== Table 1: attribute sanity over the 100-node topology ==");
@@ -400,7 +585,7 @@ fn table1(_o: &Opts) {
 }
 
 // Table 2: the compiled query workload.
-fn table2() {
+fn table2(_o: &Opts) {
     println!("== Table 2: compiled query workload ==");
     for (q, w) in [
         (query0(3), 3usize),
@@ -543,7 +728,7 @@ fn fig2_or_3(o: &Opts, q2: bool) {
     };
     let st_dens = [5u16, 10, 20];
     let grid = SweepGrid {
-        queries: vec![query],
+        queries: vec![query.into()],
         rates: Rates::ratio_stages(5)
             .iter()
             .flat_map(|stage| st_dens.map(|st| Rates::new(stage.s_den, stage.t_den, st)))
@@ -883,7 +1068,7 @@ fn fig9(o: &Opts) {
     println!();
     for d in durations {
         let grid = SweepGrid {
-            queries: vec![QueryId::Q2],
+            queries: vec![QueryId::Q2.into()],
             rates: vec![Rates::new(2, 2, 10)],
             algorithms: algos.clone(),
             seeds: seed_range(o.seeds.min(3)),
@@ -906,7 +1091,7 @@ fn fig9(o: &Opts) {
         InnetOptions::CMPG,
     ];
     let grid = SweepGrid {
-        queries: vec![QueryId::Q2],
+        queries: vec![QueryId::Q2.into()],
         rates: [5u16, 10, 20].map(|st| Rates::new(2, 2, st)).to_vec(),
         algorithms: variants.map(|v| (Algorithm::Innet, v)).to_vec(),
         seeds: seed_range(o.seeds.min(3)),
@@ -1410,7 +1595,7 @@ fn fig19_or_20(o: &Opts, q2: bool) {
         (Algorithm::Innet, InnetOptions::CMG),
     ];
     let grid = SweepGrid {
-        queries: vec![query],
+        queries: vec![query.into()],
         rates: Rates::ratio_stages(5)
             .iter()
             .flat_map(|stage| st_dens.map(|st| Rates::new(stage.s_den, stage.t_den, st)))

@@ -1,9 +1,12 @@
 //! Experiment harness support: seed-averaged runs, confidence intervals,
 //! and the standard scenario builders shared by every figure.
 //!
-//! The declarative multi-dimensional sweep lives in [`sweep`]; the helpers
-//! here remain for the figure drivers that predate it.
+//! The declarative multi-dimensional sweep lives in [`sweep`]; the
+//! concurrent multi-query comparison harness (`experiments multiq`) in
+//! [`multiq`]; the helpers here remain for the figure drivers that predate
+//! them.
 
+pub mod multiq;
 pub mod sweep;
 
 use aspen_join::prelude::*;

@@ -1,0 +1,473 @@
+//! The `experiments multiq` harness: concurrent multi-query workloads on
+//! one network, comparing delivery disciplines (independent per-query
+//! frames vs shared-tree aggregation) with per-query *and* aggregate
+//! metrics, multi-seed replication, and the thread-count-determinism
+//! contract of the sweep subsystem.
+
+use crate::sweep::{algo_name, seed_range, MultiSpec, QueryId};
+use aspen_join::prelude::*;
+use aspen_join::{Algorithm, InnetOptions};
+use sensor_net::{DensityClass, TopologySpec};
+use sensor_sim::sweep::{parallel_map, stat_json, Json, SummaryStat, Table};
+use sensor_workload::WorkloadData;
+
+/// Aggregate metrics reported per (sharing mode) cell, in column order.
+pub const MULTIQ_METRICS: [&str; 10] = [
+    "total_traffic_bytes",
+    "base_load_bytes",
+    "max_node_load_bytes",
+    "total_traffic_msgs",
+    "base_load_msgs",
+    "results",
+    "avg_delay_cycles",
+    "shared_frame_bytes",
+    "shared_frame_msgs",
+    "expired_frames",
+];
+
+/// Everything one multiq comparison needs: the workload shape (minus the
+/// sharing mode, which is the compared dimension) and run parameters.
+#[derive(Debug, Clone)]
+pub struct MultiqConfig {
+    pub nodes: usize,
+    pub density: DensityClass,
+    pub loss: f64,
+    /// Number of concurrent queries (≥ 2; the acceptance workload is 4).
+    pub n_queries: usize,
+    /// `Some(q)` = homogeneous set; `None` = mixed Q1/Q2 alternation.
+    pub base_query: Option<QueryId>,
+    /// Sampling cycles between consecutive arrivals (0 = all at cycle 0).
+    pub stagger: u32,
+    pub algo: (Algorithm, InnetOptions),
+    pub rates: Rates,
+    pub seeds: Vec<u64>,
+    pub cycles: u32,
+    pub num_trees: usize,
+    /// OS threads; 0 = all cores. Output is identical for any value.
+    pub threads: usize,
+}
+
+impl Default for MultiqConfig {
+    /// The acceptance workload: 4 mixed queries on the standard 100-node
+    /// moderate network, Innet-cmg, 3 seeds.
+    fn default() -> Self {
+        MultiqConfig {
+            nodes: 100,
+            density: DensityClass::Moderate,
+            loss: SimConfig::default().loss_prob,
+            n_queries: 4,
+            base_query: None,
+            stagger: 0,
+            algo: (Algorithm::Innet, InnetOptions::CMG),
+            rates: Rates::new(2, 2, 5),
+            seeds: seed_range(3),
+            cycles: 40,
+            num_trees: 3,
+            threads: 0,
+        }
+    }
+}
+
+impl MultiqConfig {
+    /// The CI smoke configuration: 60 nodes, 2 seeds, 20 cycles.
+    pub fn quick() -> Self {
+        MultiqConfig {
+            nodes: 60,
+            seeds: seed_range(2),
+            cycles: 20,
+            ..MultiqConfig::default()
+        }
+    }
+
+    /// The [`MultiSpec`] slug of one compared cell.
+    pub fn spec(&self, sharing: Sharing) -> MultiSpec {
+        MultiSpec {
+            base: self.base_query,
+            n: self.n_queries,
+            stagger: self.stagger,
+            sharing,
+        }
+    }
+
+    fn run_one(&self, sharing: Sharing, seed: u64) -> MultiRunStats {
+        let topo = TopologySpec::new(self.density, self.nodes, seed).build();
+        let data = WorkloadData::new(&topo, Schedule::Uniform(self.rates), seed);
+        let cfg = AlgoConfig::new(self.algo.0, Sigma::from_rates(self.rates))
+            .with_innet_options(self.algo.1);
+        let sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        self.spec(sharing)
+            .build_set(topo, data, cfg, sim, self.num_trees)
+            .run(self.cycles)
+    }
+
+    /// Fan every (mode, seed) run across OS threads and aggregate.
+    pub fn run(&self) -> MultiqReport {
+        let modes = [Sharing::Independent, Sharing::SharedTree];
+        let jobs: Vec<(Sharing, u64)> = modes
+            .iter()
+            .flat_map(|&m| self.seeds.iter().map(move |&s| (m, s)))
+            .collect();
+        let samples: Vec<MultiRunStats> =
+            parallel_map(&jobs, self.threads, |&(m, s)| self.run_one(m, s));
+        let per_mode = self.seeds.len();
+        let cells = modes
+            .iter()
+            .enumerate()
+            .map(|(mi, &sharing)| {
+                let rows = &samples[mi * per_mode..(mi + 1) * per_mode];
+                ModeResult::aggregate(self, sharing, rows)
+            })
+            .collect();
+        MultiqReport {
+            spec_name: self.spec(Sharing::Independent).name(),
+            algo: algo_name(self.algo.0, self.algo.1),
+            nodes: self.nodes,
+            loss: self.loss,
+            cycles: self.cycles,
+            seeds: self.seeds.clone(),
+            cells,
+        }
+    }
+}
+
+/// Seed-aggregated per-query observables within one mode.
+#[derive(Debug, Clone)]
+pub struct QueryAgg {
+    pub name: String,
+    pub arrival: u32,
+    pub results: SummaryStat,
+    pub delay: SummaryStat,
+    /// This query's own (un-aggregated) execution TX bytes.
+    pub own_tx_bytes: SummaryStat,
+}
+
+/// One sharing mode's aggregated replicates.
+#[derive(Debug, Clone)]
+pub struct ModeResult {
+    pub sharing: Sharing,
+    pub runs: usize,
+    pub per_query: Vec<QueryAgg>,
+    stats: Vec<(&'static str, SummaryStat)>,
+}
+
+impl ModeResult {
+    fn aggregate(cfg: &MultiqConfig, sharing: Sharing, rows: &[MultiRunStats]) -> ModeResult {
+        let m = cfg.spec(sharing);
+        let per_query = (0..cfg.n_queries)
+            .map(|q| {
+                let col = |f: &dyn Fn(&MultiRunStats) -> f64| {
+                    SummaryStat::from_samples(&rows.iter().map(f).collect::<Vec<_>>())
+                };
+                QueryAgg {
+                    name: format!("{}#{q}", m.member(q).name()),
+                    // The authoritative lifecycle comes from the run, not
+                    // a re-derivation of the stagger formula.
+                    arrival: rows
+                        .first()
+                        .map(|r| r.per_query[q].arrival)
+                        .unwrap_or(q as u32 * cfg.stagger),
+                    results: col(&|r| r.per_query[q].results as f64),
+                    delay: col(&|r| r.per_query[q].avg_delay_tx),
+                    own_tx_bytes: col(&|r| r.per_query[q].flow.tx_bytes as f64),
+                }
+            })
+            .collect();
+        let col = |f: &dyn Fn(&MultiRunStats) -> f64| {
+            SummaryStat::from_samples(&rows.iter().map(f).collect::<Vec<_>>())
+        };
+        let stats = vec![
+            (
+                "total_traffic_bytes",
+                col(&|r| r.total_traffic_bytes() as f64),
+            ),
+            ("base_load_bytes", col(&|r| r.base_load_bytes() as f64)),
+            (
+                "max_node_load_bytes",
+                col(&|r| r.max_node_load_bytes() as f64),
+            ),
+            (
+                "total_traffic_msgs",
+                col(&|r| r.total_traffic_msgs() as f64),
+            ),
+            ("base_load_msgs", col(&|r| r.base_load_msgs() as f64)),
+            ("results", col(&|r| r.results_total() as f64)),
+            ("avg_delay_cycles", col(&|r| r.avg_delay_tx())),
+            (
+                "shared_frame_bytes",
+                col(&|r| r.shared_flow.tx_bytes as f64),
+            ),
+            ("shared_frame_msgs", col(&|r| r.shared_flow.tx_msgs as f64)),
+            ("expired_frames", col(&|r| r.expired_frames as f64)),
+        ];
+        ModeResult {
+            sharing,
+            runs: rows.len(),
+            per_query,
+            stats,
+        }
+    }
+
+    pub fn stat(&self, name: &str) -> &SummaryStat {
+        self.stats
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+            .unwrap_or_else(|| panic!("unknown multiq metric {name}"))
+    }
+}
+
+/// The aggregated outcome of a multiq comparison, with the table / JSON /
+/// CSV emitters.
+#[derive(Debug, Clone)]
+pub struct MultiqReport {
+    pub spec_name: String,
+    pub algo: String,
+    pub nodes: usize,
+    pub loss: f64,
+    pub cycles: u32,
+    pub seeds: Vec<u64>,
+    pub cells: Vec<ModeResult>,
+}
+
+impl MultiqReport {
+    pub fn mode(&self, sharing: Sharing) -> &ModeResult {
+        self.cells
+            .iter()
+            .find(|c| c.sharing == sharing)
+            .expect("mode present")
+    }
+
+    /// Per-query rows plus one aggregate row per sharing mode.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "mode",
+            "query",
+            "arrival",
+            "results",
+            "delay_cyc",
+            "own_kb",
+            "shared_kb",
+            "traffic_kb",
+            "base_kb",
+            "maxload_kb",
+        ]);
+        let kb = |s: &SummaryStat| format!("{:.1}", s.mean / 1024.0);
+        for c in &self.cells {
+            for q in &c.per_query {
+                t.push_row(vec![
+                    c.sharing.name().to_string(),
+                    q.name.clone(),
+                    q.arrival.to_string(),
+                    format!("{:.0}±{:.0}", q.results.mean, q.results.ci95),
+                    format!("{:.1}", q.delay.mean),
+                    kb(&q.own_tx_bytes),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+            t.push_row(vec![
+                c.sharing.name().to_string(),
+                "ALL".to_string(),
+                "-".to_string(),
+                format!(
+                    "{:.0}±{:.0}",
+                    c.stat("results").mean,
+                    c.stat("results").ci95
+                ),
+                format!("{:.1}", c.stat("avg_delay_cycles").mean),
+                "-".to_string(),
+                kb(c.stat("shared_frame_bytes")),
+                kb(c.stat("total_traffic_bytes")),
+                kb(c.stat("base_load_bytes")),
+                kb(c.stat("max_node_load_bytes")),
+            ]);
+        }
+        t
+    }
+
+    /// The headline comparison: how much shared-tree delivery saves over
+    /// independent delivery, per aggregate metric (negative = regression).
+    pub fn savings_line(&self) -> String {
+        let indep = self.mode(Sharing::Independent);
+        let shared = self.mode(Sharing::SharedTree);
+        let pct = |m: &str| {
+            let i = indep.stat(m).mean;
+            let s = shared.stat(m).mean;
+            if i > 0.0 {
+                100.0 * (i - s) / i
+            } else {
+                0.0
+            }
+        };
+        format!(
+            "shared-tree vs independent: base load {:+.1}%, total traffic {:+.1}%, messages {:+.1}%",
+            pct("base_load_bytes"),
+            pct("total_traffic_bytes"),
+            pct("total_traffic_msgs"),
+        )
+    }
+
+    pub fn to_json(&self) -> String {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let per_query = c
+                    .per_query
+                    .iter()
+                    .map(|q| {
+                        Json::Obj(vec![
+                            ("query".into(), Json::str(&q.name)),
+                            ("arrival".into(), Json::num(q.arrival as f64)),
+                            ("results".into(), stat_json(&q.results)),
+                            ("delay_cycles".into(), stat_json(&q.delay)),
+                            ("own_tx_bytes".into(), stat_json(&q.own_tx_bytes)),
+                        ])
+                    })
+                    .collect();
+                let metrics = MULTIQ_METRICS
+                    .iter()
+                    .map(|&m| (m.to_string(), stat_json(c.stat(m))))
+                    .collect();
+                Json::Obj(vec![
+                    ("mode".into(), Json::str(c.sharing.name())),
+                    ("runs".into(), Json::num(c.runs as f64)),
+                    ("queries".into(), Json::Arr(per_query)),
+                    ("metrics".into(), Json::Obj(metrics)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("workload".into(), Json::str(&self.spec_name)),
+            ("algorithm".into(), Json::str(&self.algo)),
+            ("nodes".into(), Json::num(self.nodes as f64)),
+            ("loss".into(), Json::num(self.loss)),
+            ("cycles".into(), Json::num(self.cycles as f64)),
+            (
+                "seeds".into(),
+                Json::Arr(self.seeds.iter().map(|&s| Json::num(s as f64)).collect()),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .render()
+    }
+
+    /// Wide CSV: one row per (mode, query) plus one ALL row per mode.
+    pub fn to_csv(&self) -> String {
+        let mut headers = vec![
+            "mode".to_string(),
+            "query".to_string(),
+            "arrival".to_string(),
+            "runs".to_string(),
+        ];
+        for m in ["results", "delay_cycles", "own_tx_bytes"] {
+            for suffix in ["mean", "stddev", "ci95"] {
+                headers.push(format!("{m}_{suffix}"));
+            }
+        }
+        for m in MULTIQ_METRICS {
+            headers.push(format!("{m}_mean"));
+        }
+        let mut t = Table::new(headers);
+        let stat3 = |s: &SummaryStat| {
+            vec![
+                format!("{}", s.mean),
+                format!("{}", s.stddev),
+                format!("{}", s.ci95),
+            ]
+        };
+        for c in &self.cells {
+            for q in &c.per_query {
+                let mut row = vec![
+                    c.sharing.name().to_string(),
+                    q.name.clone(),
+                    q.arrival.to_string(),
+                    c.runs.to_string(),
+                ];
+                row.extend(stat3(&q.results));
+                row.extend(stat3(&q.delay));
+                row.extend(stat3(&q.own_tx_bytes));
+                row.extend(MULTIQ_METRICS.iter().map(|_| String::new()));
+                t.push_row(row);
+            }
+            let mut row = vec![
+                c.sharing.name().to_string(),
+                "ALL".to_string(),
+                String::new(),
+                c.runs.to_string(),
+            ];
+            row.extend(stat3(c.stat("results")));
+            row.extend(stat3(c.stat("avg_delay_cycles")));
+            row.extend(["", "", ""].map(String::from));
+            row.extend(
+                MULTIQ_METRICS
+                    .iter()
+                    .map(|&m| format!("{}", c.stat(m).mean)),
+            );
+            t.push_row(row);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_compares_modes_and_emits_all_formats() {
+        let cfg = MultiqConfig {
+            nodes: 40,
+            n_queries: 4,
+            seeds: seed_range(2),
+            cycles: 8,
+            threads: 0,
+            ..MultiqConfig::quick()
+        };
+        let rep = cfg.run();
+        assert_eq!(rep.cells.len(), 2);
+        for c in &rep.cells {
+            assert_eq!(c.per_query.len(), 4);
+            assert!(
+                c.stat("results").mean > 0.0,
+                "{} delivered nothing",
+                c.sharing.name()
+            );
+        }
+        // The independent mode never forms aggregate frames.
+        assert_eq!(
+            rep.mode(Sharing::Independent)
+                .stat("shared_frame_msgs")
+                .mean,
+            0.0
+        );
+        assert!(rep.mode(Sharing::SharedTree).stat("shared_frame_msgs").mean > 0.0);
+        let table = rep.to_table().to_aligned_string();
+        assert!(table.contains("shared") && table.contains("independent"));
+        assert!(table.contains("ALL"));
+        let json = rep.to_json();
+        assert!(json.contains("\"mode\": \"shared\""));
+        assert!(json.contains("\"own_tx_bytes\""));
+        let csv = rep.to_csv();
+        // Header + (4 queries + ALL) per mode x 2 modes.
+        assert_eq!(csv.lines().count(), 1 + 2 * 5);
+        assert!(!rep.savings_line().is_empty());
+    }
+
+    #[test]
+    fn multiq_report_thread_count_invariant() {
+        let cfg = |threads| MultiqConfig {
+            nodes: 40,
+            seeds: seed_range(2),
+            cycles: 6,
+            threads,
+            ..MultiqConfig::quick()
+        };
+        let a = cfg(1).run();
+        let b = cfg(4).run();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

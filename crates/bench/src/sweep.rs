@@ -71,6 +71,149 @@ impl QueryId {
     }
 }
 
+/// A multi-query workload for the `queries` grid dimension: `n` concurrent
+/// queries over one network, uniform (`q1x4`) or mixed Q1/Q2 alternation
+/// (`mix4`), with optional staggered arrival (`@S`: query `i` arrives at
+/// sampling cycle `i*S`) and delivery sharing (`+shared`; independent
+/// per-query frames otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSpec {
+    /// `Some(q)` = `n` copies of one query; `None` = mixed Q1/Q2.
+    pub base: Option<QueryId>,
+    pub n: usize,
+    pub stagger: u32,
+    pub sharing: Sharing,
+}
+
+impl MultiSpec {
+    /// Machine-readable slug: `q1x4`, `mix4@5`, `mix4@5+shared`, ….
+    pub fn name(self) -> String {
+        let head = match self.base {
+            Some(q) => format!("{}x{}", q.name(), self.n),
+            None => format!("mix{}", self.n),
+        };
+        let at = if self.stagger > 0 {
+            format!("@{}", self.stagger)
+        } else {
+            String::new()
+        };
+        let mode = match self.sharing {
+            Sharing::SharedTree => "+shared",
+            Sharing::Independent => "",
+        };
+        format!("{head}{at}{mode}")
+    }
+
+    /// Parse the [`MultiSpec::name`] syntax (also accepts `+indep`).
+    pub fn parse(s: &str) -> Option<MultiSpec> {
+        let s = s.to_ascii_lowercase();
+        let (body, sharing) = match s.split_once('+') {
+            Some((b, m)) => (b, Sharing::parse(m)?),
+            None => (s.as_str(), Sharing::Independent),
+        };
+        let (head, stagger) = match body.split_once('@') {
+            Some((h, at)) => (h, at.parse().ok()?),
+            None => (body, 0),
+        };
+        let (base, n) = if let Some(n) = head.strip_prefix("mix") {
+            (None, n.parse().ok()?)
+        } else {
+            let (q, n) = head.split_once('x')?;
+            (Some(QueryId::parse(q)?), n.parse().ok()?)
+        };
+        (n >= 2).then_some(MultiSpec {
+            base,
+            n,
+            stagger,
+            sharing,
+        })
+    }
+
+    /// The query run by member `i` of the set.
+    pub fn member(self, i: usize) -> QueryId {
+        self.base.unwrap_or(if i.is_multiple_of(2) {
+            QueryId::Q1
+        } else {
+            QueryId::Q2
+        })
+    }
+
+    /// Assemble the [`QuerySet`] this spec describes over a prepared
+    /// topology/workload: one `QueryInstance` per member with staggered
+    /// arrivals, pair-bearing members provisioning their own pair count,
+    /// and fair MAC arbitration switched on (concurrent queries must not
+    /// starve each other of transmission slots). Shared by the sweep
+    /// grid's multi-query cells and the `multiq` comparison harness.
+    pub fn build_set(
+        self,
+        topo: Topology,
+        mut data: WorkloadData,
+        cfg: AlgoConfig,
+        sim: SimConfig,
+        num_trees: usize,
+    ) -> QuerySet {
+        let n_pairs = (0..self.n)
+            .map(|i| self.member(i).n_pairs())
+            .max()
+            .unwrap_or(0);
+        if n_pairs > 0 {
+            data = data.with_pairs(n_pairs);
+        }
+        QuerySet {
+            topo,
+            data,
+            queries: (0..self.n)
+                .map(|i| QueryInstance {
+                    spec: self.member(i).spec(),
+                    cfg,
+                    lifecycle: Lifecycle::arriving(i as u32 * self.stagger),
+                })
+                .collect(),
+            sim: sim.with_fair_mac(true),
+            num_trees,
+            sharing: self.sharing,
+        }
+    }
+}
+
+/// One value of the sweep grid's `queries` dimension: a classic
+/// single-query workload or a concurrent multi-query set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSel {
+    Single(QueryId),
+    Multi(MultiSpec),
+}
+
+impl From<QueryId> for WorkloadSel {
+    fn from(q: QueryId) -> Self {
+        WorkloadSel::Single(q)
+    }
+}
+
+impl WorkloadSel {
+    pub fn name(self) -> String {
+        match self {
+            WorkloadSel::Single(q) => q.name().to_string(),
+            WorkloadSel::Multi(m) => m.name(),
+        }
+    }
+
+    /// Parse either syntax (`q2`, `q1x4`, `mix4@5+shared`).
+    pub fn parse(s: &str) -> Option<WorkloadSel> {
+        QueryId::parse(s)
+            .map(WorkloadSel::Single)
+            .or_else(|| MultiSpec::parse(s).map(WorkloadSel::Multi))
+    }
+
+    /// The single query, if this is a classic workload.
+    pub fn single(self) -> Option<QueryId> {
+        match self {
+            WorkloadSel::Single(q) => Some(q),
+            WorkloadSel::Multi(_) => None,
+        }
+    }
+}
+
 /// Short machine-readable slug for a density class (CSV/JSON keys).
 pub fn density_slug(c: DensityClass) -> &'static str {
     match c {
@@ -272,7 +415,7 @@ pub struct CellSpec {
     pub nodes: usize,
     pub density: DensityClass,
     pub loss: f64,
-    pub query: QueryId,
+    pub query: WorkloadSel,
     pub rates: Rates,
     pub algo: Algorithm,
     pub opts: InnetOptions,
@@ -288,16 +431,27 @@ impl CellSpec {
         self.dynamics.name()
     }
 
+    fn algo_cfg(&self) -> AlgoConfig {
+        AlgoConfig::new(self.algo, Sigma::from_rates(self.rates)).with_innet_options(self.opts)
+    }
+
     /// Run this cell for one seed and return the metric values in
     /// [`SWEEP_METRICS`] order. Seed covers topology, workload, link RNG
     /// and dynamics-plan victim draws, exactly as the figure harness seeds
     /// its scenarios.
     pub fn run_one(&self, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
+        match self.query {
+            WorkloadSel::Single(q) => self.run_single(q, seed, cycles, num_trees),
+            WorkloadSel::Multi(m) => self.run_multi(m, seed, cycles, num_trees),
+        }
+    }
+
+    fn run_single(&self, query: QueryId, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
         let plan = self.dynamics.plan(seed, &topo);
         let mut data = WorkloadData::new(&topo, self.dynamics.schedule(self.rates), seed);
-        if self.query.n_pairs() > 0 {
-            data = data.with_pairs(self.query.n_pairs());
+        if query.n_pairs() > 0 {
+            data = data.with_pairs(query.n_pairs());
         }
         let mut sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
         if self.opts.path_collapse {
@@ -306,9 +460,8 @@ impl CellSpec {
         let sc = Scenario {
             topo,
             data,
-            spec: self.query.spec(),
-            cfg: AlgoConfig::new(self.algo, Sigma::from_rates(self.rates))
-                .with_innet_options(self.opts),
+            spec: query.spec(),
+            cfg: self.algo_cfg(),
             sim,
             num_trees,
         };
@@ -337,6 +490,46 @@ impl CellSpec {
             outcome.results_post_event as f64,
         ]
     }
+
+    /// The concurrent-workload path: one [`QuerySet`] per run, fair MAC
+    /// arbitration on, lifecycle from the spec's arrival stagger. The
+    /// single-run re-convergence split does not generalize to overlapping
+    /// per-query lifecycles, so the last three [`SWEEP_METRICS`] report
+    /// zero for multi-query cells.
+    fn run_multi(&self, m: MultiSpec, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
+        let topo = TopologySpec::new(self.density, self.nodes, seed).build();
+        let plan = self.dynamics.plan(seed, &topo);
+        let data = WorkloadData::new(&topo, self.dynamics.schedule(self.rates), seed);
+        let mut sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        if self.opts.path_collapse {
+            sim = sim.with_snooping(true);
+        }
+        let set = m.build_set(topo, data, self.algo_cfg(), sim, num_trees);
+        let mut run = set.build();
+        run.initiate();
+        let outcome = run.execute_with_plan(cycles, &plan);
+        let rec = run.recovery_totals();
+        let st = run.stats();
+        [
+            st.total_traffic_bytes() as f64,
+            st.base_load_bytes() as f64,
+            st.max_node_load_bytes() as f64,
+            st.total_traffic_msgs() as f64,
+            st.base_load_msgs() as f64,
+            st.results_total() as f64,
+            st.avg_delay_tx(),
+            (st.initiation.total_send_failures() + st.execution.total_send_failures()) as f64,
+            (st.initiation.total_queue_drops() + st.execution.total_queue_drops()) as f64,
+            rec.repair_attempts as f64,
+            rec.repair_successes as f64,
+            (rec.tuples_lost + outcome.queued_msgs_lost) as f64,
+            rec.tuples_rerouted as f64,
+            rec.control_bytes as f64,
+            0.0,
+            0.0,
+            0.0,
+        ]
+    }
 }
 
 /// A declarative sweep: the grid dimensions plus run parameters.
@@ -345,7 +538,9 @@ pub struct SweepGrid {
     pub sizes: Vec<usize>,
     pub densities: Vec<DensityClass>,
     pub loss_probs: Vec<f64>,
-    pub queries: Vec<QueryId>,
+    /// The `queries` dimension: classic single-query workloads (`q1`) and
+    /// concurrent multi-query sets (`q1x4`, `mix4@5+shared`) mix freely.
+    pub queries: Vec<WorkloadSel>,
     pub rates: Vec<Rates>,
     pub algorithms: Vec<(Algorithm, InnetOptions)>,
     /// Network-dynamics scenarios (failure schedules, rate shifts, loss
@@ -369,7 +564,7 @@ impl Default for SweepGrid {
             sizes: vec![100],
             densities: vec![DensityClass::Moderate],
             loss_probs: vec![SimConfig::default().loss_prob],
-            queries: vec![QueryId::Q1],
+            queries: vec![QueryId::Q1.into()],
             rates: vec![Rates::new(2, 2, 5)],
             algorithms: vec![
                 (Algorithm::Naive, InnetOptions::PLAIN),
@@ -410,7 +605,7 @@ impl SweepGrid {
     pub fn recovery_quick() -> Self {
         SweepGrid {
             sizes: vec![60],
-            queries: vec![QueryId::Q0],
+            queries: vec![QueryId::Q0.into()],
             algorithms: vec![
                 (Algorithm::Innet, InnetOptions::PLAIN),
                 (Algorithm::Innet, InnetOptions::CMG.with_learning()),
@@ -561,7 +756,7 @@ impl SweepReport {
         let kb = |s: &SummaryStat| format!("{:.1}±{:.1}", s.mean / 1024.0, s.ci95 / 1024.0);
         for c in &self.cells {
             t.push_row(vec![
-                c.spec.query.name().to_string(),
+                c.spec.query.name(),
                 c.spec.nodes.to_string(),
                 density_slug(c.spec.density).to_string(),
                 format!("{:.2}", c.spec.loss),
@@ -667,7 +862,7 @@ impl SweepReport {
         let mut t = Table::new(headers);
         for c in &self.cells {
             let mut row = vec![
-                c.spec.query.name().to_string(),
+                c.spec.query.name(),
                 c.spec.nodes.to_string(),
                 density_slug(c.spec.density).to_string(),
                 format!("{}", c.spec.loss),
@@ -753,6 +948,75 @@ mod tests {
         assert!(parse_algo("nope").is_none());
         assert_eq!(QueryId::parse("Q2"), Some(QueryId::Q2));
         assert_eq!(parse_density("grid"), Some(DensityClass::Grid));
+    }
+
+    #[test]
+    fn workload_sel_parsing_round_trip() {
+        for s in [
+            "q0",
+            "q3",
+            "q1x4",
+            "q2x3@5",
+            "mix4",
+            "mix6@2",
+            "mix4@5+shared",
+        ] {
+            let sel = WorkloadSel::parse(s).unwrap_or_else(|| panic!("parse {s}"));
+            assert_eq!(sel.name(), s, "round trip {s}");
+        }
+        // `+indep` is accepted but normalizes to the bare slug.
+        assert_eq!(WorkloadSel::parse("mix4+indep").unwrap().name(), "mix4");
+        match WorkloadSel::parse("q1x4@3+shared").unwrap() {
+            WorkloadSel::Multi(m) => {
+                assert_eq!(m.base, Some(QueryId::Q1));
+                assert_eq!((m.n, m.stagger), (4, 3));
+                assert_eq!(m.sharing, Sharing::SharedTree);
+                assert_eq!(m.member(0), QueryId::Q1);
+                assert_eq!(m.member(3), QueryId::Q1);
+            }
+            other => panic!("expected multi, got {other:?}"),
+        }
+        // Mixed sets alternate Q1/Q2.
+        let mix = MultiSpec::parse("mix4").unwrap();
+        assert_eq!(mix.member(0), QueryId::Q1);
+        assert_eq!(mix.member(1), QueryId::Q2);
+        // Rejections: single-member sets, unknown queries, bad modes.
+        assert_eq!(WorkloadSel::parse("mix1"), None);
+        assert_eq!(WorkloadSel::parse("q9x4"), None);
+        assert_eq!(WorkloadSel::parse("mix4+bogus"), None);
+        assert_eq!(WorkloadSel::parse("nope"), None);
+        assert_eq!(
+            WorkloadSel::parse("q1").unwrap().single(),
+            Some(QueryId::Q1)
+        );
+        assert_eq!(WorkloadSel::parse("mix4").unwrap().single(), None);
+    }
+
+    #[test]
+    fn multi_query_cells_run_in_the_grid() {
+        let g = SweepGrid {
+            sizes: vec![40],
+            loss_probs: vec![0.05],
+            queries: vec![
+                QueryId::Q1.into(),
+                WorkloadSel::parse("mix2+shared").unwrap(),
+            ],
+            algorithms: vec![(Algorithm::Innet, InnetOptions::CM)],
+            seeds: seed_range(2),
+            cycles: 6,
+            ..SweepGrid::default()
+        };
+        let rep = g.run();
+        assert_eq!(rep.cells.len(), 2);
+        let multi = rep
+            .find(|c| matches!(c.query, WorkloadSel::Multi(_)))
+            .expect("multi cell");
+        assert!(multi.stat("total_traffic_bytes").mean > 0.0);
+        assert!(multi.stat("results").mean > 0.0);
+        // Multi cells appear under their slug in every emitter.
+        assert!(rep.to_json().contains("\"query\": \"mix2+shared\""));
+        assert!(rep.to_csv().contains("mix2+shared"));
+        assert!(rep.to_table().to_aligned_string().contains("mix2+shared"));
     }
 
     #[test]
@@ -844,7 +1108,7 @@ mod tests {
         let g = SweepGrid {
             sizes: vec![40],
             loss_probs: vec![0.0],
-            queries: vec![QueryId::Q0],
+            queries: vec![QueryId::Q0.into()],
             algorithms: vec![(Algorithm::Innet, InnetOptions::PLAIN)],
             dynamics: vec![DynamicsSpec::None, DynamicsSpec::JoinKill { at_cycle: 8 }],
             seeds: seed_range(2),

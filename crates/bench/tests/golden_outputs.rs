@@ -1,0 +1,92 @@
+//! Golden-output snapshot tests: the JSON reports of `experiments sweep
+//! --quick`, `experiments recovery --quick` and `experiments multiq
+//! --quick` are compared byte-for-byte against committed fixtures, so a
+//! report-format change or a determinism regression (seeding, float
+//! formatting, aggregation order, engine behavior) fails loudly instead
+//! of silently shifting every downstream number.
+//!
+//! When a change is *intentional*, re-bless the fixtures:
+//!
+//! ```text
+//! BLESS=1 cargo test -q -p aspen_bench --test golden_outputs
+//! ```
+//!
+//! and commit the updated files under `crates/bench/tests/golden/`,
+//! explaining in the commit message why the numbers moved (see
+//! EXPERIMENTS.md § Golden outputs).
+
+use aspen_bench::multiq::MultiqConfig;
+use aspen_bench::sweep::SweepGrid;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare against the committed fixture, or rewrite it under `BLESS=1`.
+/// On mismatch, point at the first differing line instead of dumping two
+/// multi-kilobyte strings.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    // Bless only on a truthy value: `BLESS=0` / `BLESS=` must still
+    // *compare* (silently rewriting fixtures would mask the very drift
+    // this suite exists to catch).
+    let bless = std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if bless {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("bless golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {} — create it with BLESS=1 cargo test -p aspen_bench --test golden_outputs",
+            path.display()
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    let mismatch = actual
+        .lines()
+        .zip(expected.lines())
+        .enumerate()
+        .find(|(_, (a, e))| a != e);
+    match mismatch {
+        Some((i, (a, e))) => panic!(
+            "{name} drifted at line {}:\n  expected: {e}\n  actual:   {a}\n\
+             (re-bless with BLESS=1 if the change is intentional)",
+            i + 1
+        ),
+        None => panic!(
+            "{name} drifted in length: expected {} lines, got {} \
+             (re-bless with BLESS=1 if the change is intentional)",
+            expected.lines().count(),
+            actual.lines().count()
+        ),
+    }
+}
+
+/// `experiments sweep --quick` JSON (the 24-run CI grid).
+#[test]
+fn sweep_quick_json_matches_golden() {
+    check_golden("sweep_quick.json", &SweepGrid::quick().run().to_json());
+}
+
+/// `experiments recovery --quick` JSON (the §7 failure-schedule grid).
+#[test]
+fn recovery_quick_json_matches_golden() {
+    check_golden(
+        "recovery_quick.json",
+        &SweepGrid::recovery_quick().run().to_json(),
+    );
+}
+
+/// `experiments multiq --quick` JSON (the 4-query shared-vs-independent
+/// comparison).
+#[test]
+fn multiq_quick_json_matches_golden() {
+    check_golden("multiq_quick.json", &MultiqConfig::quick().run().to_json());
+}

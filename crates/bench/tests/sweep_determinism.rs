@@ -13,7 +13,7 @@ fn small_grid(threads: usize) -> SweepGrid {
     SweepGrid {
         sizes: vec![40, 60],
         loss_probs: vec![0.0, 0.1],
-        queries: vec![QueryId::Q1],
+        queries: vec![QueryId::Q1.into()],
         algorithms: vec![
             (Algorithm::Naive, InnetOptions::PLAIN),
             (Algorithm::Innet, InnetOptions::CMG),
@@ -42,7 +42,7 @@ fn same_seed_same_cell_identical_metrics() {
         let sc = Scenario {
             topo,
             data,
-            spec: cell.query.spec(),
+            spec: cell.query.single().expect("single-query cell").spec(),
             cfg: AlgoConfig::new(cell.algo, Sigma::from_rates(cell.rates))
                 .with_innet_options(cell.opts),
             sim,
@@ -95,7 +95,7 @@ fn sweep_report_reproducible_end_to_end() {
 fn dynamics_sweep_identical_across_thread_counts() {
     let grid = |threads: usize| SweepGrid {
         sizes: vec![40],
-        queries: vec![QueryId::Q0],
+        queries: vec![QueryId::Q0.into()],
         algorithms: vec![(aspen_join::Algorithm::Innet, InnetOptions::PLAIN)],
         dynamics: vec![
             DynamicsSpec::None,
@@ -132,4 +132,34 @@ fn dynamics_sweep_identical_across_thread_counts() {
         .iter()
         .filter(|c| !matches!(c.spec.dynamics, DynamicsSpec::None))
         .any(|c| c.stat("repair_attempts").mean + c.stat("tuples_lost").mean > 0.0));
+}
+
+/// Multi-query cells keep the contract: a concurrent `QuerySet` run is
+/// fully determined by its cell spec + seed, so mixed single/multi grids
+/// stay byte-identical across thread counts.
+#[test]
+fn multi_query_sweep_identical_across_thread_counts() {
+    use aspen_bench::sweep::WorkloadSel;
+    let grid = |threads: usize| SweepGrid {
+        // 60 nodes: Query 1 needs producer ids beyond 50 to exist.
+        sizes: vec![60],
+        queries: vec![
+            QueryId::Q1.into(),
+            WorkloadSel::parse("mix2").unwrap(),
+            WorkloadSel::parse("mix2@3+shared").unwrap(),
+        ],
+        algorithms: vec![(Algorithm::Innet, InnetOptions::CM)],
+        seeds: vec![1000, 1001],
+        cycles: 8,
+        threads,
+        ..SweepGrid::default()
+    };
+    let single = grid(1).run();
+    let multi = grid(4).run();
+    assert_eq!(single.to_json(), multi.to_json());
+    assert_eq!(single.to_csv(), multi.to_csv());
+    assert!(single
+        .cells
+        .iter()
+        .all(|c| c.stat("results").mean > 0.0 && c.stat("total_traffic_bytes").mean > 0.0));
 }

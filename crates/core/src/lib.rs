@@ -45,6 +45,7 @@ pub mod centralized;
 pub mod cost;
 pub mod learn;
 pub mod msg;
+pub mod multi;
 pub mod multicast;
 pub mod node;
 pub mod scenario;
@@ -52,6 +53,10 @@ pub mod shared;
 
 pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
 pub use msg::{Msg, Pair};
+pub use multi::{
+    Lifecycle, MultiMsg, MultiNode, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet,
+    QueryStats, Sharing,
+};
 pub use node::{JoinNode, RecoveryStats};
 pub use scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
 pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
@@ -59,6 +64,10 @@ pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::cost::Sigma;
+    pub use crate::multi::{
+        Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet, QueryStats,
+        Sharing,
+    };
     pub use crate::node::RecoveryStats;
     pub use crate::scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
     pub use crate::shared::{AlgoConfig, Algorithm, InnetOptions};

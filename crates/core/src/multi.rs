@@ -1,0 +1,873 @@
+//! Concurrent multi-query execution over one shared network.
+//!
+//! The paper evaluates one long-running join at a time; realistic
+//! deployments run *populations* of them. This module instantiates N
+//! concurrent join queries — each with its own spec, algorithm
+//! configuration, pair state, operator placement and adaptation — over a
+//! single topology, workload and routing substrate, contending for every
+//! node's shared MAC budget (and, optionally, energy budget) in one
+//! engine.
+//!
+//! Architecture: the engine stays single-protocol. [`MultiNode`] is a
+//! wrapper protocol hosting one [`JoinNode`] instance per query at every
+//! node; inner protocol callbacks run in a sandboxed context
+//! ([`sensor_sim::Ctx::sandbox`]) and their emissions are re-framed as
+//! query-tagged [`MultiMsg`] frames. Each query is an engine *flow*
+//! (query `q` → flow `q + 1`), so per-query radio costs are accounted
+//! separately and [`sensor_sim::SimConfig::fair_mac`] can arbitrate the
+//! MAC budget across queries.
+//!
+//! Two delivery disciplines ([`Sharing`]):
+//!
+//! - [`Sharing::Independent`] — each query behaves as if it were alone:
+//!   every inner message travels in its own link frame (plus a 1-byte
+//!   query tag). N queries pay N link headers even when their messages
+//!   ride the same hop in the same cycle.
+//! - [`Sharing::SharedTree`] — queries share the routing substrate's
+//!   delivery paths *and* link frames: inner messages emitted by
+//!   co-located query instances toward the same next hop in the same
+//!   dispatch are aggregated into one [`MultiMsg::Batch`] frame (bounded
+//!   by [`MAX_AGG_PAYLOAD`]), paying one link header and one MAC slot.
+//!   Under contention this measurably beats independent delivery on base
+//!   load and total traffic — the headline experiment of
+//!   `experiments multiq`.
+//!
+//! Query lifecycle is part of the scenario: each [`QueryInstance`] has an
+//! arrival cycle and an optional departure cycle. Queries arriving at
+//! cycle 0 run the standard initiation phase to quiescence (contending
+//! with each other); later arrivals initiate *live*, their
+//! [`crate::scenario::InitStep`]s spread over sampling cycles while the
+//! resident queries keep streaming. Lifecycle events fire at the same
+//! sampling-cycle boundaries as [`DynamicsPlan`] events (departures, then
+//! arrivals and due live-init steps, then plan kills/loss shifts) and are
+//! reported alongside them in [`MultiOutcome`].
+
+use crate::msg::Msg;
+use crate::node::JoinNode;
+use crate::scenario::{default_indexed_attrs, init_steps, InitStep};
+use crate::shared::{AlgoConfig, Algorithm, Shared};
+use sensor_net::{NodeId, Topology};
+use sensor_query::JoinQuerySpec;
+use sensor_routing::ght::GpsrRouter;
+use sensor_routing::substrate::MultiTreeSubstrate;
+use sensor_sim::dynamics::DynamicsPlan;
+use sensor_sim::{Ctx, Emitted, Engine, FlowMetrics, Metrics, Protocol, SimConfig};
+use sensor_workload::WorkloadData;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Wire bytes of the per-frame query tag (up to 256 concurrent queries).
+pub const QUERY_TAG_BYTES: u32 = 1;
+
+/// Aggregation cap: a batch frame's payload (count byte + tagged inner
+/// payloads) never exceeds this, modeling the 802.15.4-class frame budget.
+/// Inner messages larger than the cap travel solo.
+pub const MAX_AGG_PAYLOAD: u32 = 96;
+
+/// Sampling cycles between the live-initiation steps of a query arriving
+/// mid-run (each spacing gives the step's control traffic two full
+/// sampling periods to converge while data keeps flowing).
+pub const LIVE_INIT_SPACING: u32 = 2;
+
+/// How concurrent queries share the network's delivery capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// Per-query frames: every inner message pays its own link header.
+    Independent,
+    /// Cross-query frame aggregation on the shared routing tree: same-hop
+    /// messages from co-located query instances share one frame.
+    SharedTree,
+}
+
+impl Sharing {
+    pub fn name(self) -> &'static str {
+        match self {
+            Sharing::Independent => "independent",
+            Sharing::SharedTree => "shared",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Sharing> {
+        match s.to_ascii_lowercase().as_str() {
+            "independent" | "indep" => Some(Sharing::Independent),
+            "shared" | "shared-tree" => Some(Sharing::SharedTree),
+            _ => None,
+        }
+    }
+}
+
+/// Arrival/departure schedule of one query (sampling cycles; departure is
+/// exclusive — the query last samples at `departure - 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifecycle {
+    pub arrival: u32,
+    pub departure: Option<u32>,
+}
+
+impl Lifecycle {
+    /// Present for the whole run.
+    pub const STATIC: Lifecycle = Lifecycle {
+        arrival: 0,
+        departure: None,
+    };
+
+    pub fn arriving(arrival: u32) -> Lifecycle {
+        Lifecycle {
+            arrival,
+            departure: None,
+        }
+    }
+}
+
+/// One member of a [`QuerySet`]: a compiled query, how to execute it, and
+/// when it is present.
+pub struct QueryInstance {
+    pub spec: JoinQuerySpec,
+    pub cfg: AlgoConfig,
+    pub lifecycle: Lifecycle,
+}
+
+/// The multi-query scenario layer: N concurrent join queries over one
+/// topology + workload + substrate. The single-query [`crate::Scenario`]
+/// is the degenerate N = 1 case (kept separate so the paper's figures run
+/// on the exact original harness).
+pub struct QuerySet {
+    pub topo: Topology,
+    pub data: WorkloadData,
+    pub queries: Vec<QueryInstance>,
+    pub sim: SimConfig,
+    pub num_trees: usize,
+    pub sharing: Sharing,
+}
+
+/// The outer protocol message: inner protocol messages tagged with their
+/// query, solo or aggregated.
+#[derive(Debug, Clone)]
+pub enum MultiMsg {
+    /// One inner message of query `q`.
+    One { q: u16, inner: Msg },
+    /// Several same-next-hop inner messages sharing one link frame
+    /// (SharedTree aggregation).
+    Batch { frames: Vec<(u16, Msg)> },
+}
+
+/// Per-query protocol slot at one node.
+struct Slot {
+    sh: Arc<Shared>,
+    node: JoinNode,
+    active: bool,
+}
+
+/// The wrapper protocol instance at one node: one [`JoinNode`] per query,
+/// plus the staging buffer the frame aggregator works from.
+pub struct MultiNode {
+    pub id: NodeId,
+    slots: Vec<Slot>,
+    sharing: Sharing,
+    /// Emissions of the current dispatch, awaiting framing.
+    staged: Vec<(u16, Emitted<Msg>)>,
+    /// Frames that arrived for inactive (departed / not-yet-arrived)
+    /// queries and were dropped.
+    pub expired_frames: u64,
+}
+
+impl MultiNode {
+    pub fn new(id: NodeId, shareds: &[Arc<Shared>], sharing: Sharing) -> Self {
+        MultiNode {
+            id,
+            slots: shareds
+                .iter()
+                .map(|sh| Slot {
+                    sh: sh.clone(),
+                    node: JoinNode::new(id, sh.clone()),
+                    active: false,
+                })
+                .collect(),
+            sharing,
+            staged: Vec::new(),
+            expired_frames: 0,
+        }
+    }
+
+    /// Bring query `q` online at this node with fresh protocol state.
+    pub fn activate(&mut self, q: usize) {
+        let slot = &mut self.slots[q];
+        slot.node = JoinNode::new(self.id, slot.sh.clone());
+        slot.active = true;
+    }
+
+    /// Take query `q` offline, returning its final protocol state (the
+    /// harness snapshots the base station's result counters from it).
+    pub fn deactivate(&mut self, q: usize) -> JoinNode {
+        let slot = &mut self.slots[q];
+        slot.active = false;
+        std::mem::replace(&mut slot.node, JoinNode::new(self.id, slot.sh.clone()))
+    }
+
+    pub fn is_active(&self, q: usize) -> bool {
+        self.slots[q].active
+    }
+
+    /// Read access to query `q`'s protocol instance.
+    pub fn query_node(&self, q: usize) -> &JoinNode {
+        &self.slots[q].node
+    }
+
+    /// Harness-driven entry point into query `q`'s instance (initiation
+    /// steps). Emissions are framed exactly like message-handler output.
+    pub fn drive<R>(
+        &mut self,
+        ctx: &mut Ctx<'_, MultiMsg>,
+        q: usize,
+        f: impl FnOnce(&mut JoinNode, &mut Ctx<'_, Msg>) -> R,
+    ) -> Option<R> {
+        let r = self.deliver(ctx, q as u16, f);
+        self.flush(ctx);
+        r
+    }
+
+    /// Dispatch one inner event to query `q` and stage its emissions;
+    /// `None` (without side effects) when the slot is inactive.
+    fn deliver<R>(
+        &mut self,
+        ctx: &mut Ctx<'_, MultiMsg>,
+        q: u16,
+        f: impl FnOnce(&mut JoinNode, &mut Ctx<'_, Msg>) -> R,
+    ) -> Option<R> {
+        let slot = self.slots.get_mut(q as usize).filter(|s| s.active)?;
+        let node = &mut slot.node;
+        let (r, emitted) = ctx.sandbox(|inner| f(node, inner));
+        self.staged.extend(emitted.into_iter().map(|e| (q, e)));
+        Some(r)
+    }
+
+    /// [`MultiNode::deliver`] for a frame that arrived off the radio:
+    /// a frame for an inactive (departed / not-yet-arrived) query is
+    /// dropped and counted. Local ticks and harness drives go through
+    /// `deliver` directly and are *not* expired frames.
+    fn deliver_frame<R>(
+        &mut self,
+        ctx: &mut Ctx<'_, MultiMsg>,
+        q: u16,
+        f: impl FnOnce(&mut JoinNode, &mut Ctx<'_, Msg>) -> R,
+    ) -> Option<R> {
+        let r = self.deliver(ctx, q, f);
+        if r.is_none() {
+            self.expired_frames += 1;
+        }
+        r
+    }
+
+    /// Frame and enqueue everything the current dispatch staged.
+    /// Broadcasts always travel solo; unicasts aggregate per next hop in
+    /// SharedTree mode.
+    fn flush(&mut self, ctx: &mut Ctx<'_, MultiMsg>) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.staged);
+        if self.sharing == Sharing::Independent {
+            for (q, e) in staged {
+                ctx.emit(
+                    e.to,
+                    e.payload_bytes + QUERY_TAG_BYTES,
+                    MultiMsg::One { q, inner: e.msg },
+                );
+            }
+            return;
+        }
+        // SharedTree: group unicasts by destination, preserving first-seen
+        // order; greedily pack each destination's frames under the cap.
+        type Group = (Option<NodeId>, Vec<(u16, Emitted<Msg>)>);
+        let mut groups: Vec<Group> = Vec::new();
+        for (q, e) in staged {
+            if e.to.is_none() {
+                // Radio broadcasts travel solo (dissemination floods).
+                ctx.emit(
+                    None,
+                    e.payload_bytes + QUERY_TAG_BYTES,
+                    MultiMsg::One { q, inner: e.msg },
+                );
+                continue;
+            }
+            match groups.iter_mut().find(|(to, _)| *to == e.to) {
+                Some((_, v)) => v.push((q, e)),
+                None => groups.push((e.to, vec![(q, e)])),
+            }
+        }
+        for (to, frames) in groups {
+            let mut batch: Vec<(u16, Msg)> = Vec::new();
+            let mut batch_payload = 1u32; // frame-count byte
+            let flush_batch = |batch: &mut Vec<(u16, Msg)>,
+                               batch_payload: &mut u32,
+                               ctx: &mut Ctx<'_, MultiMsg>| {
+                match batch.len() {
+                    0 => {}
+                    1 => {
+                        // A lone frame needs no batch envelope.
+                        let (q, inner) = batch.pop().unwrap();
+                        ctx.emit(to, *batch_payload - 1, MultiMsg::One { q, inner });
+                    }
+                    _ => {
+                        ctx.emit(
+                            to,
+                            *batch_payload,
+                            MultiMsg::Batch {
+                                frames: std::mem::take(batch),
+                            },
+                        );
+                    }
+                }
+                *batch_payload = 1;
+            };
+            for (q, e) in frames {
+                let framed = e.payload_bytes + QUERY_TAG_BYTES;
+                if batch_payload + framed > MAX_AGG_PAYLOAD && !batch.is_empty() {
+                    flush_batch(&mut batch, &mut batch_payload, ctx);
+                }
+                batch.push((q, e.msg));
+                batch_payload += framed;
+            }
+            flush_batch(&mut batch, &mut batch_payload, ctx);
+        }
+    }
+
+    /// Join pairs currently placed at this node, across all active queries
+    /// (failure-target picking).
+    pub fn pair_count_total(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.node.pair_count())
+            .sum()
+    }
+
+    /// The per-query protocol instances at this node (active or not).
+    pub fn query_nodes(&self) -> impl Iterator<Item = &JoinNode> {
+        self.slots.iter().map(|s| &s.node)
+    }
+}
+
+impl Protocol for MultiNode {
+    type Msg = MultiMsg;
+
+    // Inner path collapsing consumes snoop events (Appendix E).
+    const WANTS_SNOOP: bool = true;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, MultiMsg>, from: NodeId, msg: MultiMsg) {
+        match msg {
+            MultiMsg::One { q, inner } => {
+                self.deliver_frame(ctx, q, |n, c| n.on_message(c, from, inner));
+            }
+            MultiMsg::Batch { frames } => {
+                for (q, inner) in frames {
+                    self.deliver_frame(ctx, q, |n, c| n.on_message(c, from, inner));
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn on_snoop(
+        &mut self,
+        ctx: &mut Ctx<'_, MultiMsg>,
+        sender: NodeId,
+        next_hop: NodeId,
+        msg: &MultiMsg,
+    ) {
+        match msg {
+            MultiMsg::One { q, inner } => {
+                self.deliver(ctx, *q, |n, c| n.on_snoop(c, sender, next_hop, inner));
+            }
+            MultiMsg::Batch { frames } => {
+                for (q, inner) in frames {
+                    self.deliver(ctx, *q, |n, c| n.on_snoop(c, sender, next_hop, inner));
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn on_send_failed(&mut self, ctx: &mut Ctx<'_, MultiMsg>, to: NodeId, msg: MultiMsg) {
+        match msg {
+            MultiMsg::One { q, inner } => {
+                self.deliver_frame(ctx, q, |n, c| n.on_send_failed(c, to, inner));
+            }
+            MultiMsg::Batch { frames } => {
+                // Every frame of an abandoned batch failed; each query runs
+                // its own §7 recovery reaction.
+                for (q, inner) in frames {
+                    self.deliver_frame(ctx, q, |n, c| n.on_send_failed(c, to, inner));
+                }
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn on_sampling_cycle(&mut self, ctx: &mut Ctx<'_, MultiMsg>, cycle: u32) {
+        for q in 0..self.slots.len() {
+            self.deliver(ctx, q as u16, |n, c| n.on_sampling_cycle(c, cycle));
+        }
+        self.flush(ctx);
+    }
+
+    /// Query `q` is flow `q + 1`; aggregated frames are the shared flow 0.
+    fn flow_of(msg: &MultiMsg) -> usize {
+        match msg {
+            MultiMsg::One { q, .. } => *q as usize + 1,
+            MultiMsg::Batch { .. } => 0,
+        }
+    }
+}
+
+/// Final per-query observables of a multi-query run.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Algorithm label ("Innet-cmg", …).
+    pub label: String,
+    /// Query-spec name ("Query 1", …).
+    pub name: String,
+    pub arrival: u32,
+    pub departure: Option<u32>,
+    /// Join results delivered to the base station for this query.
+    pub results: u64,
+    /// Mean result delay in transmission cycles.
+    pub avg_delay_tx: f64,
+    /// Execution traffic of this query's own (un-aggregated) frames.
+    pub flow: FlowMetrics,
+}
+
+/// Aggregate + per-query statistics of a [`QuerySet`] run.
+#[derive(Debug, Clone)]
+pub struct MultiRunStats {
+    pub per_query: Vec<QueryStats>,
+    /// Traffic during the cycle-0 initiation phase (all arriving queries
+    /// contending).
+    pub initiation: Metrics,
+    /// Traffic during execution (including live initiations of late
+    /// arrivals).
+    pub execution: Metrics,
+    /// Execution traffic of cross-query aggregate frames (flow 0; zero in
+    /// independent mode).
+    pub shared_flow: FlowMetrics,
+    pub base: NodeId,
+    /// Frames dropped at arrival because their query had departed.
+    pub expired_frames: u64,
+}
+
+impl MultiRunStats {
+    pub fn results_total(&self) -> u64 {
+        self.per_query.iter().map(|q| q.results).sum()
+    }
+
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.initiation.total_tx_bytes() + self.execution.total_tx_bytes()
+    }
+
+    pub fn total_traffic_msgs(&self) -> u64 {
+        self.initiation.total_tx_msgs() + self.execution.total_tx_msgs()
+    }
+
+    pub fn base_load_bytes(&self) -> u64 {
+        self.initiation.load_bytes(self.base) + self.execution.load_bytes(self.base)
+    }
+
+    pub fn base_load_msgs(&self) -> u64 {
+        self.initiation.load_msgs(self.base) + self.execution.load_msgs(self.base)
+    }
+
+    pub fn max_node_load_bytes(&self) -> u64 {
+        let mut combined = self.initiation.clone();
+        combined.absorb(&self.execution);
+        combined.max_load_bytes()
+    }
+
+    /// Result-weighted mean delay across queries.
+    pub fn avg_delay_tx(&self) -> f64 {
+        let total: u64 = self.results_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.per_query
+            .iter()
+            .map(|q| q.avg_delay_tx * q.results as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// What a dynamics-driven multi-query execution did.
+#[derive(Debug, Clone, Default)]
+pub struct MultiOutcome {
+    /// `(cycle, node)` for every node that died mid-run: plan kills and
+    /// energy-budget depletions alike (both are propagated to every
+    /// query's liveness oracle).
+    pub killed: Vec<(u32, NodeId)>,
+    /// Messages discarded from dead nodes' queues (plan kills + energy
+    /// depletions).
+    pub queued_msgs_lost: u64,
+    /// `(cycle, query)` lifecycle events that fired (arrivals and
+    /// departures actually reached within the run).
+    pub arrivals: Vec<(u32, usize)>,
+    pub departures: Vec<(u32, usize)>,
+    /// Queries whose live initiation did not finish before the run ended
+    /// (arrival too close to the last cycle for the full
+    /// [`LIVE_INIT_SPACING`]-spaced step schedule). Their near-zero
+    /// results are a truncation artifact, not an algorithmic effect —
+    /// size `cycles ≥ arrival + steps * LIVE_INIT_SPACING` to avoid it.
+    pub unfinished_inits: Vec<usize>,
+}
+
+/// Snapshot of a query's base-station counters at departure (or run end).
+#[derive(Debug, Clone, Copy, Default)]
+struct BaseSnapshot {
+    results: u64,
+    delay_sum: u64,
+}
+
+/// A prepared multi-query run.
+pub struct MultiRun {
+    pub engine: Engine<MultiNode>,
+    pub shareds: Vec<Arc<Shared>>,
+    lifecycles: Vec<Lifecycle>,
+    init_metrics: Option<Metrics>,
+    init_cycles: u64,
+    /// Filled at departure; live queries are snapshotted by `stats`.
+    snapshots: Vec<Option<BaseSnapshot>>,
+    /// Live-initiation steps pending for late arrivals:
+    /// `(fire_cycle, query, step, )`.
+    pending_steps: Vec<(u32, usize, InitStep)>,
+}
+
+impl QuerySet {
+    /// Construct the engine: one shared substrate, one [`Shared`] context
+    /// per query, one [`MultiNode`] per node.
+    pub fn build(&self) -> MultiRun {
+        let sub = Arc::new(MultiTreeSubstrate::build(
+            &self.topo,
+            self.num_trees,
+            default_indexed_attrs(),
+            &self.data,
+        ));
+        let shareds: Vec<Arc<Shared>> = self
+            .queries
+            .iter()
+            .map(|qi| {
+                Arc::new(Shared {
+                    topo: self.topo.clone(),
+                    sub: sub.clone(),
+                    gpsr: matches!(qi.cfg.algorithm, Algorithm::Ght)
+                        .then(|| GpsrRouter::new(&self.topo)),
+                    spec: qi.spec.clone(),
+                    data: self.data.clone(),
+                    cfg: qi.cfg,
+                    dead: Mutex::new(HashSet::new()),
+                })
+            })
+            .collect();
+        let sharing = self.sharing;
+        let mk = shareds.clone();
+        let engine = Engine::new(self.topo.clone(), self.sim.clone(), move |id| {
+            MultiNode::new(id, &mk, sharing)
+        });
+        let n_q = self.queries.len();
+        MultiRun {
+            engine,
+            shareds,
+            lifecycles: self.queries.iter().map(|q| q.lifecycle).collect(),
+            init_metrics: None,
+            init_cycles: 0,
+            snapshots: vec![None; n_q],
+            pending_steps: Vec::new(),
+        }
+    }
+
+    /// Build, initiate, execute `cycles`, collect stats.
+    pub fn run(&self, cycles: u32) -> MultiRunStats {
+        let mut run = self.build();
+        run.initiate();
+        run.execute(cycles);
+        run.stats()
+    }
+}
+
+impl MultiRun {
+    fn n_queries(&self) -> usize {
+        self.shareds.len()
+    }
+
+    fn base(&self) -> NodeId {
+        self.engine.topology().base()
+    }
+
+    /// Activate query `q` at every node.
+    fn activate_everywhere(&mut self, q: usize) {
+        for i in 0..self.engine.topology().len() {
+            self.engine.node_mut(NodeId(i as u16)).activate(q);
+        }
+    }
+
+    /// Fire one initiation step of query `q` across the network.
+    fn apply_step(&mut self, q: usize, step: InitStep) {
+        let base = self.base();
+        let n = self.engine.topology().len();
+        match step {
+            InitStep::Flood => {
+                self.engine
+                    .with_node(base, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_flood(c)));
+            }
+            InitStep::EnsureQuery => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    if self.engine.node(id).is_active(q) {
+                        self.engine
+                            .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, _| jn.ensure_query()));
+                    }
+                }
+            }
+            InitStep::Announce => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    if id == base {
+                        continue;
+                    }
+                    self.engine
+                        .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_announce(c)));
+                }
+            }
+            InitStep::GhtRegister => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine.with_node(id, |mn, ctx| {
+                        mn.drive(ctx, q, |jn, c| jn.start_ght_register(c))
+                    });
+                }
+            }
+            InitStep::Search => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine
+                        .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_search(c)));
+                }
+            }
+            InitStep::FinishTSide => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine.with_node(id, |mn, ctx| {
+                        mn.drive(ctx, q, |jn, _| jn.finish_t_side_assigns())
+                    });
+                }
+            }
+            InitStep::GroupOpt => {
+                for i in 0..n {
+                    let id = NodeId(i as u16);
+                    self.engine.with_node(id, |mn, ctx| {
+                        mn.drive(ctx, q, |jn, c| jn.start_group_opt(c))
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drive the initiation of every cycle-0 query to quiescence, the
+    /// steps interleaved across queries so their control traffic contends
+    /// (this is the multi-query analogue of [`crate::Run::initiate`]).
+    pub fn initiate(&mut self) {
+        let arrivals: Vec<usize> = (0..self.n_queries())
+            .filter(|&q| self.lifecycles[q].arrival == 0)
+            .collect();
+        for &q in &arrivals {
+            self.activate_everywhere(q);
+        }
+        let schedules: Vec<Vec<(InitStep, u64)>> = arrivals
+            .iter()
+            .map(|&q| init_steps(&self.shareds[q].cfg))
+            .collect();
+        let max_len = schedules.iter().map(Vec::len).max().unwrap_or(0);
+        for step_idx in 0..max_len {
+            let mut budget = 0u64;
+            for (ai, &q) in arrivals.iter().enumerate() {
+                if let Some(&(step, b)) = schedules[ai].get(step_idx) {
+                    self.apply_step(q, step);
+                    budget = budget.max(b);
+                }
+            }
+            if budget > 0 {
+                self.engine.run_until_quiet(budget);
+            }
+        }
+        self.init_cycles = self.engine.now();
+        self.init_metrics = Some(self.engine.metrics().clone());
+        self.engine.reset_metrics();
+        self.engine.reset_clock();
+    }
+
+    /// Take query `q` offline everywhere, snapshotting its base counters.
+    fn retire(&mut self, q: usize) {
+        let base = self.base();
+        for i in 0..self.engine.topology().len() {
+            let id = NodeId(i as u16);
+            let node = self.engine.node_mut(id).deactivate(q);
+            if id == base {
+                if let Some(b) = node.base_state() {
+                    self.snapshots[q] = Some(BaseSnapshot {
+                        results: b.results,
+                        delay_sum: b.delay_sum,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Run `cycles` sampling cycles of execution with lifecycle events
+    /// only.
+    pub fn execute(&mut self, cycles: u32) -> MultiOutcome {
+        self.execute_with_plan(cycles, &DynamicsPlan::none())
+    }
+
+    /// Run execution under a dynamics plan: scheduled kills / loss shifts
+    /// fire at cycle boundaries alongside the query set's own lifecycle
+    /// events (late arrivals initiate live; departures retire their
+    /// state).
+    pub fn execute_with_plan(&mut self, cycles: u32, plan: &DynamicsPlan) -> MultiOutcome {
+        let base = self.base();
+        let mut out = MultiOutcome::default();
+        // Energy-depletion cursors: deaths the engine declared at cycle
+        // boundaries are propagated to every query's liveness oracle and
+        // into the loss accounting, exactly like plan kills.
+        let mut energy_seen = 0usize;
+        let mut energy_msgs_seen = self.engine.energy_msgs_dropped();
+        for c in 0..cycles {
+            // Lifecycle: departures first (a query leaving at c does not
+            // sample at c), then arrivals, then any due live-init steps.
+            for q in 0..self.n_queries() {
+                if self.lifecycles[q].departure == Some(c) && self.snapshots[q].is_none() {
+                    self.retire(q);
+                    out.departures.push((c, q));
+                }
+            }
+            for q in 0..self.n_queries() {
+                if self.lifecycles[q].arrival == c && c > 0 {
+                    self.activate_everywhere(q);
+                    out.arrivals.push((c, q));
+                    for (i, (step, _)) in init_steps(&self.shareds[q].cfg).iter().enumerate() {
+                        self.pending_steps
+                            .push((c + i as u32 * LIVE_INIT_SPACING, q, *step));
+                    }
+                }
+            }
+            let due: Vec<(usize, InitStep)> = self
+                .pending_steps
+                .iter()
+                .filter(|&&(at, _, _)| at == c)
+                .map(|&(_, q, step)| (q, step))
+                .collect();
+            for (q, step) in due {
+                self.apply_step(q, step);
+            }
+            self.pending_steps.retain(|&(at, _, _)| at > c);
+            // Scheduled dynamics (kills resolve `Picked` to the busiest
+            // multi-query join node).
+            let fired = plan.fire(c, &mut self.engine, |eng| {
+                busiest_multi_join_node(eng, base)
+            });
+            out.queued_msgs_lost += fired.queued_msgs_dropped;
+            for &v in &fired.killed {
+                for sh in &self.shareds {
+                    sh.mark_dead(v);
+                }
+                out.killed.push((c, v));
+            }
+            self.engine.sampling_cycle(c);
+            // Nodes that ran out of energy this cycle.
+            let depleted: Vec<NodeId> = self.engine.energy_depleted()[energy_seen..].to_vec();
+            energy_seen += depleted.len();
+            for v in depleted {
+                for sh in &self.shareds {
+                    sh.mark_dead(v);
+                }
+                out.killed.push((c, v));
+            }
+            let energy_msgs = self.engine.energy_msgs_dropped();
+            out.queued_msgs_lost += energy_msgs - energy_msgs_seen;
+            energy_msgs_seen = energy_msgs;
+        }
+        self.engine.run_until_quiet(5_000);
+        // Live-init steps scheduled past the final cycle never fired;
+        // surface the affected queries so truncated initiations are not
+        // misread as algorithmic effects.
+        out.unfinished_inits = self.pending_steps.iter().map(|&(_, q, _)| q).collect();
+        out.unfinished_inits.sort_unstable();
+        out.unfinished_inits.dedup();
+        out
+    }
+
+    /// Network-wide sum of the §7 recovery counters across every query's
+    /// protocol instances (departed queries' counters left with their
+    /// state; see [`MultiRun::retire`]).
+    pub fn recovery_totals(&self) -> crate::node::RecoveryStats {
+        let mut total = crate::node::RecoveryStats::default();
+        for mn in self.engine.nodes() {
+            for jn in mn.query_nodes() {
+                total.absorb(&jn.recovery);
+            }
+        }
+        total
+    }
+
+    /// Collect aggregate + per-query statistics.
+    pub fn stats(&self) -> MultiRunStats {
+        let base = self.base();
+        let base_node = self.engine.node(base);
+        let exec = self.engine.metrics();
+        let per_query = (0..self.n_queries())
+            .map(|q| {
+                let snap = self.snapshots[q].unwrap_or_else(|| {
+                    base_node
+                        .query_node(q)
+                        .base_state()
+                        .map(|b| BaseSnapshot {
+                            results: b.results,
+                            delay_sum: b.delay_sum,
+                        })
+                        .unwrap_or_default()
+                });
+                let avg_delay = if snap.results > 0 {
+                    snap.delay_sum as f64 / snap.results as f64
+                } else {
+                    0.0
+                };
+                QueryStats {
+                    label: self.shareds[q].cfg.label(),
+                    name: self.shareds[q].spec.name.clone(),
+                    arrival: self.lifecycles[q].arrival,
+                    departure: self.lifecycles[q].departure,
+                    results: snap.results,
+                    avg_delay_tx: avg_delay,
+                    flow: exec.flow(q + 1),
+                }
+            })
+            .collect();
+        MultiRunStats {
+            per_query,
+            initiation: self
+                .init_metrics
+                .clone()
+                .unwrap_or_else(|| Metrics::new(self.engine.topology().len())),
+            execution: exec.clone(),
+            shared_flow: exec.flow(0),
+            base,
+            expired_frames: self.engine.nodes().iter().map(|n| n.expired_frames).sum(),
+        }
+    }
+}
+
+/// The alive non-base node serving the most join pairs across all active
+/// queries (multi-query failure-target selection).
+fn busiest_multi_join_node(engine: &Engine<MultiNode>, base: NodeId) -> Option<NodeId> {
+    (0..engine.topology().len() as u16)
+        .map(NodeId)
+        .filter(|&id| id != base && engine.is_alive(id))
+        .max_by_key(|&id| engine.node(id).pair_count_total())
+        .filter(|&id| engine.node(id).pair_count_total() > 0)
+}

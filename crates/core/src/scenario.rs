@@ -105,6 +105,64 @@ pub struct Run {
     init_cycles: u64,
 }
 
+/// One step of an algorithm's initiation sequence. The single-query
+/// harness ([`Run::initiate`]) drives the steps to quiescence one by one;
+/// the multi-query harness ([`crate::multi::MultiRun`]) interleaves the
+/// same steps across all queries arriving at a boundary, and spreads them
+/// over sampling cycles for queries arriving mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitStep {
+    /// Query-dissemination flood from the base station.
+    Flood,
+    /// Harness backstop after dissemination: mark the query known
+    /// everywhere (periodic beacons make this reliable in a real system).
+    EnsureQuery,
+    /// Base algorithm: producers announce eligibility to the base.
+    Announce,
+    /// GHT: producers register at their home nodes.
+    GhtRegister,
+    /// Innet: eligible S producers launch multi-tree searches (§3).
+    Search,
+    /// Innet: targets adopt their own nominated placements.
+    FinishTSide,
+    /// Innet: group-based optimization (Algorithm 1).
+    GroupOpt,
+}
+
+/// The ordered `(step, quiescence budget)` initiation schedule for one
+/// algorithm configuration. Budgets are transmission-cycle caps for
+/// [`Engine::run_until_quiet`] after the step fires; a zero budget means
+/// the step is local (no traffic to drain). Naive and Yang+07 piggyback
+/// dissemination on routing-tree construction, so their query is free per
+/// Table 3.
+pub fn init_steps(cfg: &AlgoConfig) -> Vec<(InitStep, u64)> {
+    match cfg.algorithm {
+        Algorithm::Naive | Algorithm::Yang07 => vec![(InitStep::EnsureQuery, 0)],
+        Algorithm::Base => vec![
+            (InitStep::Flood, 10_000),
+            (InitStep::EnsureQuery, 0),
+            (InitStep::Announce, 50_000),
+        ],
+        Algorithm::Ght => vec![
+            (InitStep::Flood, 10_000),
+            (InitStep::EnsureQuery, 0),
+            (InitStep::GhtRegister, 50_000),
+        ],
+        Algorithm::Innet => {
+            let mut steps = vec![
+                (InitStep::Flood, 10_000),
+                (InitStep::EnsureQuery, 0),
+                (InitStep::Search, 200_000),
+                (InitStep::FinishTSide, 0),
+            ];
+            if cfg.innet.group_opt {
+                steps.push((InitStep::GroupOpt, 50_000));
+            }
+            steps
+        }
+    }
+}
+
 impl Scenario {
     /// Construct the engine: builds the substrate offline (routing-tree
     /// construction is excluded from query costs, as in Table 3) and
@@ -149,69 +207,63 @@ impl Scenario {
 }
 
 impl Run {
-    /// Drive the algorithm-specific initiation phase to quiescence.
+    /// Drive the algorithm-specific initiation phase to quiescence,
+    /// following the shared [`init_steps`] schedule.
     pub fn initiate(&mut self) {
-        let algo = self.shared.cfg.algorithm;
         let base = self.shared.base();
         let n = self.engine.topology().len();
-        // 1. Query dissemination (all algorithms need the query; Naive and
-        //    Yang+07 piggyback it on routing-tree construction, so it is
-        //    free for them per Table 3).
-        let free_dissemination = matches!(algo, Algorithm::Naive | Algorithm::Yang07);
-        if free_dissemination {
-            for i in 0..n {
-                self.engine.node_mut(NodeId(i as u16)).ensure_query();
-            }
-        } else {
-            self.engine
-                .with_node(base, |node, ctx| node.start_flood(ctx));
-            self.engine.run_until_quiet(10_000);
-            for i in 0..n {
-                self.engine.node_mut(NodeId(i as u16)).ensure_query();
-            }
-        }
-        // 2. Algorithm-specific setup.
-        match algo {
-            Algorithm::Naive | Algorithm::Yang07 => {}
-            Algorithm::Base => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    if id == base {
-                        continue;
+        for (step, budget) in init_steps(&self.shared.cfg) {
+            match step {
+                InitStep::Flood => {
+                    self.engine
+                        .with_node(base, |node, ctx| node.start_flood(ctx));
+                }
+                InitStep::EnsureQuery => {
+                    for i in 0..n {
+                        self.engine.node_mut(NodeId(i as u16)).ensure_query();
                     }
-                    self.engine
-                        .with_node(id, |node, ctx| node.start_announce(ctx));
                 }
-                self.engine.run_until_quiet(50_000);
-            }
-            Algorithm::Ght => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine
-                        .with_node(id, |node, ctx| node.start_ght_register(ctx));
+                InitStep::Announce => {
+                    for i in 0..n {
+                        let id = NodeId(i as u16);
+                        if id == base {
+                            continue;
+                        }
+                        self.engine
+                            .with_node(id, |node, ctx| node.start_announce(ctx));
+                    }
                 }
-                self.engine.run_until_quiet(50_000);
-            }
-            Algorithm::Innet => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine
-                        .with_node(id, |node, ctx| node.start_search(ctx));
+                InitStep::GhtRegister => {
+                    for i in 0..n {
+                        let id = NodeId(i as u16);
+                        self.engine
+                            .with_node(id, |node, ctx| node.start_ght_register(ctx));
+                    }
                 }
-                self.engine.run_until_quiet(200_000);
-                for i in 0..n {
-                    self.engine
-                        .node_mut(NodeId(i as u16))
-                        .finish_t_side_assigns();
+                InitStep::Search => {
+                    for i in 0..n {
+                        let id = NodeId(i as u16);
+                        self.engine
+                            .with_node(id, |node, ctx| node.start_search(ctx));
+                    }
                 }
-                if self.shared.cfg.innet.group_opt {
+                InitStep::FinishTSide => {
+                    for i in 0..n {
+                        self.engine
+                            .node_mut(NodeId(i as u16))
+                            .finish_t_side_assigns();
+                    }
+                }
+                InitStep::GroupOpt => {
                     for i in 0..n {
                         let id = NodeId(i as u16);
                         self.engine
                             .with_node(id, |node, ctx| node.start_group_opt(ctx));
                     }
-                    self.engine.run_until_quiet(50_000);
                 }
+            }
+            if budget > 0 {
+                self.engine.run_until_quiet(budget);
             }
         }
         self.init_cycles = self.engine.now();
@@ -253,6 +305,11 @@ impl Run {
                 .map(|b| b.results)
                 .unwrap_or(0)
         };
+        // Energy-depletion cursors: engine-declared deaths propagate to
+        // the protocol's liveness oracle and loss accounting like plan
+        // kills.
+        let mut energy_seen = 0usize;
+        let mut energy_msgs_seen = self.engine.energy_msgs_dropped();
         for c in 0..cycles {
             if Some(c) == first_event {
                 out.results_pre_event = results_at(&self.engine);
@@ -267,6 +324,15 @@ impl Run {
             }
             let tx_before = self.engine.metrics().total_tx_bytes();
             self.engine.sampling_cycle(c);
+            let depleted: Vec<NodeId> = self.engine.energy_depleted()[energy_seen..].to_vec();
+            energy_seen += depleted.len();
+            for v in depleted {
+                self.shared.mark_dead(v);
+                out.killed.push((c, v));
+            }
+            let energy_msgs = self.engine.energy_msgs_dropped();
+            out.queued_msgs_lost += energy_msgs - energy_msgs_seen;
+            energy_msgs_seen = energy_msgs;
             out.per_cycle_tx_bytes
                 .push(self.engine.metrics().total_tx_bytes() - tx_before);
         }
@@ -328,9 +394,11 @@ impl Run {
 /// [`Run::recovery_totals`] (protocol-level recovery reactions).
 #[derive(Debug, Clone, Default)]
 pub struct DynamicsOutcome {
-    /// `(cycle, node)` for every node the plan killed.
+    /// `(cycle, node)` for every node that died mid-run: plan kills and
+    /// energy-budget depletions alike.
     pub killed: Vec<(u32, NodeId)>,
-    /// Messages discarded from victims' queues at kill time.
+    /// Messages discarded from dead nodes' queues (plan kills + energy
+    /// depletions).
     pub queued_msgs_lost: u64,
     /// Execution TX bytes per sampling cycle (recovery-overhead trace).
     pub per_cycle_tx_bytes: Vec<u64>,

@@ -22,6 +22,20 @@ pub struct SimConfig {
     pub header_bytes: u32,
     /// RNG seed for link-loss draws.
     pub seed: u64,
+    /// Fair per-flow MAC arbitration: when a node's queue holds messages of
+    /// several flows (concurrent queries), each transmission slot goes to
+    /// the least-served flow this cycle instead of strict FIFO — one hot
+    /// query cannot starve the others' share of the shared radio. Off by
+    /// default (single-flow protocols see pure FIFO either way).
+    pub fair_mac: bool,
+    /// Per-node energy budget in radio bytes (TX + RX) accumulated since
+    /// the last [`crate::Engine::reset_metrics`] — in the standard
+    /// harnesses, the execution phase (initiation is excluded, matching
+    /// Table 3's cost separation); a node whose load reaches the budget
+    /// dies at the next sampling-cycle boundary. `0` disables the model.
+    /// The base station is exempt (mains-powered root, as in §7's
+    /// failure model).
+    pub energy_budget_bytes: u64,
 }
 
 impl Default for SimConfig {
@@ -35,6 +49,8 @@ impl Default for SimConfig {
             snooping: false,
             header_bytes: 11,
             seed: 0,
+            fair_mac: false,
+            energy_budget_bytes: 0,
         }
     }
 }
@@ -68,6 +84,16 @@ impl SimConfig {
 
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
+        self
+    }
+
+    pub fn with_fair_mac(mut self, on: bool) -> Self {
+        self.fair_mac = on;
+        self
+    }
+
+    pub fn with_energy_budget(mut self, bytes: u64) -> Self {
+        self.energy_budget_bytes = bytes;
         self
     }
 }

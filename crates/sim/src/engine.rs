@@ -40,6 +40,15 @@ pub trait Protocol {
 
     /// Start of a sampling cycle (the engine's client decides the cadence).
     fn on_sampling_cycle(&mut self, _ctx: &mut Ctx<'_, Self::Msg>, _cycle: u32) {}
+
+    /// Traffic class of a message. Flow 0 is the default; multi-query
+    /// protocols tag each message with its query's flow so (a) the engine
+    /// can account per-flow traffic ([`crate::metrics::FlowMetrics`]) and
+    /// (b) [`SimConfig::fair_mac`] can arbitrate a node's MAC budget
+    /// fairly across concurrent flows.
+    fn flow_of(_msg: &Self::Msg) -> usize {
+        0
+    }
 }
 
 /// Where an outgoing message is headed.
@@ -118,6 +127,66 @@ impl<M> Ctx<'_, M> {
     pub fn queue_len(&self) -> usize {
         self.outbox.len()
     }
+
+    /// Run a protocol callback that speaks a *nested* message type against
+    /// a scratch context, capturing what it emitted instead of enqueueing
+    /// it. This is how wrapper protocols (one instance hosting several
+    /// inner protocol instances, e.g. the multi-query layer) reuse inner
+    /// `Protocol` implementations unchanged: the wrapper re-frames each
+    /// [`Emitted`] via [`Ctx::emit`], possibly aggregating several inner
+    /// messages into one outer frame.
+    ///
+    /// Self-send rejection applies inside the sandbox (charged to this
+    /// node's `self_send_drops`); the real queue-capacity check happens
+    /// when the wrapper emits.
+    pub fn sandbox<N, R>(&mut self, f: impl FnOnce(&mut Ctx<'_, N>) -> R) -> (R, Vec<Emitted<N>>) {
+        let mut scratch: VecDeque<Outgoing<N>> = VecDeque::new();
+        let r = {
+            let mut inner = Ctx {
+                id: self.id,
+                now: self.now,
+                topo: self.topo,
+                outbox: &mut scratch,
+                queue_capacity: self.queue_capacity,
+                queue_drops: &mut *self.queue_drops,
+                self_send_drops: &mut *self.self_send_drops,
+                header_bytes: self.header_bytes,
+            };
+            f(&mut inner)
+        };
+        let header = self.header_bytes;
+        let emitted = scratch
+            .into_iter()
+            .map(|o| Emitted {
+                to: match o.target {
+                    Target::Unicast(n) => Some(n),
+                    Target::Broadcast => None,
+                },
+                payload_bytes: o.wire_bytes - header,
+                msg: o.msg,
+            })
+            .collect();
+        (r, emitted)
+    }
+
+    /// Enqueue a captured emission: unicast when `to` is `Some`, radio
+    /// broadcast otherwise (the [`Emitted::to`] convention).
+    pub fn emit(&mut self, to: Option<NodeId>, payload_bytes: u32, msg: M) -> bool {
+        match to {
+            Some(n) => self.send(n, payload_bytes, msg),
+            None => self.broadcast(payload_bytes, msg),
+        }
+    }
+}
+
+/// A message captured by [`Ctx::sandbox`]: where it was headed and the
+/// payload size its sender declared (link header excluded).
+#[derive(Debug, Clone)]
+pub struct Emitted<M> {
+    /// `None` = radio broadcast to all neighbors.
+    pub to: Option<NodeId>,
+    pub payload_bytes: u32,
+    pub msg: M,
 }
 
 enum Event<M> {
@@ -154,6 +223,10 @@ pub struct Engine<P: Protocol> {
     /// Event buffer reused across [`Engine::step`] calls so the hot path
     /// does not allocate a fresh `Vec` every transmission cycle.
     events: Vec<Event<P::Msg>>,
+    /// Nodes killed by energy-budget depletion, in death order.
+    energy_depleted: Vec<NodeId>,
+    /// Messages discarded from depleted nodes' queues.
+    energy_msgs_dropped: u64,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -170,6 +243,8 @@ impl<P: Protocol> Engine<P> {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x51e6_0e0f_ca11),
             now: 0,
             events: Vec::new(),
+            energy_depleted: Vec::new(),
+            energy_msgs_dropped: 0,
             topo,
             cfg,
         }
@@ -245,6 +320,22 @@ impl<P: Protocol> Engine<P> {
         self.outboxes.iter().any(|q| !q.is_empty())
     }
 
+    /// Total messages queued network-wide (conservation accounting).
+    pub fn queued_msgs(&self) -> usize {
+        self.outboxes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Nodes that died of energy-budget depletion so far, in death order
+    /// (empty unless [`SimConfig::energy_budget_bytes`] is set).
+    pub fn energy_depleted(&self) -> &[NodeId] {
+        &self.energy_depleted
+    }
+
+    /// Messages discarded from energy-depleted nodes' queues.
+    pub fn energy_msgs_dropped(&self) -> u64 {
+        self.energy_msgs_dropped
+    }
+
     /// Invoke a protocol entry point "from outside" (harness-driven events
     /// such as posing a query at the base station).
     pub fn with_node<R>(
@@ -296,12 +387,18 @@ impl<P: Protocol> Engine<P> {
             } = self;
             let n = topo.len();
             let snoop = cfg.snooping && P::WANTS_SNOOP;
+            // Per-flow service counts for fair-MAC arbitration, reused
+            // (and cleared) per node.
+            let mut served: Vec<u64> = Vec::new();
             for i in 0..n {
                 if !alive[i] {
                     continue;
                 }
                 let sender = NodeId(i as u16);
                 let mut budget = cfg.tx_per_cycle;
+                if cfg.fair_mac {
+                    served.clear();
+                }
                 // Lost unicasts awaiting retransmission. They rejoin the
                 // queue head only after the node's loop, so a lossy link
                 // consumes exactly one attempt per message per cycle (the
@@ -309,15 +406,33 @@ impl<P: Protocol> Engine<P> {
                 // the remaining budget serves the messages behind it.
                 let mut deferred: Vec<Outgoing<P::Msg>> = Vec::new();
                 while budget > 0 {
-                    let Some(mut out) = outboxes[i].pop_front() else {
+                    // Fair MAC: each slot goes to the queued message of the
+                    // least-served flow this cycle (FIFO within a flow, and
+                    // plain FIFO when every message is the same flow).
+                    let idx = if cfg.fair_mac && outboxes[i].len() > 1 {
+                        fair_pick::<P>(&outboxes[i], &served)
+                    } else {
+                        0
+                    };
+                    let Some(mut out) = outboxes[i].remove(idx) else {
                         break;
                     };
                     budget -= 1;
+                    let flow = P::flow_of(&out.msg);
+                    if cfg.fair_mac {
+                        if flow >= served.len() {
+                            served.resize(flow + 1, 0);
+                        }
+                        served[flow] += 1;
+                    }
                     // Charge the attempt.
                     {
                         let m = metrics.node_mut(sender);
                         m.tx_bytes += out.wire_bytes as u64;
                         m.tx_msgs += 1;
+                        let fm = metrics.flow_mut(flow);
+                        fm.tx_bytes += out.wire_bytes as u64;
+                        fm.tx_msgs += 1;
                     }
                     match out.target {
                         Target::Unicast(to) => {
@@ -397,6 +512,9 @@ impl<P: Protocol> Engine<P> {
                         let m = self.metrics.node_mut(dst);
                         m.rx_bytes += wire_bytes as u64;
                         m.rx_msgs += 1;
+                        let fm = self.metrics.flow_mut(P::flow_of(&msg));
+                        fm.rx_bytes += wire_bytes as u64;
+                        fm.rx_msgs += 1;
                     }
                     self.dispatch(dst, |p, ctx| p.on_message(ctx, from, msg));
                 }
@@ -453,6 +571,28 @@ impl<P: Protocol> Engine<P> {
         self.now - start
     }
 
+    /// Enforce the per-node energy budget: any alive non-base node whose
+    /// cumulative radio load (TX + RX bytes since the last metrics reset)
+    /// has reached [`SimConfig::energy_budget_bytes`] dies now. Fired at
+    /// sampling-cycle boundaries.
+    fn enforce_energy_budget(&mut self) {
+        let budget = self.cfg.energy_budget_bytes;
+        if budget == 0 {
+            return;
+        }
+        let base = self.topo.base();
+        for i in 0..self.topo.len() {
+            let id = NodeId(i as u16);
+            if id == base || !self.alive[i] {
+                continue;
+            }
+            if self.metrics.node(id).load_bytes() >= budget {
+                self.energy_msgs_dropped += self.kill(id) as u64;
+                self.energy_depleted.push(id);
+            }
+        }
+    }
+
     /// Run one *sampling* cycle: fire `on_sampling_cycle` at every alive
     /// node, then advance `tx_per_sampling_cycle` transmission cycles.
     pub fn sampling_cycle(&mut self, cycle: u32) {
@@ -461,6 +601,7 @@ impl<P: Protocol> Engine<P> {
         // clock was not reset on a phase boundary (a `now % period`
         // computation would misalign for non-zero starting clocks).
         let start = self.now;
+        self.enforce_energy_budget();
         for i in 0..self.topo.len() {
             if self.alive[i] {
                 self.dispatch(NodeId(i as u16), |p, ctx| p.on_sampling_cycle(ctx, cycle));
@@ -477,6 +618,25 @@ impl<P: Protocol> Engine<P> {
             }
         }
     }
+}
+
+/// Queue index of the message belonging to the least-served flow, earliest
+/// position first (ties on service count go to FIFO order, so single-flow
+/// queues degrade to plain FIFO).
+fn fair_pick<P: Protocol>(q: &VecDeque<Outgoing<P::Msg>>, served: &[u64]) -> usize {
+    let mut best = 0usize;
+    let mut best_served = u64::MAX;
+    for (pos, o) in q.iter().enumerate() {
+        let s = served.get(P::flow_of(&o.msg)).copied().unwrap_or(0);
+        if s < best_served {
+            best_served = s;
+            best = pos;
+            if s == 0 {
+                break; // the earliest never-served flow wins outright
+            }
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -798,6 +958,141 @@ mod tests {
             eng.now(),
             3 + SimConfig::default().tx_per_sampling_cycle as u64
         );
+    }
+
+    /// Two-flow protocol for the fair-MAC and flow-metrics tests: message
+    /// payload `(flow, n)`, counted at the receiver per flow.
+    struct TwoFlow {
+        got: [u32; 2],
+    }
+    impl Protocol for TwoFlow {
+        type Msg = (usize, u32);
+        fn on_message(&mut self, _: &mut Ctx<'_, (usize, u32)>, _: NodeId, msg: (usize, u32)) {
+            self.got[msg.0] += 1;
+        }
+        fn flow_of(msg: &(usize, u32)) -> usize {
+            msg.0
+        }
+    }
+
+    #[test]
+    fn per_flow_metrics_split_traffic() {
+        let mut eng = Engine::new(line(2), SimConfig::lossless(), |_| TwoFlow { got: [0; 2] });
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, (0, 1));
+            ctx.send(NodeId(1), 9, (1, 1));
+            ctx.send(NodeId(1), 9, (1, 2));
+        });
+        eng.run_until_quiet(10);
+        let m = eng.metrics();
+        let hdr = SimConfig::default().header_bytes as u64;
+        assert_eq!(m.flow(0).tx_msgs, 1);
+        assert_eq!(m.flow(1).tx_msgs, 2);
+        assert_eq!(m.flow(0).tx_bytes, 4 + hdr);
+        assert_eq!(m.flow(1).rx_bytes, 2 * (9 + hdr));
+        // Flow totals add up to the node totals.
+        assert_eq!(m.flow(0).tx_bytes + m.flow(1).tx_bytes, m.total_tx_bytes());
+    }
+
+    /// With strict FIFO a burst of flow-0 messages monopolizes the MAC
+    /// budget; fair arbitration alternates flows within each cycle.
+    #[test]
+    fn fair_mac_interleaves_flows() {
+        let run = |fair: bool| {
+            let cfg = SimConfig::lossless().with_fair_mac(fair); // tx_per_cycle = 4
+            let mut eng = Engine::new(line(2), cfg, |_| TwoFlow { got: [0; 2] });
+            eng.with_node(NodeId(0), |_, ctx| {
+                for n in 0..6 {
+                    ctx.send(NodeId(1), 4, (0, n)); // hot flow floods first
+                }
+                ctx.send(NodeId(1), 4, (1, 0)); // the other query's message
+            });
+            eng.step();
+            eng.node(NodeId(1)).got
+        };
+        // FIFO: the first cycle's 4 slots are all flow 0.
+        assert_eq!(run(false), [4, 0]);
+        // Fair: flow 1's lone message gets a slot in the first cycle.
+        assert_eq!(run(true), [3, 1]);
+    }
+
+    #[test]
+    fn fair_mac_single_flow_is_fifo() {
+        let run = |fair: bool| {
+            let cfg = SimConfig::lossless().with_fair_mac(fair);
+            let mut eng = Engine::new(line(2), cfg, |_| TwoFlow { got: [0; 2] });
+            for n in 0..10 {
+                eng.with_node(NodeId(0), |_, ctx| {
+                    ctx.send(NodeId(1), 4, (0, n));
+                });
+            }
+            eng.run_until_quiet(100);
+            (eng.metrics().clone(), eng.node(NodeId(1)).got)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sandbox_captures_and_emit_reframes() {
+        // Outer protocol wraps an inner `u32` protocol's emissions into
+        // tagged `(usize, u32)` messages.
+        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| TwoFlow { got: [0; 2] });
+        let captured = eng.with_node(NodeId(0), |_, ctx| {
+            let ((), emitted) = ctx.sandbox::<u32, _>(|inner| {
+                assert_eq!(inner.id, NodeId(0));
+                inner.send(NodeId(1), 6, 42u32);
+                inner.send(NodeId(0), 6, 7u32); // self-send: rejected inside
+                inner.broadcast(2, 9u32);
+            });
+            for e in &emitted {
+                ctx.emit(e.to, e.payload_bytes + 1, (1, e.msg));
+            }
+            emitted
+        });
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].to, Some(NodeId(1)));
+        assert_eq!(captured[0].payload_bytes, 6);
+        assert_eq!(captured[1].to, None);
+        assert_eq!(eng.metrics().node(NodeId(0)).self_send_drops, 1);
+        eng.run_until_quiet(10);
+        // Unicast + broadcast both re-framed and delivered as flow 1.
+        assert_eq!(eng.node(NodeId(1)).got, [0, 2]);
+        assert_eq!(eng.metrics().flow(1).tx_msgs, 2);
+    }
+
+    #[test]
+    fn energy_budget_kills_depleted_nodes_but_not_base() {
+        let cfg = SimConfig::lossless().with_energy_budget(40);
+        let mut eng = Engine::new(line(3), cfg, |_| Relay { arrived_at: None });
+        // Traffic 0 -> 1 -> 2 charges node 1 with TX + RX every round.
+        for _ in 0..3 {
+            eng.with_node(NodeId(0), |_, ctx| {
+                ctx.send(NodeId(1), 4, 1);
+            });
+            eng.run_until_quiet(10);
+        }
+        assert!(eng.metrics().node(NodeId(1)).load_bytes() >= 40);
+        eng.sampling_cycle(0);
+        assert!(!eng.is_alive(NodeId(1)), "relay ran out of energy");
+        // Node 0 transmitted just as much but is the base: exempt.
+        assert!(eng.is_alive(NodeId(0)));
+        // The sink also depleted (3 x 15 received bytes >= 40).
+        assert_eq!(eng.energy_depleted(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn queued_msgs_counts_network_wide() {
+        let mut eng = Engine::new(line(3), SimConfig::lossless(), |_| Relay {
+            arrived_at: None,
+        });
+        assert_eq!(eng.queued_msgs(), 0);
+        eng.with_node(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), 4, 1);
+            ctx.send(NodeId(1), 4, 2);
+        });
+        assert_eq!(eng.queued_msgs(), 2);
+        eng.run_until_quiet(100);
+        assert_eq!(eng.queued_msgs(), 0);
     }
 
     #[test]

@@ -35,17 +35,37 @@ impl NodeMetrics {
     }
 }
 
+/// Per-flow link-layer counters. A *flow* is a protocol-defined traffic
+/// class ([`crate::engine::Protocol::flow_of`]); the multi-query subsystem
+/// maps query `q` to flow `q + 1` and cross-query aggregate frames to
+/// flow 0, so per-query radio costs stay separable under contention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowMetrics {
+    /// Bytes put on the air for this flow (each retransmission counts).
+    pub tx_bytes: u64,
+    /// Transmission attempts for this flow.
+    pub tx_msgs: u64,
+    /// Bytes successfully delivered for this flow.
+    pub rx_bytes: u64,
+    /// Messages successfully delivered for this flow.
+    pub rx_msgs: u64,
+}
+
 /// Aggregated metrics for a simulation run. `PartialEq`/`Eq` support the
 /// determinism contract: equal seeds must yield *identical* metrics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     per_node: Vec<NodeMetrics>,
+    /// Indexed by flow id; grown lazily (single-flow protocols only ever
+    /// touch flow 0).
+    flows: Vec<FlowMetrics>,
 }
 
 impl Metrics {
     pub fn new(n: usize) -> Self {
         Metrics {
             per_node: vec![NodeMetrics::default(); n],
+            flows: Vec::new(),
         }
     }
 
@@ -55,6 +75,23 @@ impl Metrics {
 
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeMetrics {
         &mut self.per_node[id.index()]
+    }
+
+    /// Counters of one flow (zeros for a flow never charged).
+    pub fn flow(&self, flow: usize) -> FlowMetrics {
+        self.flows.get(flow).copied().unwrap_or_default()
+    }
+
+    /// Flows charged at least once, as `0..flow_count()`.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub(crate) fn flow_mut(&mut self, flow: usize) -> &mut FlowMetrics {
+        if flow >= self.flows.len() {
+            self.flows.resize(flow + 1, FlowMetrics::default());
+        }
+        &mut self.flows[flow]
     }
 
     pub fn per_node(&self) -> &[NodeMetrics] {
@@ -122,6 +159,13 @@ impl Metrics {
             a.queue_drops += b.queue_drops;
             a.self_send_drops += b.self_send_drops;
         }
+        for (f, b) in other.flows.iter().enumerate() {
+            let a = self.flow_mut(f);
+            a.tx_bytes += b.tx_bytes;
+            a.tx_msgs += b.tx_msgs;
+            a.rx_bytes += b.rx_bytes;
+            a.rx_msgs += b.rx_msgs;
+        }
     }
 
     pub fn total_self_send_drops(&self) -> u64 {
@@ -145,6 +189,21 @@ mod tests {
         assert_eq!(m.max_load_bytes(), 500);
         assert_eq!(m.top_loads_bytes(2), vec![500, 150]);
         assert_eq!(m.top_loads_bytes(10).len(), 3);
+    }
+
+    #[test]
+    fn flow_counters_grow_lazily_and_absorb() {
+        let mut a = Metrics::new(1);
+        assert_eq!(a.flow_count(), 0);
+        assert_eq!(a.flow(7), FlowMetrics::default());
+        a.flow_mut(2).tx_bytes = 10;
+        assert_eq!(a.flow_count(), 3);
+        let mut b = Metrics::new(1);
+        b.flow_mut(4).tx_bytes = 5;
+        a.absorb(&b);
+        assert_eq!(a.flow(2).tx_bytes, 10);
+        assert_eq!(a.flow(4).tx_bytes, 5);
+        assert_eq!(a.flow_count(), 5);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Property-based invariants of the engine's link-layer accounting,
+//! checked across randomized single- and multi-flow (multi-query) runs
+//! with random topologies, loss rates, queue capacities, MAC budgets,
+//! node kills and energy budgets.
+//!
+//! The load-bearing ledger — no message is ever created or destroyed
+//! without being counted:
+//!
+//! - **Enqueue accounting**: every send attempt is either accepted into a
+//!   queue or counted in `queue_drops` / `self_send_drops`.
+//! - **Tuple conservation**: everything accepted is eventually delivered
+//!   (`rx_msgs`), abandoned after retries (`send_failures`), discarded in
+//!   a dead node's queue (kill / energy depletion), or still in flight.
+//! - **Dispatch totality**: every delivery is either consumed or
+//!   re-forwarded, never silently swallowed.
+//! - **Monotonicity**: cumulative counters never decrease and stay
+//!   consistent (`rx ≤ tx` network-wide, per-flow sums equal totals).
+//!
+//! Run with a pinned case count for CI: `PROPTEST_CASES=64 cargo test -q
+//! -p sensor_sim --test invariants`.
+
+use proptest::prelude::*;
+use sensor_net::NodeId;
+use sensor_sim::{Ctx, Engine, Protocol, SimConfig};
+
+/// Deterministic mixing for all protocol-level "random" choices (neighbor
+/// selection, production gating) so runs replay bit-for-bit.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        .wrapping_add(c);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 32)
+}
+
+/// A routed test tuple: `flow` tags the owning "query", `hops_left` how
+/// many more relays it takes before consumption.
+#[derive(Clone)]
+struct Parcel {
+    flow: usize,
+    hops_left: u8,
+    salt: u64,
+}
+
+/// The randomized traffic generator: every sampling cycle each node may
+/// produce one parcel per flow toward a pseudo-random neighbor; arriving
+/// parcels are relayed `hops_left` more times, then consumed. All counts
+/// the conservation ledger needs are tracked on the node.
+struct Courier {
+    id: NodeId,
+    flows: usize,
+    /// Produce roughly every `1/gate_den` (node, cycle, flow) triples.
+    gate_den: u64,
+    src_attempts: u64,
+    fwd_attempts: u64,
+    accepted: u64,
+    consumed: u64,
+}
+
+impl Courier {
+    fn relay(&mut self, ctx: &mut Ctx<'_, Parcel>, mut p: Parcel, src: bool) {
+        let nbrs = ctx.neighbors();
+        if nbrs.is_empty() {
+            self.consumed += 1; // isolated node: nowhere to go
+            return;
+        }
+        let h = mix(self.id.0 as u64, p.salt, p.hops_left as u64);
+        // 1-in-16 attempts are self-addressed, exercising the
+        // self-send-rejection path of the ledger.
+        let to = if h.is_multiple_of(16) {
+            self.id
+        } else {
+            nbrs[(h % nbrs.len() as u64) as usize]
+        };
+        p.salt = h;
+        if src {
+            self.src_attempts += 1;
+        } else {
+            self.fwd_attempts += 1;
+        }
+        if ctx.send(to, 4 + p.flow as u32, p) {
+            self.accepted += 1;
+        }
+    }
+}
+
+impl Protocol for Courier {
+    type Msg = Parcel;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Parcel>, _from: NodeId, mut msg: Parcel) {
+        if msg.hops_left == 0 {
+            self.consumed += 1;
+            return;
+        }
+        msg.hops_left -= 1;
+        self.relay(ctx, msg, false);
+    }
+
+    fn on_sampling_cycle(&mut self, ctx: &mut Ctx<'_, Parcel>, cycle: u32) {
+        for flow in 0..self.flows {
+            let h = mix(self.id.0 as u64 ^ 0xA5A5, cycle as u64, flow as u64);
+            if h.is_multiple_of(self.gate_den) {
+                let parcel = Parcel {
+                    flow,
+                    hops_left: (h >> 8) as u8 % 4,
+                    salt: h,
+                };
+                self.relay(ctx, parcel, true);
+            }
+        }
+    }
+
+    fn flow_of(msg: &Parcel) -> usize {
+        msg.flow
+    }
+}
+
+struct Ledger {
+    src_attempts: u64,
+    fwd_attempts: u64,
+    accepted: u64,
+    consumed: u64,
+    killed_drops: u64,
+    engine: Engine<Courier>,
+}
+
+/// Run a randomized scenario and return the final ledger. The run is
+/// intentionally *not* drained: in-flight messages at the end are part of
+/// the conservation equation.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    nodes: u16,
+    flows: usize,
+    loss: f64,
+    queue_cap: usize,
+    cycles: u32,
+    kills: usize,
+    fair: bool,
+    energy: u64,
+    seed: u64,
+) -> Ledger {
+    let topo = sensor_net::random_with_degree(nodes as usize, 4.0, seed);
+    let cfg = SimConfig::default()
+        .with_loss(loss)
+        .with_seed(seed)
+        .with_queue_capacity(queue_cap)
+        .with_fair_mac(fair)
+        .with_energy_budget(energy);
+    let mut engine = Engine::new(topo, cfg, |id| Courier {
+        id,
+        flows,
+        gate_den: 2,
+        src_attempts: 0,
+        fwd_attempts: 0,
+        accepted: 0,
+        consumed: 0,
+    });
+    let mut killed_drops = 0u64;
+    for c in 0..cycles {
+        // Random mid-run kills (never the base), spread over the first
+        // cycles. The victim's queue is stuffed first so kill-time queue
+        // discards are actually exercised (cycle boundaries otherwise
+        // tend to find queues drained).
+        if (c as usize) < kills {
+            let victim = NodeId(1 + (mix(seed, c as u64, 77) % (nodes as u64 - 1)) as u16);
+            if engine.is_alive(victim) && victim != engine.topology().base() {
+                engine.with_node(victim, |n, ctx| {
+                    for k in 0..3u64 {
+                        let h = mix(seed ^ 0xD00D, c as u64, k);
+                        let parcel = Parcel {
+                            flow: (h % flows as u64) as usize,
+                            hops_left: 1,
+                            salt: h,
+                        };
+                        n.relay(ctx, parcel, true);
+                    }
+                });
+                killed_drops += engine.kill(victim) as u64;
+            }
+        }
+        engine.sampling_cycle(c);
+    }
+    let nodes_iter = engine.nodes().iter();
+    let (mut src, mut fwd, mut acc, mut cons) = (0, 0, 0, 0);
+    for n in nodes_iter {
+        src += n.src_attempts;
+        fwd += n.fwd_attempts;
+        acc += n.accepted;
+        cons += n.consumed;
+    }
+    Ledger {
+        src_attempts: src,
+        fwd_attempts: fwd,
+        accepted: acc,
+        consumed: cons,
+        killed_drops,
+        engine,
+    }
+}
+
+fn check_conservation(l: &Ledger) {
+    let m = l.engine.metrics();
+    let rx: u64 = (0..l.engine.topology().len())
+        .map(|i| m.node(NodeId(i as u16)).rx_msgs)
+        .sum();
+    let attempts = l.src_attempts + l.fwd_attempts;
+    // 1. Enqueue accounting: attempted = accepted + dropped-at-enqueue.
+    assert_eq!(
+        attempts - l.accepted,
+        m.total_queue_drops() + m.total_self_send_drops(),
+        "enqueue ledger broken"
+    );
+    // 2. Tuple conservation: accepted = delivered + lost-after-retries +
+    //    discarded-in-dead-queues + still-in-flight.
+    assert_eq!(
+        l.accepted,
+        rx + m.total_send_failures()
+            + l.killed_drops
+            + l.engine.energy_msgs_dropped()
+            + l.engine.queued_msgs() as u64,
+        "tuple conservation broken"
+    );
+    // 3. Dispatch totality: every delivery was consumed or re-forwarded.
+    assert_eq!(
+        rx,
+        l.consumed - terminal_consumed_without_rx(l) + l.fwd_attempts,
+    );
+}
+
+/// Parcels "consumed" without a delivery: isolated-node productions that
+/// found no neighbor (they never entered a queue).
+fn terminal_consumed_without_rx(_l: &Ledger) -> u64 {
+    // `random_with_degree` always yields a connected topology, so every
+    // node has at least one neighbor and this is structurally zero; kept
+    // explicit so the dispatch-totality equation reads exactly as stated.
+    0
+}
+
+proptest! {
+    /// Conservation holds across random single-flow runs with loss,
+    /// small queues and mid-run kills.
+    #[test]
+    fn single_flow_conservation(
+        nodes in 6u16..36,
+        loss in 0.0f64..0.55,
+        queue_cap in 2usize..16,
+        cycles in 1u32..10,
+    ) {
+        let seed = mix(nodes as u64, queue_cap as u64, cycles as u64);
+        let l = run_scenario(nodes, 1, loss, queue_cap, cycles, 0, false, 0, seed);
+        prop_assert!(l.src_attempts > 0, "scenario generated no traffic");
+        check_conservation(&l);
+    }
+
+    /// Conservation holds across random multi-flow (concurrent-query)
+    /// runs under fair MAC arbitration, and per-flow counters decompose
+    /// the totals exactly.
+    #[test]
+    fn multi_flow_conservation_and_flow_decomposition(
+        nodes in 6u16..30,
+        flows in 2usize..5,
+        loss in 0.0f64..0.4,
+        kills in 0usize..3,
+    ) {
+        let seed = mix(nodes as u64, flows as u64, kills as u64 ^ 0xBEEF);
+        let l = run_scenario(nodes, flows, loss, 8, 8, kills, true, 0, seed);
+        prop_assert!(l.src_attempts > 0);
+        check_conservation(&l);
+        let m = l.engine.metrics();
+        let flow_tx: u64 = (0..m.flow_count()).map(|f| m.flow(f).tx_msgs).sum();
+        let flow_tx_bytes: u64 = (0..m.flow_count()).map(|f| m.flow(f).tx_bytes).sum();
+        let flow_rx: u64 = (0..m.flow_count()).map(|f| m.flow(f).rx_msgs).sum();
+        let rx: u64 = (0..l.engine.topology().len())
+            .map(|i| m.node(NodeId(i as u16)).rx_msgs)
+            .sum();
+        prop_assert_eq!(flow_tx, m.total_tx_msgs());
+        prop_assert_eq!(flow_tx_bytes, m.total_tx_bytes());
+        prop_assert_eq!(flow_rx, rx);
+        for f in 0..m.flow_count() {
+            prop_assert!(m.flow(f).rx_msgs <= m.flow(f).tx_msgs,
+                "flow {} delivered more than it transmitted", f);
+        }
+    }
+
+    /// Conservation survives energy-budget depletion (queued messages of
+    /// depleted nodes are accounted, not leaked).
+    #[test]
+    fn energy_depletion_conserves(
+        nodes in 6u16..24,
+        energy in 200u64..2000,
+        cycles in 2u32..10,
+    ) {
+        let seed = mix(nodes as u64, energy, cycles as u64);
+        let l = run_scenario(nodes, 2, 0.1, 8, cycles, 0, true, energy, seed);
+        check_conservation(&l);
+        // Depleted nodes are really dead.
+        for &d in l.engine.energy_depleted() {
+            prop_assert!(!l.engine.is_alive(d));
+        }
+    }
+
+    /// Cumulative traffic counters are non-negative and monotone over
+    /// time, and network-wide deliveries never exceed attempts.
+    #[test]
+    fn counters_monotone_and_consistent(
+        nodes in 6u16..24,
+        loss in 0.0f64..0.5,
+        flows in 1usize..4,
+    ) {
+        let seed = mix(nodes as u64, flows as u64, 0x50_50);
+        let topo = sensor_net::random_with_degree(nodes as usize, 4.0, seed);
+        let cfg = SimConfig::default().with_loss(loss).with_seed(seed);
+        let mut engine = Engine::new(topo, cfg, |id| Courier {
+            id,
+            flows,
+            gate_den: 2,
+            src_attempts: 0,
+            fwd_attempts: 0,
+            accepted: 0,
+            consumed: 0,
+        });
+        let mut prev = (0u64, 0u64, 0u64, 0u64);
+        for c in 0..8 {
+            engine.sampling_cycle(c);
+            let m = engine.metrics();
+            let rx: u64 = (0..engine.topology().len())
+                .map(|i| m.node(NodeId(i as u16)).rx_msgs)
+                .sum();
+            let cur = (
+                m.total_tx_bytes(),
+                m.total_tx_msgs(),
+                m.total_send_failures(),
+                rx,
+            );
+            prop_assert!(cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2 && cur.3 >= prev.3,
+                "counter went backwards at cycle {}: {:?} -> {:?}", c, prev, cur);
+            prop_assert!(cur.3 <= cur.1, "more deliveries than attempts");
+            prev = cur;
+        }
+    }
+}

@@ -84,6 +84,31 @@ impl Histogram {
         acc / self.total as f64
     }
 
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`) of the inserted
+    /// values, assuming uniformity inside buckets; `None` when empty.
+    /// With a single inserted value every quantile lands in that value's
+    /// bucket.
+    pub fn quantile(&self, q: f64) -> Option<u16> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let c = c as f64;
+            if c > 0.0 && acc + c >= target {
+                let (lo, hi) = self.bucket_range(i);
+                let frac = ((target - acc) / c).clamp(0.0, 1.0);
+                return Some((lo as f64 + frac * (hi - lo) as f64).round() as u16);
+            }
+            acc += c;
+        }
+        // q = 1 beyond the running sum (float slack): upper edge of the
+        // last populated bucket.
+        let last = self.counts.iter().rposition(|&c| c > 0)?;
+        Some(self.bucket_range(last).1 as u16)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }

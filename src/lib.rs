@@ -14,11 +14,17 @@
 //! - [`query`] — query model, CNF, static/dynamic predicate classification
 //! - [`workload`] — Table 1/2 workloads and the Intel-lab humidity model
 //! - [`join`] — the paper's contribution: cost-based, adaptive join
-//!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants)
+//!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants),
+//!   plus the concurrent multi-query subsystem ([`join::multi`]): the
+//!   `QuerySet` scenario layer running N queries with per-query
+//!   lifecycle over one shared network, with independent vs shared-tree
+//!   frame delivery
 //! - [`bench`] — the experiment harness, including the declarative
 //!   multi-seed scenario-sweep subsystem ([`bench::sweep`], built on the
 //!   engine-side fan-out in [`sim::sweep`]) with its `dynamics` grid
-//!   dimension and §7 recovery metrics (`experiments recovery`)
+//!   dimension, §7 recovery metrics (`experiments recovery`), the
+//!   multi-query `queries` dimension (`q1x4`, `mix4@5+shared`) and the
+//!   `experiments multiq` comparison harness ([`bench::multiq`])
 
 pub use aspen_bench as bench;
 pub use aspen_join as join;

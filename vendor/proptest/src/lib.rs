@@ -11,9 +11,20 @@ use rand::{Rng, SeedableRng};
 use std::marker::PhantomData;
 use std::ops::Range;
 
-/// Cases generated per property. The real crate defaults to 256; 64 keeps
-/// `cargo test` fast while still exercising varied inputs.
+/// Cases generated per property when `PROPTEST_CASES` is unset. The real
+/// crate defaults to 256; 64 keeps `cargo test` fast while still
+/// exercising varied inputs.
 pub const CASES: u64 = 64;
+
+/// Cases generated per property: the `PROPTEST_CASES` environment
+/// variable (the real crate honors it too — CI pins it for a fixed, fast
+/// deterministic run), falling back to [`CASES`].
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+}
 
 /// A generator of values for one property-test argument.
 pub trait Strategy {
@@ -135,7 +146,7 @@ pub fn run_cases<F: FnMut(&mut StdRng, u64)>(name: &str, mut case: F) {
         seed ^= b as u64;
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    for i in 0..CASES {
+    for i in 0..cases() {
         let mut rng = StdRng::seed_from_u64(seed ^ i);
         case(&mut rng, i);
     }
