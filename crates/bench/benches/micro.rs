@@ -147,7 +147,9 @@ fn bench_algorithms(c: &mut Criterion) {
                     sim,
                     num_trees: 3,
                 };
-                black_box(sc.run(10).total_traffic_bytes())
+                let mut session = sc.into_session();
+                session.step(10);
+                black_box(session.report().total_traffic_bytes())
             });
         });
     }

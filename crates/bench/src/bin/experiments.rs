@@ -702,7 +702,7 @@ fn table3(o: &Opts) {
         };
         let bytes_per_tuple = (sc.spec.data_bytes() + 1 + 11) as f64;
         let analytic = tuples_per_cycle * bytes_per_tuple;
-        let stats = sc.run(cycles);
+        let stats = run_stats(&sc, cycles);
         let simulated = stats.execution_traffic_bytes() as f64 / cycles as f64;
         println!(
             "{:12} {:>14.0} {:>14.0} {:>7.2}",
@@ -896,17 +896,17 @@ fn fig6(o: &Opts) {
             InnetOptions::CMG,
             SEED_BASE + seed,
         );
-        let mut run = sc.build();
-        run.initiate();
-        let st = run.stats();
-        d_base.push(kb((st.initiation.load_bytes(st.base)) as f64));
-        d_lat.push(st.initiation_cycles as f64);
+        let mut session = sc.session();
+        session.step(0); // initiation only
+        let out = session.report();
+        d_base.push(kb(out.initiation.load_bytes(out.base) as f64));
+        d_lat.push(out.initiation_cycles as f64);
         // Centralized on the same pairs.
         let pairs: Vec<(NodeId, NodeId)> = (0..sc.topo.len() as u16)
             .map(NodeId)
             .flat_map(|n| {
-                run.engine
-                    .node(n)
+                session
+                    .query_node(QueryId(0), n)
                     .assigns
                     .keys()
                     .filter(move |p| p.s == n)
@@ -962,8 +962,13 @@ fn fig7(o: &Opts) {
                 let q = SearchQuery::new(spec.plan.search_constraints(sa));
                 let (results, _) = find_paths(&sub, a, &q);
                 if let Some(best) = best_path_per_target(&results).first() {
-                    d_hops.push((best.path.len() - 1) as f64);
-                    o_hops.push(topo.hop_distance(a, best.target).unwrap() as f64);
+                    // A discovered tree path implies connectivity, but a
+                    // whole figure run must not panic if BFS disagrees:
+                    // skip the pair instead of unwrapping.
+                    if let Some(h) = topo.hop_distance(a, best.target) {
+                        d_hops.push((best.path.len() - 1) as f64);
+                        o_hops.push(h as f64);
+                    }
                 }
             }
         }
@@ -1152,15 +1157,14 @@ fn learning_matrix(
             );
             let learn_stats: Vec<RunStats> = (0..o.seeds.min(3))
                 .map(|s| {
-                    bench
-                        .scenario(
-                            *true_r,
-                            sigma_of(*assumed_r),
-                            Algorithm::Innet,
-                            InnetOptions::CMPG.with_learning(),
-                            SEED_BASE + s,
-                        )
-                        .run(cycles)
+                    let sc = bench.scenario(
+                        *true_r,
+                        sigma_of(*assumed_r),
+                        Algorithm::Innet,
+                        InnetOptions::CMPG.with_learning(),
+                        SEED_BASE + s,
+                    );
+                    run_stats(&sc, cycles)
                 })
                 .collect();
             let (st, _) = mean_ci(
@@ -1260,7 +1264,7 @@ fn fig12(o: &Opts) {
                             opts_a,
                             SEED_BASE + s,
                         );
-                        mb(sc.run(cycles).total_traffic_bytes() as f64)
+                        mb(run_stats(&sc, cycles).total_traffic_bytes() as f64)
                     })
                     .collect();
                 let (m, _) = mean_ci(&vals);
@@ -1328,7 +1332,7 @@ fn fig13(o: &Opts) {
                     sim: SimConfig::default().with_seed(s),
                     num_trees: 3,
                 };
-                let st = sc.run(cycles);
+                let st = run_stats(&sc, cycles);
                 (
                     kb(st.total_traffic_bytes() as f64),
                     kb(st.base_load_bytes() as f64),
@@ -1373,17 +1377,15 @@ fn fig14(o: &Opts) {
                 InnetOptions::PLAIN,
                 SEED_BASE + seed,
             );
-            let mut clean = sc.build();
-            clean.initiate();
-            clean.execute(cycles);
-            let cs = clean.stats();
+            let cs = run_stats(&sc, cycles);
             ok_delay.push(cs.avg_delay_tx);
             ok_kb.push(kb(cs.execution_traffic_bytes() as f64));
-            let mut faulty = sc.build();
-            faulty.initiate();
+            let mut faulty = sc.session();
+            faulty.step(0); // initiate, so the busiest join node is known
             if let Some(v) = faulty.busiest_join_node() {
-                faulty.execute_with_failure(cycles, v, cycles / 2);
-                let fs = faulty.stats();
+                faulty.set_plan(DynamicsPlan::none().kill_nodes(cycles / 2, vec![v]));
+                faulty.step(cycles);
+                let fs = RunStats::from(faulty.report());
                 fail_delay.push(fs.avg_delay_tx);
                 fail_kb.push(kb(fs.execution_traffic_bytes() as f64));
             }

@@ -111,10 +111,19 @@ impl Bench {
     ) -> Vec<RunStats> {
         let jobs: Vec<u64> = crate::sweep::seed_range(seeds);
         parallel_map(jobs, |&s| {
-            self.scenario(rates, assumed, algo, opts, s)
-                .run(self.cycles)
+            run_stats(&self.scenario(rates, assumed, algo, opts, s), self.cycles)
         })
     }
+}
+
+/// Run a single-query scenario through the [`aspen_join::Session`] layer
+/// (bare wire — the figures' exact frame format) and return the classic
+/// [`RunStats`] view. The figure drivers' replacement for the deprecated
+/// `Scenario::run`.
+pub fn run_stats(sc: &Scenario, cycles: u32) -> RunStats {
+    let mut session = sc.session();
+    session.step(cycles);
+    RunStats::from(session.report())
 }
 
 /// Simple parallel map over independent jobs (the paper ran its sweeps on

@@ -89,15 +89,18 @@ impl MultiqConfig {
         }
     }
 
-    fn run_one(&self, sharing: Sharing, seed: u64) -> MultiRunStats {
+    fn run_one(&self, sharing: Sharing, seed: u64) -> Outcome {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
         let data = WorkloadData::new(&topo, Schedule::Uniform(self.rates), seed);
         let cfg = AlgoConfig::new(self.algo.0, Sigma::from_rates(self.rates))
             .with_innet_options(self.algo.1);
         let sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
-        self.spec(sharing)
+        let mut session = self
+            .spec(sharing)
             .build_set(topo, data, cfg, sim, self.num_trees)
-            .run(self.cycles)
+            .into_session();
+        session.step(self.cycles);
+        session.report()
     }
 
     /// Fan every (mode, seed) run across OS threads and aggregate.
@@ -107,8 +110,7 @@ impl MultiqConfig {
             .iter()
             .flat_map(|&m| self.seeds.iter().map(move |&s| (m, s)))
             .collect();
-        let samples: Vec<MultiRunStats> =
-            parallel_map(&jobs, self.threads, |&(m, s)| self.run_one(m, s));
+        let samples: Vec<Outcome> = parallel_map(&jobs, self.threads, |&(m, s)| self.run_one(m, s));
         let per_mode = self.seeds.len();
         let cells = modes
             .iter()
@@ -151,11 +153,11 @@ pub struct ModeResult {
 }
 
 impl ModeResult {
-    fn aggregate(cfg: &MultiqConfig, sharing: Sharing, rows: &[MultiRunStats]) -> ModeResult {
+    fn aggregate(cfg: &MultiqConfig, sharing: Sharing, rows: &[Outcome]) -> ModeResult {
         let m = cfg.spec(sharing);
         let per_query = (0..cfg.n_queries)
             .map(|q| {
-                let col = |f: &dyn Fn(&MultiRunStats) -> f64| {
+                let col = |f: &dyn Fn(&Outcome) -> f64| {
                     SummaryStat::from_samples(&rows.iter().map(f).collect::<Vec<_>>())
                 };
                 QueryAgg {
@@ -172,7 +174,7 @@ impl ModeResult {
                 }
             })
             .collect();
-        let col = |f: &dyn Fn(&MultiRunStats) -> f64| {
+        let col = |f: &dyn Fn(&Outcome) -> f64| {
             SummaryStat::from_samples(&rows.iter().map(f).collect::<Vec<_>>())
         };
         let stats = vec![

@@ -446,6 +446,9 @@ impl CellSpec {
         }
     }
 
+    /// The single-query path runs on the session's `bare_wire` mode — the
+    /// paper's exact frame format, so the sweep numbers are byte-identical
+    /// to the pre-session harness.
     fn run_single(&self, query: QueryId, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
         let plan = self.dynamics.plan(seed, &topo);
@@ -457,41 +460,26 @@ impl CellSpec {
         if self.opts.path_collapse {
             sim = sim.with_snooping(true);
         }
-        let sc = Scenario {
+        let mut session = Scenario {
             topo,
             data,
             spec: query.spec(),
             cfg: self.algo_cfg(),
             sim,
             num_trees,
-        };
-        let mut run = sc.build();
-        run.initiate();
-        let outcome = run.execute_with_plan(cycles, &plan);
-        let rec = run.recovery_totals();
-        let st = run.stats();
-        [
-            st.total_traffic_bytes() as f64,
-            st.base_load_bytes() as f64,
-            st.max_node_load_bytes() as f64,
-            st.total_traffic_msgs() as f64,
-            st.base_load_msgs() as f64,
-            st.results as f64,
-            st.avg_delay_tx,
-            (st.initiation.total_send_failures() + st.execution.total_send_failures()) as f64,
-            (st.initiation.total_queue_drops() + st.execution.total_queue_drops()) as f64,
-            rec.repair_attempts as f64,
-            rec.repair_successes as f64,
-            (rec.tuples_lost + outcome.queued_msgs_lost) as f64,
-            rec.tuples_rerouted as f64,
-            rec.control_bytes as f64,
-            outcome.reconvergence_cycles.map(f64::from).unwrap_or(0.0),
-            outcome.reconvergence_cycles.is_some() as u8 as f64,
-            outcome.results_post_event as f64,
-        ]
+        }
+        .into_session();
+        session.set_plan(plan);
+        session.step(cycles);
+        let out = session.report();
+        let mut row = metric_row(&out);
+        row[14] = out.reconvergence_cycles.map(f64::from).unwrap_or(0.0);
+        row[15] = out.reconvergence_cycles.is_some() as u8 as f64;
+        row[16] = out.results_post_event as f64;
+        row
     }
 
-    /// The concurrent-workload path: one [`QuerySet`] per run, fair MAC
+    /// The concurrent-workload path: one tagged session per run, fair MAC
     /// arbitration on, lifecycle from the spec's arrival stagger. The
     /// single-run re-convergence split does not generalize to overlapping
     /// per-query lifecycles, so the last three [`SWEEP_METRICS`] report
@@ -504,32 +492,38 @@ impl CellSpec {
         if self.opts.path_collapse {
             sim = sim.with_snooping(true);
         }
-        let set = m.build_set(topo, data, self.algo_cfg(), sim, num_trees);
-        let mut run = set.build();
-        run.initiate();
-        let outcome = run.execute_with_plan(cycles, &plan);
-        let rec = run.recovery_totals();
-        let st = run.stats();
-        [
-            st.total_traffic_bytes() as f64,
-            st.base_load_bytes() as f64,
-            st.max_node_load_bytes() as f64,
-            st.total_traffic_msgs() as f64,
-            st.base_load_msgs() as f64,
-            st.results_total() as f64,
-            st.avg_delay_tx(),
-            (st.initiation.total_send_failures() + st.execution.total_send_failures()) as f64,
-            (st.initiation.total_queue_drops() + st.execution.total_queue_drops()) as f64,
-            rec.repair_attempts as f64,
-            rec.repair_successes as f64,
-            (rec.tuples_lost + outcome.queued_msgs_lost) as f64,
-            rec.tuples_rerouted as f64,
-            rec.control_bytes as f64,
-            0.0,
-            0.0,
-            0.0,
-        ]
+        let mut session = m
+            .build_set(topo, data, self.algo_cfg(), sim, num_trees)
+            .into_session();
+        session.set_plan(plan);
+        session.step(cycles);
+        metric_row(&session.report())
     }
+}
+
+/// The shared [`SWEEP_METRICS`] row of one run's [`Outcome`]; the last
+/// three (re-convergence/post-event) entries stay zero unless the caller
+/// fills them (single-query cells only).
+fn metric_row(out: &Outcome) -> [f64; 17] {
+    [
+        out.total_traffic_bytes() as f64,
+        out.base_load_bytes() as f64,
+        out.max_node_load_bytes() as f64,
+        out.total_traffic_msgs() as f64,
+        out.base_load_msgs() as f64,
+        out.results_total() as f64,
+        out.avg_delay_tx(),
+        out.send_failures() as f64,
+        out.queue_drops() as f64,
+        out.recovery.repair_attempts as f64,
+        out.recovery.repair_successes as f64,
+        (out.recovery.tuples_lost + out.queued_msgs_lost) as f64,
+        out.recovery.tuples_rerouted as f64,
+        out.recovery.control_bytes as f64,
+        0.0,
+        0.0,
+        0.0,
+    ]
 }
 
 /// A declarative sweep: the grid dimensions plus run parameters.

@@ -48,7 +48,7 @@ fn same_seed_same_cell_identical_metrics() {
             sim,
             num_trees: 3,
         };
-        sc.run(grid.cycles)
+        aspen_bench::run_stats(&sc, grid.cycles)
     };
     let (a, b) = (run(), run());
     // Metrics implements Eq: every per-node counter must match exactly.

@@ -92,7 +92,7 @@ impl Placement {
     }
 }
 
-/// Choose the cheapest join node along a path (s = path[0], t = last),
+/// Choose the cheapest join node along a path (s = `path[0]`, t = last),
 /// comparing against a join at the base (§3.2). `hops_to_base[i]` is the
 /// base distance of `path[i]` (recorded during exploration).
 ///

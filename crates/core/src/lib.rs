@@ -15,7 +15,11 @@
 //! | Failure recovery (§7) | [`node::adapt`] |
 //! | Centralized baseline (§4.3) | [`centralized`] |
 //!
-//! Typical usage goes through [`scenario::Scenario`]:
+//! Execution goes through the [`session`] layer: a long-lived
+//! [`session::Session`] serves a changing population of join queries over
+//! one network — admit and retire queries online, step sampling cycles,
+//! observe streaming telemetry, and collect one unified
+//! [`session::Outcome`]:
 //!
 //! ```
 //! use aspen_join::prelude::*;
@@ -26,20 +30,21 @@
 //!     Schedule::Uniform(Rates::new(2, 2, 5)),
 //!     1,
 //! );
-//! let spec = sensor_workload::query1(3);
 //! let cfg = AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2))
 //!     .with_innet_options(InnetOptions::CMG);
-//! let scenario = Scenario {
-//!     topo,
-//!     data,
-//!     spec,
-//!     cfg,
-//!     sim: SimConfig::lossless(),
-//!     num_trees: 3,
-//! };
-//! let stats = scenario.run(10);
-//! assert!(stats.total_traffic_bytes() > 0);
+//! let mut session = Session::builder(topo, data)
+//!     .sim(SimConfig::lossless())
+//!     .query(sensor_workload::query1(3), cfg)
+//!     .build();
+//! session.step(10);
+//! let outcome = session.report();
+//! assert!(outcome.total_traffic_bytes() > 0);
+//! assert_eq!(outcome.per_query.len(), 1);
 //! ```
+//!
+//! The pre-session entry points ([`Scenario::run`], [`QuerySet::run`])
+//! remain as deprecated shims; `From<Outcome>` conversions exist for
+//! their [`RunStats`] / [`MultiRunStats`] / [`DynamicsOutcome`] types.
 
 pub mod centralized;
 pub mod cost;
@@ -49,6 +54,7 @@ pub mod multi;
 pub mod multicast;
 pub mod node;
 pub mod scenario;
+pub mod session;
 pub mod shared;
 
 pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
@@ -59,6 +65,9 @@ pub use multi::{
 };
 pub use node::{JoinNode, RecoveryStats};
 pub use scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
+pub use session::{
+    CycleView, EventLog, Observer, Outcome, Phase, QueryId, Session, SessionBuilder, SessionEvent,
+};
 pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 
 /// Convenient glob import for examples and benches.
@@ -70,6 +79,10 @@ pub mod prelude {
     };
     pub use crate::node::RecoveryStats;
     pub use crate::scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
+    pub use crate::session::{
+        CycleView, EventLog, Observer, Outcome, Phase, QueryId, Session, SessionBuilder,
+        SessionEvent,
+    };
     pub use crate::shared::{AlgoConfig, Algorithm, InnetOptions};
     pub use sensor_sim::dynamics::DynamicsPlan;
     pub use sensor_sim::SimConfig;

@@ -44,7 +44,7 @@
 
 use crate::msg::Msg;
 use crate::node::JoinNode;
-use crate::scenario::{default_indexed_attrs, init_steps, InitStep};
+use crate::scenario::{default_indexed_attrs, InitStep};
 use crate::shared::{AlgoConfig, Algorithm, Shared};
 use sensor_net::{NodeId, Topology};
 use sensor_query::JoinQuerySpec;
@@ -332,6 +332,16 @@ impl MultiNode {
         }
     }
 
+    /// Grow this node by one query slot (online admission): fresh
+    /// protocol state, initially inactive.
+    pub(crate) fn add_slot(&mut self, sh: &Arc<Shared>) {
+        self.slots.push(Slot {
+            sh: sh.clone(),
+            node: JoinNode::new(self.id, sh.clone()),
+            active: false,
+        });
+    }
+
     /// Join pairs currently placed at this node, across all active queries
     /// (failure-target picking).
     pub fn pair_count_total(&self) -> usize {
@@ -520,9 +530,9 @@ pub struct MultiOutcome {
 
 /// Snapshot of a query's base-station counters at departure (or run end).
 #[derive(Debug, Clone, Copy, Default)]
-struct BaseSnapshot {
-    results: u64,
-    delay_sum: u64,
+pub(crate) struct BaseSnapshot {
+    pub(crate) results: u64,
+    pub(crate) delay_sum: u64,
 }
 
 /// A prepared multi-query run.
@@ -537,6 +547,13 @@ pub struct MultiRun {
     /// Live-initiation steps pending for late arrivals:
     /// `(fire_cycle, query, step, )`.
     pending_steps: Vec<(u32, usize, InitStep)>,
+    /// §7 recovery counters carried by retired queries' protocol state
+    /// (deactivation replaces each node's slot with fresh state, so the
+    /// counters are absorbed here to keep network totals monotone).
+    retired_recovery: crate::node::RecoveryStats,
+    /// Migration adoptions of retired queries (same monotonicity need —
+    /// the session's observer diffing relies on it).
+    pub(crate) retired_migrations: u64,
 }
 
 impl QuerySet {
@@ -579,10 +596,17 @@ impl QuerySet {
             init_cycles: 0,
             snapshots: vec![None; n_q],
             pending_steps: Vec::new(),
+            retired_recovery: crate::node::RecoveryStats::default(),
+            retired_migrations: 0,
         }
     }
 
     /// Build, initiate, execute `cycles`, collect stats.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `QuerySet::session()` (or `aspen_join::session::Session::builder`) \
+                and convert the `Outcome` with `MultiRunStats::from`"
+    )]
     pub fn run(&self, cycles: u32) -> MultiRunStats {
         let mut run = self.build();
         run.initiate();
@@ -601,69 +625,62 @@ impl MultiRun {
     }
 
     /// Activate query `q` at every node.
-    fn activate_everywhere(&mut self, q: usize) {
+    pub(crate) fn activate_everywhere(&mut self, q: usize) {
         for i in 0..self.engine.topology().len() {
             self.engine.node_mut(NodeId(i as u16)).activate(q);
         }
     }
 
+    /// Grow the run by one query slot at every node (online admission by
+    /// the session layer). The new query shares the substrate and inherits
+    /// the already-known deaths; it starts inactive with `lifecycle`.
+    /// Returns the new slot index.
+    pub(crate) fn add_query(
+        &mut self,
+        spec: JoinQuerySpec,
+        cfg: AlgoConfig,
+        lifecycle: Lifecycle,
+    ) -> usize {
+        let proto = self
+            .shareds
+            .first()
+            .expect("a query set always holds at least one query");
+        let sh = Arc::new(Shared {
+            topo: proto.topo.clone(),
+            sub: proto.sub.clone(),
+            gpsr: matches!(cfg.algorithm, Algorithm::Ght).then(|| GpsrRouter::new(&proto.topo)),
+            spec,
+            data: proto.data.clone(),
+            cfg,
+            // The admitted query's liveness oracle must know the nodes
+            // that died before it arrived.
+            dead: Mutex::new(proto.dead.lock().unwrap().clone()),
+        });
+        for i in 0..self.engine.topology().len() {
+            self.engine.node_mut(NodeId(i as u16)).add_slot(&sh);
+        }
+        self.shareds.push(sh);
+        self.lifecycles.push(lifecycle);
+        self.snapshots.push(None);
+        self.shareds.len() - 1
+    }
+
     /// Fire one initiation step of query `q` across the network.
-    fn apply_step(&mut self, q: usize, step: InitStep) {
+    pub(crate) fn apply_step(&mut self, q: usize, step: InitStep) {
+        // Same fan-out table as the bare wire (`step_calls`), wrapped in
+        // the per-query drive so emissions are framed and tagged. A drive
+        // into an inactive slot is a side-effect-free no-op, so no
+        // per-node activity guard is needed.
         let base = self.base();
         let n = self.engine.topology().len();
-        match step {
-            InitStep::Flood => {
-                self.engine
-                    .with_node(base, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_flood(c)));
-            }
-            InitStep::EnsureQuery => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    if self.engine.node(id).is_active(q) {
-                        self.engine
-                            .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, _| jn.ensure_query()));
-                    }
+        for (id, call) in crate::session::step_calls(step, base, n) {
+            match call {
+                crate::session::StepCall::WithCtx(f) => {
+                    self.engine.with_node(id, |mn, ctx| mn.drive(ctx, q, f));
                 }
-            }
-            InitStep::Announce => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    if id == base {
-                        continue;
-                    }
+                crate::session::StepCall::Local(f) => {
                     self.engine
-                        .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_announce(c)));
-                }
-            }
-            InitStep::GhtRegister => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine.with_node(id, |mn, ctx| {
-                        mn.drive(ctx, q, |jn, c| jn.start_ght_register(c))
-                    });
-                }
-            }
-            InitStep::Search => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine
-                        .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, c| jn.start_search(c)));
-                }
-            }
-            InitStep::FinishTSide => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine.with_node(id, |mn, ctx| {
-                        mn.drive(ctx, q, |jn, _| jn.finish_t_side_assigns())
-                    });
-                }
-            }
-            InitStep::GroupOpt => {
-                for i in 0..n {
-                    let id = NodeId(i as u16);
-                    self.engine.with_node(id, |mn, ctx| {
-                        mn.drive(ctx, q, |jn, c| jn.start_group_opt(c))
-                    });
+                        .with_node(id, |mn, ctx| mn.drive(ctx, q, |jn, _| f(jn)));
                 }
             }
         }
@@ -671,52 +688,37 @@ impl MultiRun {
 
     /// Drive the initiation of every cycle-0 query to quiescence, the
     /// steps interleaved across queries so their control traffic contends
-    /// (this is the multi-query analogue of [`crate::Run::initiate`]).
+    /// (the shared [`crate::session`] initiation driver; the single-query
+    /// [`crate::Run::initiate`] is its one-element case).
     pub fn initiate(&mut self) {
         let arrivals: Vec<usize> = (0..self.n_queries())
             .filter(|&q| self.lifecycles[q].arrival == 0)
             .collect();
-        for &q in &arrivals {
-            self.activate_everywhere(q);
-        }
-        let schedules: Vec<Vec<(InitStep, u64)>> = arrivals
-            .iter()
-            .map(|&q| init_steps(&self.shareds[q].cfg))
-            .collect();
-        let max_len = schedules.iter().map(Vec::len).max().unwrap_or(0);
-        for step_idx in 0..max_len {
-            let mut budget = 0u64;
-            for (ai, &q) in arrivals.iter().enumerate() {
-                if let Some(&(step, b)) = schedules[ai].get(step_idx) {
-                    self.apply_step(q, step);
-                    budget = budget.max(b);
-                }
-            }
-            if budget > 0 {
-                self.engine.run_until_quiet(budget);
-            }
-        }
-        self.init_cycles = self.engine.now();
-        self.init_metrics = Some(self.engine.metrics().clone());
-        self.engine.reset_metrics();
-        self.engine.reset_clock();
+        let (metrics, cycles) = crate::session::drive_initiation(self, &arrivals);
+        self.init_metrics = Some(metrics);
+        self.init_cycles = cycles;
     }
 
-    /// Take query `q` offline everywhere, snapshotting its base counters.
-    fn retire(&mut self, q: usize) {
+    /// Take query `q` offline everywhere, returning its base counters.
+    /// The retired instances' recovery/migration counters are absorbed
+    /// into the run-level accumulators so network-wide totals never
+    /// shrink on retirement.
+    pub(crate) fn retire_query(&mut self, q: usize) -> Option<BaseSnapshot> {
         let base = self.base();
+        let mut snap = None;
         for i in 0..self.engine.topology().len() {
             let id = NodeId(i as u16);
             let node = self.engine.node_mut(id).deactivate(q);
+            self.retired_recovery.absorb(&node.recovery);
+            self.retired_migrations += node.migrations_adopted;
             if id == base {
-                if let Some(b) = node.base_state() {
-                    self.snapshots[q] = Some(BaseSnapshot {
-                        results: b.results,
-                        delay_sum: b.delay_sum,
-                    });
-                }
+                snap = node.base_state().map(|b| BaseSnapshot {
+                    results: b.results,
+                    delay_sum: b.delay_sum,
+                });
             }
         }
+        snap
     }
 
     /// Run `cycles` sampling cycles of execution with lifecycle events
@@ -728,85 +730,37 @@ impl MultiRun {
     /// Run execution under a dynamics plan: scheduled kills / loss shifts
     /// fire at cycle boundaries alongside the query set's own lifecycle
     /// events (late arrivals initiate live; departures retire their
-    /// state).
+    /// state). Delegates to the unified [`crate::session`] cycle driver.
     pub fn execute_with_plan(&mut self, cycles: u32, plan: &DynamicsPlan) -> MultiOutcome {
-        let base = self.base();
-        let mut out = MultiOutcome::default();
-        // Energy-depletion cursors: deaths the engine declared at cycle
-        // boundaries are propagated to every query's liveness oracle and
-        // into the loss accounting, exactly like plan kills.
-        let mut energy_seen = 0usize;
-        let mut energy_msgs_seen = self.engine.energy_msgs_dropped();
-        for c in 0..cycles {
-            // Lifecycle: departures first (a query leaving at c does not
-            // sample at c), then arrivals, then any due live-init steps.
-            for q in 0..self.n_queries() {
-                if self.lifecycles[q].departure == Some(c) && self.snapshots[q].is_none() {
-                    self.retire(q);
-                    out.departures.push((c, q));
-                }
-            }
-            for q in 0..self.n_queries() {
-                if self.lifecycles[q].arrival == c && c > 0 {
-                    self.activate_everywhere(q);
-                    out.arrivals.push((c, q));
-                    for (i, (step, _)) in init_steps(&self.shareds[q].cfg).iter().enumerate() {
-                        self.pending_steps
-                            .push((c + i as u32 * LIVE_INIT_SPACING, q, *step));
-                    }
-                }
-            }
-            let due: Vec<(usize, InitStep)> = self
-                .pending_steps
-                .iter()
-                .filter(|&&(at, _, _)| at == c)
-                .map(|&(_, q, step)| (q, step))
-                .collect();
-            for (q, step) in due {
-                self.apply_step(q, step);
-            }
-            self.pending_steps.retain(|&(at, _, _)| at > c);
-            // Scheduled dynamics (kills resolve `Picked` to the busiest
-            // multi-query join node).
-            let fired = plan.fire(c, &mut self.engine, |eng| {
-                busiest_multi_join_node(eng, base)
-            });
-            out.queued_msgs_lost += fired.queued_msgs_dropped;
-            for &v in &fired.killed {
-                for sh in &self.shareds {
-                    sh.mark_dead(v);
-                }
-                out.killed.push((c, v));
-            }
-            self.engine.sampling_cycle(c);
-            // Nodes that ran out of energy this cycle.
-            let depleted: Vec<NodeId> = self.engine.energy_depleted()[energy_seen..].to_vec();
-            energy_seen += depleted.len();
-            for v in depleted {
-                for sh in &self.shareds {
-                    sh.mark_dead(v);
-                }
-                out.killed.push((c, v));
-            }
-            let energy_msgs = self.engine.energy_msgs_dropped();
-            out.queued_msgs_lost += energy_msgs - energy_msgs_seen;
-            energy_msgs_seen = energy_msgs;
-        }
+        use crate::session::{drive_cycles, ExecState};
+        let mut st = ExecState::new(self, self.lifecycles.clone());
+        st.snapshots = std::mem::take(&mut self.snapshots);
+        st.pending_steps = std::mem::take(&mut self.pending_steps);
+        drive_cycles(self, &mut st, plan, cycles, &mut []);
         self.engine.run_until_quiet(5_000);
         // Live-init steps scheduled past the final cycle never fired;
         // surface the affected queries so truncated initiations are not
         // misread as algorithmic effects.
-        out.unfinished_inits = self.pending_steps.iter().map(|&(_, q, _)| q).collect();
-        out.unfinished_inits.sort_unstable();
-        out.unfinished_inits.dedup();
-        out
+        let unfinished_inits = st.unfinished_inits();
+        self.snapshots = st.snapshots;
+        self.pending_steps = st.pending_steps;
+        MultiOutcome {
+            killed: st.killed,
+            queued_msgs_lost: st.queued_msgs_lost,
+            arrivals: st.arrivals,
+            departures: st.departures,
+            unfinished_inits,
+        }
     }
 
     /// Network-wide sum of the §7 recovery counters across every query's
-    /// protocol instances (departed queries' counters left with their
-    /// state; see [`MultiRun::retire`]).
+    /// protocol instances, including the counters departed queries
+    /// carried (absorbed at retirement; see `MultiRun::retire_query`) —
+    /// totals are monotone across the whole run.
     pub fn recovery_totals(&self) -> crate::node::RecoveryStats {
-        let mut total = crate::node::RecoveryStats::default();
+        // Start from the counters retired queries carried out with them
+        // (see `retire_query`), then add every live instance's.
+        let mut total = self.retired_recovery;
         for mn in self.engine.nodes() {
             for jn in mn.query_nodes() {
                 total.absorb(&jn.recovery);
@@ -864,7 +818,7 @@ impl MultiRun {
 
 /// The alive non-base node serving the most join pairs across all active
 /// queries (multi-query failure-target selection).
-fn busiest_multi_join_node(engine: &Engine<MultiNode>, base: NodeId) -> Option<NodeId> {
+pub(crate) fn busiest_multi_join_node(engine: &Engine<MultiNode>, base: NodeId) -> Option<NodeId> {
     (0..engine.topology().len() as u16)
         .map(NodeId)
         .filter(|&id| id != base && engine.is_alive(id))

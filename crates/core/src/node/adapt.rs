@@ -275,6 +275,7 @@ impl JoinNode {
             win_t: win_t.into(),
             stats: crate::learn::PairStats::default(),
         };
+        self.migrations_adopted += 1;
         match j_idx {
             Some(_) => {
                 self.pairs.insert(pair, state);

@@ -222,6 +222,10 @@ pub struct JoinNode {
     pub recovery: RecoveryStats,
     /// Diagnostics: join results this node produced as a join node.
     pub produced_results: u64,
+    /// Migrated pairs this node adopted as their new join node (§6). The
+    /// session layer diffs the network-wide total per cycle to emit
+    /// `PairsMigrated` observer events.
+    pub migrations_adopted: u64,
 }
 
 impl JoinNode {
@@ -256,6 +260,7 @@ impl JoinNode {
             known_dead: HashSet::new(),
             recovery: RecoveryStats::default(),
             produced_results: 0,
+            migrations_adopted: 0,
             sh,
         }
     }

@@ -1,6 +1,12 @@
-//! The run harness: wires topology + workload + substrate + algorithm into
-//! a simulation, drives the initiation and execution phases, and collects
-//! the statistics every figure reports.
+//! The classic single-query run harness: wires topology + workload +
+//! substrate + algorithm into a simulation and collects the statistics
+//! every figure reports.
+//!
+//! Since the [`crate::session`] redesign this module is a thin layer: the
+//! initiation and execution loops live in the unified session drivers
+//! (shared with the multi-query harness), and [`Scenario::run`] is a
+//! deprecated one-shot shim around [`Scenario::session`]. [`Run`] remains
+//! the bare-wire engine wrapper those drivers operate on.
 
 use crate::node::{JoinNode, RecoveryStats};
 use crate::shared::{AlgoConfig, Algorithm, Shared};
@@ -198,6 +204,11 @@ impl Scenario {
     }
 
     /// Build, run initiation and `cycles` sampling cycles, collect stats.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scenario::session()` (or `aspen_join::session::Session::builder`) \
+                and convert the `Outcome` with `RunStats::from`"
+    )]
     pub fn run(&self, cycles: u32) -> RunStats {
         let mut run = self.build();
         run.initiate();
@@ -208,77 +219,17 @@ impl Scenario {
 
 impl Run {
     /// Drive the algorithm-specific initiation phase to quiescence,
-    /// following the shared [`init_steps`] schedule.
+    /// following the shared [`init_steps`] schedule (the one-query case of
+    /// [`crate::session`]'s interleaved initiation driver).
     pub fn initiate(&mut self) {
-        let base = self.shared.base();
-        let n = self.engine.topology().len();
-        for (step, budget) in init_steps(&self.shared.cfg) {
-            match step {
-                InitStep::Flood => {
-                    self.engine
-                        .with_node(base, |node, ctx| node.start_flood(ctx));
-                }
-                InitStep::EnsureQuery => {
-                    for i in 0..n {
-                        self.engine.node_mut(NodeId(i as u16)).ensure_query();
-                    }
-                }
-                InitStep::Announce => {
-                    for i in 0..n {
-                        let id = NodeId(i as u16);
-                        if id == base {
-                            continue;
-                        }
-                        self.engine
-                            .with_node(id, |node, ctx| node.start_announce(ctx));
-                    }
-                }
-                InitStep::GhtRegister => {
-                    for i in 0..n {
-                        let id = NodeId(i as u16);
-                        self.engine
-                            .with_node(id, |node, ctx| node.start_ght_register(ctx));
-                    }
-                }
-                InitStep::Search => {
-                    for i in 0..n {
-                        let id = NodeId(i as u16);
-                        self.engine
-                            .with_node(id, |node, ctx| node.start_search(ctx));
-                    }
-                }
-                InitStep::FinishTSide => {
-                    for i in 0..n {
-                        self.engine
-                            .node_mut(NodeId(i as u16))
-                            .finish_t_side_assigns();
-                    }
-                }
-                InitStep::GroupOpt => {
-                    for i in 0..n {
-                        let id = NodeId(i as u16);
-                        self.engine
-                            .with_node(id, |node, ctx| node.start_group_opt(ctx));
-                    }
-                }
-            }
-            if budget > 0 {
-                self.engine.run_until_quiet(budget);
-            }
-        }
-        self.init_cycles = self.engine.now();
-        self.init_metrics = Some(self.engine.metrics().clone());
-        self.engine.reset_metrics();
-        self.engine.reset_clock();
+        let (metrics, cycles) = crate::session::drive_initiation(self, &[0]);
+        self.init_metrics = Some(metrics);
+        self.init_cycles = cycles;
     }
 
     /// Run `cycles` sampling cycles of execution.
     pub fn execute(&mut self, cycles: u32) {
-        for c in 0..cycles {
-            self.engine.sampling_cycle(c);
-        }
-        // Drain any in-flight results so the last cycles are counted.
-        self.engine.run_until_quiet(5_000);
+        self.execute_with_plan(cycles, &DynamicsPlan::none());
     }
 
     /// Run execution with a node failure injected at `fail_cycle`
@@ -291,59 +242,26 @@ impl Run {
     /// Run execution under a declarative dynamics plan: scheduled fault
     /// events, loss shifts and workload-shift marks fire at sampling-cycle
     /// boundaries; per-cycle traffic is tracked for recovery accounting.
+    /// Delegates to the unified [`crate::session`] cycle driver.
     pub fn execute_with_plan(&mut self, cycles: u32, plan: &DynamicsPlan) -> DynamicsOutcome {
-        let base = self.shared.base();
-        // Events scheduled at or beyond the run length never fire; they
-        // must not skew the pre/post-event split or re-convergence.
-        let first_event = plan.first_event_before(cycles);
-        let last_event = plan.last_event_before(cycles);
-        let mut out = DynamicsOutcome::default();
-        let results_at = |engine: &sensor_sim::Engine<JoinNode>| {
-            engine
-                .node(base)
-                .base_state()
-                .map(|b| b.results)
-                .unwrap_or(0)
-        };
-        // Energy-depletion cursors: engine-declared deaths propagate to
-        // the protocol's liveness oracle and loss accounting like plan
-        // kills.
-        let mut energy_seen = 0usize;
-        let mut energy_msgs_seen = self.engine.energy_msgs_dropped();
-        for c in 0..cycles {
-            if Some(c) == first_event {
-                out.results_pre_event = results_at(&self.engine);
-            }
-            // `Picked` targets resolve to the busiest join node — §7's
-            // worst-case victim (Fig 14).
-            let fired = plan.fire(c, &mut self.engine, |eng| busiest_join_node_of(eng, base));
-            out.queued_msgs_lost += fired.queued_msgs_dropped;
-            for &v in &fired.killed {
-                self.shared.mark_dead(v);
-                out.killed.push((c, v));
-            }
-            let tx_before = self.engine.metrics().total_tx_bytes();
-            self.engine.sampling_cycle(c);
-            let depleted: Vec<NodeId> = self.engine.energy_depleted()[energy_seen..].to_vec();
-            energy_seen += depleted.len();
-            for v in depleted {
-                self.shared.mark_dead(v);
-                out.killed.push((c, v));
-            }
-            let energy_msgs = self.engine.energy_msgs_dropped();
-            out.queued_msgs_lost += energy_msgs - energy_msgs_seen;
-            energy_msgs_seen = energy_msgs;
-            out.per_cycle_tx_bytes
-                .push(self.engine.metrics().total_tx_bytes() - tx_before);
-        }
+        use crate::session::{drive_cycles, ExecState, Host};
+        let mut st = ExecState::new(self, vec![crate::multi::Lifecycle::STATIC]);
+        drive_cycles(self, &mut st, plan, cycles, &mut []);
         self.engine.run_until_quiet(5_000);
-        let total = results_at(&self.engine);
-        if first_event.is_none() {
-            out.results_pre_event = total;
+        let total = Host::live_results(self);
+        let pre = st.results_pre_event.unwrap_or(total);
+        DynamicsOutcome {
+            killed: st.killed,
+            queued_msgs_lost: st.queued_msgs_lost,
+            results_pre_event: pre,
+            results_post_event: total - pre,
+            reconvergence_cycles: reconvergence(
+                &st.per_cycle_tx_bytes,
+                st.first_fired,
+                st.last_fired,
+            ),
+            per_cycle_tx_bytes: st.per_cycle_tx_bytes,
         }
-        out.results_post_event = total - out.results_pre_event;
-        out.reconvergence_cycles = reconvergence(&out.per_cycle_tx_bytes, first_event, last_event);
-        out
     }
 
     /// Network-wide sum of the per-node §7 recovery counters.
@@ -414,7 +332,10 @@ pub struct DynamicsOutcome {
 }
 
 /// The alive non-base node serving the most join pairs.
-fn busiest_join_node_of(engine: &sensor_sim::Engine<JoinNode>, base: NodeId) -> Option<NodeId> {
+pub(crate) fn busiest_join_node_of(
+    engine: &sensor_sim::Engine<JoinNode>,
+    base: NodeId,
+) -> Option<NodeId> {
     (0..engine.topology().len() as u16)
         .map(NodeId)
         .filter(|&id| id != base && engine.is_alive(id))
@@ -426,7 +347,7 @@ fn busiest_join_node_of(engine: &sensor_sim::Engine<JoinNode>, base: NodeId) -> 
 /// per-cycle traffic trace stays within 25% of the pre-event mean for 3
 /// consecutive cycles (dropping *below* the baseline — dead producers —
 /// also counts as settled).
-fn reconvergence(
+pub(crate) fn reconvergence(
     per_cycle: &[u64],
     first_event: Option<u32>,
     last_event: Option<u32>,

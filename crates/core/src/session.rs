@@ -1,0 +1,1512 @@
+//! The unified run-harness: one long-lived [`Session`] per network.
+//!
+//! The paper's §6–§7 contribution is *continuous* operation — queries
+//! arrive, adapt, migrate and survive failures over a long-lived network —
+//! but the original harness exposed batch-shaped entry points: a
+//! single-query [`crate::Scenario`]/[`crate::Run`] family and a parallel
+//! [`crate::QuerySet`]/[`crate::MultiRun`] stack, each with its own
+//! initiate/execute loop and stats types. This module collapses both onto
+//! one API:
+//!
+//! - [`SessionBuilder`] assembles everything one network serves: topology,
+//!   workload, routing substrate, [`SimConfig`], an optional
+//!   [`DynamicsPlan`], the delivery [`Sharing`] discipline, an energy
+//!   budget, and the initial query population.
+//! - [`Session::admit`] initiates a query *live* at the current cycle
+//!   (reusing the staggered [`InitStep`] machinery late arrivals always
+//!   used); [`Session::retire`] snapshots and removes one.
+//! - [`Session::step`] / [`Session::run_until`] advance sampling cycles;
+//!   scheduled dynamics (kills, loss shifts, workload marks) fire at the
+//!   cycle boundaries they always did.
+//! - [`Session::report`] returns one [`Outcome`] that subsumes
+//!   [`RunStats`], [`MultiRunStats`] and [`DynamicsOutcome`] (`From`
+//!   conversions to all three are provided for the migration).
+//! - [`Observer`]s receive a [`CycleView`] per sampling cycle and
+//!   [`SessionEvent`]s (admissions, retirements, migrations, deaths, loss
+//!   shifts, phase transitions) — streaming telemetry instead of post-hoc
+//!   stat scraping.
+//!
+//! Internally a session drives one of two wire formats through the *same*
+//! initiation/execution drivers (the code that used to be duplicated
+//! between `scenario.rs` and `multi.rs`):
+//!
+//! - **tagged** (the default): the [`crate::MultiNode`] wrapper protocol —
+//!   every frame carries a 1-byte query tag, queries are engine flows,
+//!   admission and retirement work at any cycle.
+//! - **bare** ([`SessionBuilder::bare_wire`]): the paper's original
+//!   single-query framing with no tag byte and no wrapper. It exists so
+//!   the figure harnesses reproduce the paper's numbers bit-for-bit;
+//!   exactly one cycle-0 query, no online admission.
+//!
+//! Single-query execution is simply the one-element case of the same
+//! path; the golden-output suite proves the sweep/recovery/multiq reports
+//! are byte-identical across the redesign.
+
+use crate::multi::{
+    BaseSnapshot, Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet,
+    QueryStats, Sharing,
+};
+use crate::node::{JoinNode, RecoveryStats};
+use crate::scenario::{
+    busiest_join_node_of, init_steps, reconvergence, DynamicsOutcome, InitStep, Run, RunStats,
+    Scenario,
+};
+use crate::shared::AlgoConfig;
+use sensor_net::NodeId;
+use sensor_query::JoinQuerySpec;
+use sensor_sim::dynamics::{DynamicsPlan, FireOutcome};
+use sensor_sim::{FlowMetrics, Metrics, SimConfig};
+use sensor_workload::WorkloadData;
+use std::sync::{Arc, Mutex};
+
+pub use crate::multi::LIVE_INIT_SPACING;
+
+/// Handle to a query admitted into a [`Session`] (its slot index; slots
+/// are never reused, so the handle stays valid after retirement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub usize);
+
+/// Harness phase a session is in (reported via
+/// [`SessionEvent::PhaseTransition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Driving the cycle-0 queries' initiation schedules to quiescence.
+    /// Traffic is accounted to [`Outcome::initiation`] (Table 3 separates
+    /// initiation from computation cost).
+    Initiation,
+    /// Sampling cycles: data, results, adaptation, recovery, dynamics.
+    Execution,
+}
+
+/// Something discrete that happened to the session. Delivered to
+/// [`Observer::on_event`] as it happens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// A query came online (cycle-0 batch or live admission).
+    Admitted { cycle: u32, query: QueryId },
+    /// A query was retired; its base counters were snapshotted.
+    Retired { cycle: u32, query: QueryId },
+    /// `count` join pairs finished migrating to new join nodes this cycle
+    /// (§6 adaptation or §7 recovery hand-offs).
+    PairsMigrated { cycle: u32, count: u64 },
+    /// `count` path repairs succeeded this cycle (§7 local bypasses).
+    PathsRepaired { cycle: u32, count: u64 },
+    /// A node died: dynamics-plan kill, energy depletion, or
+    /// [`Session::kill`].
+    NodeKilled { cycle: u32, node: NodeId },
+    /// The link-loss probability was stepped by the dynamics plan.
+    LossShifted { cycle: u32, loss_prob: f64 },
+    /// A workload-side event boundary (e.g. a selectivity shift baked into
+    /// the schedule) passed.
+    WorkloadMark { cycle: u32 },
+    /// The harness moved between phases.
+    PhaseTransition { cycle: u32, phase: Phase },
+}
+
+/// Per-sampling-cycle view handed to [`Observer::on_cycle`] right after
+/// the cycle completed.
+pub struct CycleView<'a> {
+    /// The sampling cycle that just ran.
+    pub cycle: u32,
+    /// Engine transmission-cycle clock.
+    pub now: u64,
+    /// Join results delivered to the base station so far (live queries
+    /// plus retired snapshots).
+    pub results: u64,
+    /// TX bytes put on the air during this cycle.
+    pub cycle_tx_bytes: u64,
+    /// Execution-phase traffic counters so far.
+    pub metrics: &'a Metrics,
+}
+
+/// Streaming telemetry hook. Both methods default to no-ops so an
+/// observer implements only what it needs.
+pub trait Observer {
+    /// Called after every sampling cycle.
+    fn on_cycle(&mut self, _view: &CycleView<'_>) {}
+    /// Called for every discrete [`SessionEvent`].
+    fn on_event(&mut self, _ev: &SessionEvent) {}
+}
+
+/// A ready-made [`Observer`] that records every event into a shared log
+/// (clone it, hand one clone to the session, read the other afterwards).
+#[derive(Clone, Default)]
+pub struct EventLog(Arc<Mutex<Vec<SessionEvent>>>);
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<SessionEvent> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, ev: &SessionEvent) {
+        self.0.lock().unwrap().push(ev.clone());
+    }
+}
+
+// ----------------------------------------------------------------------
+// The host abstraction: what the shared drivers need from either wire
+// format. `Run` (bare) and `MultiRun` (tagged) implement it; the
+// initiation and execution loops below are written once against it.
+
+/// One harness-driven protocol invocation of an [`InitStep`].
+pub(crate) enum StepCall {
+    /// Entry point that may transmit (driven through the engine context).
+    WithCtx(fn(&mut JoinNode, &mut sensor_sim::Ctx<'_, crate::msg::Msg>)),
+    /// Local state fix-up, no traffic.
+    Local(fn(&mut JoinNode)),
+}
+
+/// The exact `(node, entry point)` fan-out of one initiation step. Both
+/// wire formats expand their `apply_step` from this one table, so the
+/// bare and tagged initiation sequences cannot diverge (which would
+/// silently break the byte-parity guarantee between them).
+pub(crate) fn step_calls(step: InitStep, base: NodeId, n: usize) -> Vec<(NodeId, StepCall)> {
+    let ids = || (0..n).map(|i| NodeId(i as u16));
+    match step {
+        InitStep::Flood => vec![(base, StepCall::WithCtx(|nd, c| nd.start_flood(c)))],
+        InitStep::EnsureQuery => ids()
+            .map(|id| (id, StepCall::Local(|nd| nd.ensure_query())))
+            .collect(),
+        InitStep::Announce => ids()
+            .filter(|&id| id != base)
+            .map(|id| (id, StepCall::WithCtx(|nd, c| nd.start_announce(c))))
+            .collect(),
+        InitStep::GhtRegister => ids()
+            .map(|id| (id, StepCall::WithCtx(|nd, c| nd.start_ght_register(c))))
+            .collect(),
+        InitStep::Search => ids()
+            .map(|id| (id, StepCall::WithCtx(|nd, c| nd.start_search(c))))
+            .collect(),
+        InitStep::FinishTSide => ids()
+            .map(|id| (id, StepCall::Local(|nd| nd.finish_t_side_assigns())))
+            .collect(),
+        InitStep::GroupOpt => ids()
+            .map(|id| (id, StepCall::WithCtx(|nd, c| nd.start_group_opt(c))))
+            .collect(),
+    }
+}
+
+pub(crate) trait Host {
+    fn n_queries(&self) -> usize;
+    fn cfg_of(&self, q: usize) -> AlgoConfig;
+    fn base(&self) -> NodeId;
+    fn topo_len(&self) -> usize;
+    /// Fire one initiation step of query `q` across the network.
+    fn apply_step(&mut self, q: usize, step: InitStep);
+    /// Bring query `q` online at every node.
+    fn activate(&mut self, q: usize);
+    /// Take query `q` offline everywhere; returns its base snapshot.
+    fn retire_query(&mut self, q: usize) -> Option<BaseSnapshot>;
+    /// Base snapshot of a live query (used by [`Outcome`] rows).
+    fn live_snapshot(&self, q: usize) -> BaseSnapshot;
+    /// Results currently counted at the base across live queries.
+    fn live_results(&self) -> u64;
+    fn busiest_join_node(&self) -> Option<NodeId>;
+    /// Propagate a death to every query's liveness oracle.
+    fn mark_dead(&self, v: NodeId);
+    fn recovery_totals(&self) -> RecoveryStats;
+    fn expired_frames(&self) -> u64;
+    /// Network-wide migration-adoption counter (observer diffing).
+    fn migrations_total(&self) -> u64;
+    /// Per-query execution flow ([`FlowMetrics`]) for outcome rows.
+    fn query_flow(&self, q: usize, exec: &Metrics) -> FlowMetrics;
+    /// Cross-query aggregate flow (zero for the bare wire).
+    fn shared_flow(&self, exec: &Metrics) -> FlowMetrics;
+    fn query_label(&self, q: usize) -> String;
+    fn query_name(&self, q: usize) -> String;
+    /// Read access to query `q`'s protocol instance at `id`.
+    fn join_node(&self, q: usize, id: NodeId) -> &JoinNode;
+    // --- engine plumbing ---
+    fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome;
+    fn kill_node(&mut self, v: NodeId) -> usize;
+    fn now(&self) -> u64;
+    fn run_until_quiet(&mut self, budget: u64) -> u64;
+    fn sampling_cycle(&mut self, c: u32);
+    fn metrics(&self) -> &Metrics;
+    fn reset_metrics(&mut self);
+    fn reset_clock(&mut self);
+    fn energy_depleted(&self) -> &[NodeId];
+    fn energy_msgs_dropped(&self) -> u64;
+}
+
+impl Host for Run {
+    fn n_queries(&self) -> usize {
+        1
+    }
+    fn cfg_of(&self, _q: usize) -> AlgoConfig {
+        self.shared.cfg
+    }
+    fn base(&self) -> NodeId {
+        self.shared.base()
+    }
+    fn topo_len(&self) -> usize {
+        self.engine.topology().len()
+    }
+
+    fn apply_step(&mut self, _q: usize, step: InitStep) {
+        let base = self.shared.base();
+        let n = self.engine.topology().len();
+        for (id, call) in step_calls(step, base, n) {
+            match call {
+                StepCall::WithCtx(f) => self.engine.with_node(id, f),
+                StepCall::Local(f) => f(self.engine.node_mut(id)),
+            }
+        }
+    }
+
+    fn activate(&mut self, _q: usize) {
+        // The bare wire hosts its one query from construction.
+    }
+
+    fn retire_query(&mut self, _q: usize) -> Option<BaseSnapshot> {
+        unreachable!("bare-wire sessions never retire their single query")
+    }
+
+    fn live_snapshot(&self, _q: usize) -> BaseSnapshot {
+        self.engine
+            .node(self.shared.base())
+            .base_state()
+            .map(|b| BaseSnapshot {
+                results: b.results,
+                delay_sum: b.delay_sum,
+            })
+            .unwrap_or_default()
+    }
+
+    fn live_results(&self) -> u64 {
+        self.live_snapshot(0).results
+    }
+
+    fn busiest_join_node(&self) -> Option<NodeId> {
+        busiest_join_node_of(&self.engine, self.shared.base())
+    }
+
+    fn mark_dead(&self, v: NodeId) {
+        self.shared.mark_dead(v);
+    }
+
+    fn recovery_totals(&self) -> RecoveryStats {
+        Run::recovery_totals(self)
+    }
+
+    fn expired_frames(&self) -> u64 {
+        0
+    }
+
+    fn migrations_total(&self) -> u64 {
+        self.engine
+            .nodes()
+            .iter()
+            .map(|n| n.migrations_adopted)
+            .sum()
+    }
+
+    fn query_flow(&self, _q: usize, exec: &Metrics) -> FlowMetrics {
+        exec.flow(0)
+    }
+
+    fn shared_flow(&self, _exec: &Metrics) -> FlowMetrics {
+        FlowMetrics::default()
+    }
+
+    fn query_label(&self, _q: usize) -> String {
+        self.shared.cfg.label()
+    }
+
+    fn query_name(&self, _q: usize) -> String {
+        self.shared.spec.name.clone()
+    }
+
+    fn join_node(&self, _q: usize, id: NodeId) -> &JoinNode {
+        self.engine.node(id)
+    }
+
+    fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome {
+        let base = self.shared.base();
+        plan.fire(cycle, &mut self.engine, |eng| {
+            busiest_join_node_of(eng, base)
+        })
+    }
+
+    fn kill_node(&mut self, v: NodeId) -> usize {
+        self.engine.kill(v)
+    }
+    fn now(&self) -> u64 {
+        self.engine.now()
+    }
+    fn run_until_quiet(&mut self, budget: u64) -> u64 {
+        self.engine.run_until_quiet(budget)
+    }
+    fn sampling_cycle(&mut self, c: u32) {
+        self.engine.sampling_cycle(c);
+    }
+    fn metrics(&self) -> &Metrics {
+        self.engine.metrics()
+    }
+    fn reset_metrics(&mut self) {
+        self.engine.reset_metrics();
+    }
+    fn reset_clock(&mut self) {
+        self.engine.reset_clock();
+    }
+    fn energy_depleted(&self) -> &[NodeId] {
+        self.engine.energy_depleted()
+    }
+    fn energy_msgs_dropped(&self) -> u64 {
+        self.engine.energy_msgs_dropped()
+    }
+}
+
+impl Host for MultiRun {
+    fn n_queries(&self) -> usize {
+        self.shareds.len()
+    }
+    fn cfg_of(&self, q: usize) -> AlgoConfig {
+        self.shareds[q].cfg
+    }
+    fn base(&self) -> NodeId {
+        self.engine.topology().base()
+    }
+    fn topo_len(&self) -> usize {
+        self.engine.topology().len()
+    }
+
+    fn apply_step(&mut self, q: usize, step: InitStep) {
+        MultiRun::apply_step(self, q, step);
+    }
+
+    fn activate(&mut self, q: usize) {
+        self.activate_everywhere(q);
+    }
+
+    fn retire_query(&mut self, q: usize) -> Option<BaseSnapshot> {
+        MultiRun::retire_query(self, q)
+    }
+
+    fn live_snapshot(&self, q: usize) -> BaseSnapshot {
+        self.engine
+            .node(self.base())
+            .query_node(q)
+            .base_state()
+            .map(|b| BaseSnapshot {
+                results: b.results,
+                delay_sum: b.delay_sum,
+            })
+            .unwrap_or_default()
+    }
+
+    fn live_results(&self) -> u64 {
+        (0..self.n_queries())
+            .map(|q| self.live_snapshot(q).results)
+            .sum()
+    }
+
+    fn busiest_join_node(&self) -> Option<NodeId> {
+        crate::multi::busiest_multi_join_node(&self.engine, self.base())
+    }
+
+    fn mark_dead(&self, v: NodeId) {
+        for sh in &self.shareds {
+            sh.mark_dead(v);
+        }
+    }
+
+    fn recovery_totals(&self) -> RecoveryStats {
+        MultiRun::recovery_totals(self)
+    }
+
+    fn expired_frames(&self) -> u64 {
+        self.engine.nodes().iter().map(|n| n.expired_frames).sum()
+    }
+
+    fn migrations_total(&self) -> u64 {
+        self.retired_migrations
+            + self
+                .engine
+                .nodes()
+                .iter()
+                .flat_map(|mn| mn.query_nodes())
+                .map(|jn| jn.migrations_adopted)
+                .sum::<u64>()
+    }
+
+    fn query_flow(&self, q: usize, exec: &Metrics) -> FlowMetrics {
+        exec.flow(q + 1)
+    }
+
+    fn shared_flow(&self, exec: &Metrics) -> FlowMetrics {
+        exec.flow(0)
+    }
+
+    fn query_label(&self, q: usize) -> String {
+        self.shareds[q].cfg.label()
+    }
+
+    fn query_name(&self, q: usize) -> String {
+        self.shareds[q].spec.name.clone()
+    }
+
+    fn join_node(&self, q: usize, id: NodeId) -> &JoinNode {
+        self.engine.node(id).query_node(q)
+    }
+
+    fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome {
+        let base = self.base();
+        plan.fire(cycle, &mut self.engine, |eng| {
+            crate::multi::busiest_multi_join_node(eng, base)
+        })
+    }
+
+    fn kill_node(&mut self, v: NodeId) -> usize {
+        self.engine.kill(v)
+    }
+    fn now(&self) -> u64 {
+        self.engine.now()
+    }
+    fn run_until_quiet(&mut self, budget: u64) -> u64 {
+        self.engine.run_until_quiet(budget)
+    }
+    fn sampling_cycle(&mut self, c: u32) {
+        self.engine.sampling_cycle(c);
+    }
+    fn metrics(&self) -> &Metrics {
+        self.engine.metrics()
+    }
+    fn reset_metrics(&mut self) {
+        self.engine.reset_metrics();
+    }
+    fn reset_clock(&mut self) {
+        self.engine.reset_clock();
+    }
+    fn energy_depleted(&self) -> &[NodeId] {
+        self.engine.energy_depleted()
+    }
+    fn energy_msgs_dropped(&self) -> u64 {
+        self.engine.energy_msgs_dropped()
+    }
+}
+
+// ----------------------------------------------------------------------
+// The shared drivers. These are the loops that used to exist twice
+// (`Run::initiate` vs `MultiRun::initiate`, `Run::execute_with_plan` vs
+// `MultiRun::execute_with_plan`); both harness stacks and the `Session`
+// now funnel through them, so the parity the golden tests check holds by
+// construction.
+
+/// Drive the initiation of the given queries to quiescence, the steps
+/// interleaved across queries so their control traffic contends. The
+/// caller selects `arrivals` (the cycle-0 batch, minus anything already
+/// retired). Returns `(initiation metrics, initiation cycles)` and
+/// leaves the engine with fresh metrics and a rewound clock.
+pub(crate) fn drive_initiation<H: Host>(host: &mut H, arrivals: &[usize]) -> (Metrics, u64) {
+    for &q in arrivals {
+        host.activate(q);
+    }
+    let schedules: Vec<Vec<(InitStep, u64)>> = arrivals
+        .iter()
+        .map(|&q| init_steps(&host.cfg_of(q)))
+        .collect();
+    let max_len = schedules.iter().map(Vec::len).max().unwrap_or(0);
+    for step_idx in 0..max_len {
+        let mut budget = 0u64;
+        for (ai, &q) in arrivals.iter().enumerate() {
+            if let Some(&(step, b)) = schedules[ai].get(step_idx) {
+                host.apply_step(q, step);
+                budget = budget.max(b);
+            }
+        }
+        if budget > 0 {
+            host.run_until_quiet(budget);
+        }
+    }
+    let cycles = host.now();
+    let metrics = host.metrics().clone();
+    host.reset_metrics();
+    host.reset_clock();
+    (metrics, cycles)
+}
+
+/// Mutable execution-phase state threaded through [`drive_cycles`] calls:
+/// per-query lifecycle bookkeeping plus the dynamics trace an [`Outcome`]
+/// reports. The compat shims build one per call; a [`Session`] keeps one
+/// for its whole life so stepping is resumable.
+pub(crate) struct ExecState {
+    pub lifecycles: Vec<Lifecycle>,
+    /// `true` once a query has been brought online (initiation batch or
+    /// live arrival); guards against double activation.
+    pub activated: Vec<bool>,
+    /// Base-counter snapshots of retired queries.
+    pub snapshots: Vec<Option<BaseSnapshot>>,
+    /// Live-initiation steps pending for late arrivals.
+    pub pending_steps: Vec<(u32, usize, InitStep)>,
+    pub killed: Vec<(u32, NodeId)>,
+    pub queued_msgs_lost: u64,
+    pub per_cycle_tx_bytes: Vec<u64>,
+    /// Results at the moment the first scheduled event fired (`None`
+    /// until one does).
+    pub results_pre_event: Option<u64>,
+    /// Bounds of the events that actually fired.
+    pub first_fired: Option<u32>,
+    pub last_fired: Option<u32>,
+    pub arrivals: Vec<(u32, usize)>,
+    pub departures: Vec<(u32, usize)>,
+    /// Next sampling cycle to run.
+    pub next_cycle: u32,
+    energy_seen: usize,
+    energy_msgs_seen: u64,
+    migrations_seen: u64,
+    repairs_seen: u64,
+}
+
+impl ExecState {
+    pub(crate) fn new<H: Host>(host: &H, lifecycles: Vec<Lifecycle>) -> ExecState {
+        let n = lifecycles.len();
+        ExecState {
+            activated: lifecycles.iter().map(|lc| lc.arrival == 0).collect(),
+            lifecycles,
+            snapshots: vec![None; n],
+            pending_steps: Vec::new(),
+            killed: Vec::new(),
+            queued_msgs_lost: 0,
+            per_cycle_tx_bytes: Vec::new(),
+            results_pre_event: None,
+            first_fired: None,
+            last_fired: None,
+            arrivals: Vec::new(),
+            departures: Vec::new(),
+            next_cycle: 0,
+            energy_seen: host.energy_depleted().len(),
+            energy_msgs_seen: host.energy_msgs_dropped(),
+            migrations_seen: 0,
+            repairs_seen: 0,
+        }
+    }
+
+    fn snapshot_results(&self) -> u64 {
+        self.snapshots.iter().flatten().map(|s| s.results).sum()
+    }
+
+    /// Queries whose live initiation has not finished (steps still
+    /// pending), sorted and deduplicated.
+    pub(crate) fn unfinished_inits(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.pending_steps.iter().map(|&(_, q, _)| q).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The per-cycle view both the observer stream and [`Session::run_until`]
+/// predicates see — one constructor so the two can never drift apart.
+fn cycle_view<'a>(host: &'a dyn Host, st: &ExecState, cycle: u32) -> CycleView<'a> {
+    CycleView {
+        cycle,
+        now: host.now(),
+        results: host.live_results() + st.snapshot_results(),
+        cycle_tx_bytes: *st.per_cycle_tx_bytes.last().unwrap_or(&0),
+        metrics: host.metrics(),
+    }
+}
+
+/// Run `n` sampling cycles: lifecycle events (departures, then arrivals
+/// and due live-init steps), then scheduled dynamics, then the sampling
+/// cycle itself, then energy-depletion propagation — the exact boundary
+/// order both legacy harnesses used.
+pub(crate) fn drive_cycles<H: Host>(
+    host: &mut H,
+    st: &mut ExecState,
+    plan: &DynamicsPlan,
+    n: u32,
+    obs: &mut [Box<dyn Observer>],
+) {
+    let emit = |obs: &mut [Box<dyn Observer>], ev: SessionEvent| {
+        for o in obs.iter_mut() {
+            o.on_event(&ev);
+        }
+    };
+    let end = st.next_cycle + n;
+    for c in st.next_cycle..end {
+        // Event-bound tracking and the pre-event result split (bookkeeping
+        // only — reads engine state, mutates nothing).
+        if plan.has_event_at(c) {
+            if st.results_pre_event.is_none() {
+                st.results_pre_event = Some(host.live_results() + st.snapshot_results());
+                st.first_fired = Some(c);
+            }
+            st.last_fired = Some(c);
+        }
+        // Lifecycle: departures first (a query leaving at c does not
+        // sample at c), then arrivals, then any due live-init steps.
+        for q in 0..host.n_queries() {
+            if st.lifecycles[q].departure == Some(c) && st.snapshots[q].is_none() {
+                st.snapshots[q] = host.retire_query(q);
+                // Any live-init steps still pending for the departed query
+                // are moot — dropping them keeps `unfinished_inits` an
+                // honest truncation signal (a deliberate retirement is not
+                // a truncated initiation).
+                st.pending_steps.retain(|&(_, pq, _)| pq != q);
+                st.departures.push((c, q));
+                emit(
+                    obs,
+                    SessionEvent::Retired {
+                        cycle: c,
+                        query: QueryId(q),
+                    },
+                );
+            }
+        }
+        for q in 0..host.n_queries() {
+            // A query already retired (snapshot taken) never re-arrives,
+            // even under a nonsensical departure-before-arrival lifecycle.
+            if st.lifecycles[q].arrival == c && !st.activated[q] && st.snapshots[q].is_none() {
+                host.activate(q);
+                st.activated[q] = true;
+                st.arrivals.push((c, q));
+                for (i, (step, _)) in init_steps(&host.cfg_of(q)).iter().enumerate() {
+                    st.pending_steps
+                        .push((c + i as u32 * LIVE_INIT_SPACING, q, *step));
+                }
+                emit(
+                    obs,
+                    SessionEvent::Admitted {
+                        cycle: c,
+                        query: QueryId(q),
+                    },
+                );
+            }
+        }
+        let due: Vec<(usize, InitStep)> = st
+            .pending_steps
+            .iter()
+            .filter(|&&(at, _, _)| at == c)
+            .map(|&(_, q, step)| (q, step))
+            .collect();
+        for (q, step) in due {
+            host.apply_step(q, step);
+        }
+        st.pending_steps.retain(|&(at, _, _)| at > c);
+        // Scheduled dynamics (kills resolve `Picked` to the busiest join
+        // node — §7's worst-case victim).
+        let fired = host.fire_plan(c, plan);
+        st.queued_msgs_lost += fired.queued_msgs_dropped;
+        for &v in &fired.killed {
+            host.mark_dead(v);
+            st.killed.push((c, v));
+            emit(obs, SessionEvent::NodeKilled { cycle: c, node: v });
+        }
+        for &p in &fired.loss_shifts {
+            emit(
+                obs,
+                SessionEvent::LossShifted {
+                    cycle: c,
+                    loss_prob: p,
+                },
+            );
+        }
+        if plan.marks.contains(&c) {
+            emit(obs, SessionEvent::WorkloadMark { cycle: c });
+        }
+        let tx_before = host.metrics().total_tx_bytes();
+        host.sampling_cycle(c);
+        // Nodes that ran out of energy this cycle propagate to every
+        // query's liveness oracle and the loss accounting, like plan kills.
+        let depleted: Vec<NodeId> = host.energy_depleted()[st.energy_seen..].to_vec();
+        st.energy_seen += depleted.len();
+        if !depleted.is_empty() {
+            // A depletion is an event for the pre/post split, discovered
+            // only after the cycle ran — the "pre" snapshot therefore
+            // includes this cycle's results (the death happened during it).
+            if st.results_pre_event.is_none() {
+                st.results_pre_event = Some(host.live_results() + st.snapshot_results());
+                st.first_fired = Some(c);
+            }
+            st.last_fired = Some(c);
+        }
+        for v in depleted {
+            host.mark_dead(v);
+            st.killed.push((c, v));
+            emit(obs, SessionEvent::NodeKilled { cycle: c, node: v });
+        }
+        let energy_msgs = host.energy_msgs_dropped();
+        st.queued_msgs_lost += energy_msgs - st.energy_msgs_seen;
+        st.energy_msgs_seen = energy_msgs;
+        st.per_cycle_tx_bytes
+            .push(host.metrics().total_tx_bytes() - tx_before);
+        if !obs.is_empty() {
+            // Totals are monotone (retirement absorbs counters into the
+            // host's accumulators); the unconditional baseline update is
+            // belt-and-braces against any future counter reset.
+            let mig = host.migrations_total();
+            if mig > st.migrations_seen {
+                emit(
+                    obs,
+                    SessionEvent::PairsMigrated {
+                        cycle: c,
+                        count: mig - st.migrations_seen,
+                    },
+                );
+            }
+            st.migrations_seen = mig;
+            let rep = host.recovery_totals().repair_successes;
+            if rep > st.repairs_seen {
+                emit(
+                    obs,
+                    SessionEvent::PathsRepaired {
+                        cycle: c,
+                        count: rep - st.repairs_seen,
+                    },
+                );
+            }
+            st.repairs_seen = rep;
+            let view = cycle_view(&*host, st, c);
+            for o in obs.iter_mut() {
+                o.on_cycle(&view);
+            }
+        }
+    }
+    st.next_cycle = end;
+}
+
+// ----------------------------------------------------------------------
+// The unified outcome.
+
+/// Everything a finished (or in-flight) session can report: per-query
+/// rows, phase-separated aggregate traffic, §7 recovery totals, and the
+/// dynamics trace. Subsumes [`RunStats`], [`MultiRunStats`],
+/// [`DynamicsOutcome`] and [`MultiOutcome`]; `From` conversions to each
+/// are provided for the migration off the legacy harnesses.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// One row per admitted query, in admission order (retired queries
+    /// report their snapshot).
+    pub per_query: Vec<QueryStats>,
+    /// Traffic during the cycle-0 initiation phase.
+    pub initiation: Metrics,
+    /// Traffic during execution (including live initiations and recovery).
+    pub execution: Metrics,
+    /// Execution traffic of cross-query aggregate frames (flow 0 of the
+    /// tagged wire; zero for bare-wire and independent-delivery sessions).
+    pub shared_flow: FlowMetrics,
+    pub base: NodeId,
+    /// Frames dropped at arrival because their query had been retired.
+    pub expired_frames: u64,
+    /// Transmission cycles the initiation phase took (Fig 6b latency).
+    pub initiation_cycles: u64,
+    /// Network-wide sum of the per-node §7 recovery counters.
+    pub recovery: RecoveryStats,
+    /// `(cycle, node)` for every mid-run death: plan kills, energy
+    /// depletions and [`Session::kill`] calls alike.
+    pub killed: Vec<(u32, NodeId)>,
+    /// Messages discarded from dead nodes' queues.
+    pub queued_msgs_lost: u64,
+    /// Execution TX bytes per sampling cycle (recovery-overhead trace).
+    pub per_cycle_tx_bytes: Vec<u64>,
+    /// Join results delivered before the first scheduled event (all of
+    /// them, for a static plan).
+    pub results_pre_event: u64,
+    /// Join results delivered at or after the first scheduled event.
+    pub results_post_event: u64,
+    /// Sampling cycles after the last event until per-cycle traffic
+    /// settled back near the pre-event baseline (see
+    /// [`crate::scenario::DynamicsOutcome::reconvergence_cycles`]).
+    pub reconvergence_cycles: Option<u32>,
+    /// `(cycle, query)` live admissions that fired during execution.
+    pub arrivals: Vec<(u32, usize)>,
+    /// `(cycle, query)` retirements that fired during execution.
+    pub departures: Vec<(u32, usize)>,
+    /// Queries whose live initiation had not finished when the session
+    /// was last reported (truncation artifact, not an algorithmic one).
+    pub unfinished_inits: Vec<usize>,
+}
+
+impl Outcome {
+    pub fn results_total(&self) -> u64 {
+        self.per_query.iter().map(|q| q.results).sum()
+    }
+
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.initiation.total_tx_bytes() + self.execution.total_tx_bytes()
+    }
+
+    pub fn execution_traffic_bytes(&self) -> u64 {
+        self.execution.total_tx_bytes()
+    }
+
+    pub fn total_traffic_msgs(&self) -> u64 {
+        self.initiation.total_tx_msgs() + self.execution.total_tx_msgs()
+    }
+
+    pub fn base_load_bytes(&self) -> u64 {
+        self.initiation.load_bytes(self.base) + self.execution.load_bytes(self.base)
+    }
+
+    pub fn base_load_msgs(&self) -> u64 {
+        self.initiation.load_msgs(self.base) + self.execution.load_msgs(self.base)
+    }
+
+    pub fn max_node_load_bytes(&self) -> u64 {
+        let mut combined = self.initiation.clone();
+        combined.absorb(&self.execution);
+        combined.max_load_bytes()
+    }
+
+    /// Combined per-node loads (Fig 5).
+    pub fn top_loads(&self, k: usize) -> Vec<u64> {
+        let mut combined = self.initiation.clone();
+        combined.absorb(&self.execution);
+        combined.top_loads_bytes(k)
+    }
+
+    /// Result-weighted mean delivery delay across queries (tx cycles).
+    pub fn avg_delay_tx(&self) -> f64 {
+        // Single query: return its ratio directly — `(d/r * r) / r` is not
+        // bit-identical to `d/r`, and the sweep reports are byte-compared.
+        if let [only] = self.per_query.as_slice() {
+            return only.avg_delay_tx;
+        }
+        let total = self.results_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.per_query
+            .iter()
+            .map(|q| q.avg_delay_tx * q.results as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Messages abandoned after exhausting retries, both phases.
+    pub fn send_failures(&self) -> u64 {
+        self.initiation.total_send_failures() + self.execution.total_send_failures()
+    }
+
+    /// Messages dropped on full queues, both phases.
+    pub fn queue_drops(&self) -> u64 {
+        self.initiation.total_queue_drops() + self.execution.total_queue_drops()
+    }
+}
+
+impl From<Outcome> for RunStats {
+    fn from(o: Outcome) -> RunStats {
+        RunStats {
+            label: o
+                .per_query
+                .first()
+                .map(|q| q.label.clone())
+                .unwrap_or_default(),
+            results: o.results_total(),
+            avg_delay_tx: o.avg_delay_tx(),
+            initiation: o.initiation,
+            execution: o.execution,
+            initiation_cycles: o.initiation_cycles,
+            base: o.base,
+        }
+    }
+}
+
+impl From<Outcome> for MultiRunStats {
+    fn from(o: Outcome) -> MultiRunStats {
+        MultiRunStats {
+            per_query: o.per_query,
+            initiation: o.initiation,
+            execution: o.execution,
+            shared_flow: o.shared_flow,
+            base: o.base,
+            expired_frames: o.expired_frames,
+        }
+    }
+}
+
+impl From<Outcome> for DynamicsOutcome {
+    fn from(o: Outcome) -> DynamicsOutcome {
+        DynamicsOutcome {
+            killed: o.killed,
+            queued_msgs_lost: o.queued_msgs_lost,
+            per_cycle_tx_bytes: o.per_cycle_tx_bytes,
+            results_pre_event: o.results_pre_event,
+            results_post_event: o.results_post_event,
+            reconvergence_cycles: o.reconvergence_cycles,
+        }
+    }
+}
+
+impl From<Outcome> for MultiOutcome {
+    fn from(o: Outcome) -> MultiOutcome {
+        MultiOutcome {
+            killed: o.killed,
+            queued_msgs_lost: o.queued_msgs_lost,
+            arrivals: o.arrivals,
+            departures: o.departures,
+            unfinished_inits: o.unfinished_inits,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The session proper.
+
+enum Backend {
+    /// Untagged single-query frames — the paper's original wire format.
+    Bare(Run),
+    /// Query-tagged frames through the [`crate::MultiNode`] wrapper.
+    Tagged(MultiRun),
+}
+
+impl Backend {
+    fn host(&self) -> &dyn Host {
+        match self {
+            Backend::Bare(r) => r,
+            Backend::Tagged(m) => m,
+        }
+    }
+}
+
+macro_rules! with_host {
+    ($backend:expr, $h:ident => $body:expr) => {
+        match $backend {
+            Backend::Bare($h) => $body,
+            Backend::Tagged($h) => $body,
+        }
+    };
+}
+
+/// A long-lived execution context: one network (topology + workload +
+/// substrate + simulator) serving a changing population of join queries.
+/// Built via [`SessionBuilder`]; see the [module docs](self) for the
+/// lifecycle.
+pub struct Session {
+    backend: Backend,
+    plan: DynamicsPlan,
+    st: ExecState,
+    observers: Vec<Box<dyn Observer>>,
+    init_metrics: Option<Metrics>,
+    init_cycles: u64,
+    initiated: bool,
+}
+
+impl Session {
+    /// Start assembling a session over `topo` and `data`.
+    pub fn builder(topo: sensor_net::Topology, data: WorkloadData) -> SessionBuilder {
+        SessionBuilder::new(topo, data)
+    }
+
+    /// The next sampling cycle [`Session::step`] would run.
+    pub fn cycle(&self) -> u32 {
+        self.st.next_cycle
+    }
+
+    /// Replace the dynamics plan (takes effect from the next cycle; events
+    /// scheduled at already-run cycles never fire).
+    pub fn set_plan(&mut self, plan: DynamicsPlan) {
+        self.plan = plan;
+    }
+
+    /// Attach a streaming [`Observer`]. Attaching mid-run is fine: the
+    /// migration/repair diff counters are re-baselined so the first
+    /// events reflect only what happens from now on, not history.
+    pub fn observe(&mut self, obs: Box<dyn Observer>) {
+        if self.observers.is_empty() {
+            // The counters are only advanced while observers are attached
+            // (sweeps shouldn't pay for telemetry nobody reads), so a
+            // mid-run attach must not inherit a stale baseline.
+            let host = self.backend.host();
+            self.st.migrations_seen = host.migrations_total();
+            self.st.repairs_seen = host.recovery_totals().repair_successes;
+        }
+        self.observers.push(obs);
+    }
+
+    /// Admit a new query live at the current cycle: its frames get their
+    /// own engine flow and its [`InitStep`] schedule is spread over the
+    /// next sampling cycles ([`LIVE_INIT_SPACING`] apart) while resident
+    /// queries keep streaming. Before the first [`Session::step`] the
+    /// query instead joins the cycle-0 initiation batch.
+    ///
+    /// # Panics
+    /// On a [`SessionBuilder::bare_wire`] session — the untagged wire
+    /// format hosts exactly one query for its whole life.
+    pub fn admit(&mut self, spec: JoinQuerySpec, cfg: AlgoConfig) -> QueryId {
+        let mr = match &mut self.backend {
+            Backend::Tagged(mr) => mr,
+            Backend::Bare(_) => panic!(
+                "bare-wire sessions host exactly one fixed query; \
+                 use the default tagged session for online admission"
+            ),
+        };
+        let arrival = if self.initiated {
+            self.st.next_cycle
+        } else {
+            0
+        };
+        let q = mr.add_query(
+            spec,
+            cfg,
+            Lifecycle {
+                arrival,
+                departure: None,
+            },
+        );
+        self.st.lifecycles.push(Lifecycle {
+            arrival,
+            departure: None,
+        });
+        // Cycle-0 admissions are activated by the initiation batch; live
+        // ones by the arrival scan at the top of the next cycle.
+        self.st.activated.push(false);
+        if !self.initiated {
+            self.st.activated[q] = true;
+        }
+        self.st.snapshots.push(None);
+        QueryId(q)
+    }
+
+    /// Retire a query now: deactivate it at every node, snapshot its base
+    /// counters (kept in the final [`Outcome`] row) and free its slot's
+    /// network share. Idempotent.
+    ///
+    /// # Panics
+    /// On a bare-wire session (see [`Session::admit`]).
+    pub fn retire(&mut self, id: QueryId) {
+        let q = id.0;
+        match &mut self.backend {
+            Backend::Tagged(mr) => {
+                if self.st.snapshots[q].is_none() {
+                    let c = self.st.next_cycle;
+                    self.st.snapshots[q] = mr.retire_query(q);
+                    // Deliberate retirement is not a truncated initiation:
+                    // drop its pending live-init steps so they neither
+                    // fire as no-ops nor pollute `unfinished_inits`.
+                    self.st.pending_steps.retain(|&(_, pq, _)| pq != q);
+                    self.st.lifecycles[q].departure = Some(c);
+                    self.st.departures.push((c, q));
+                    let ev = SessionEvent::Retired {
+                        cycle: c,
+                        query: id,
+                    };
+                    for o in &mut self.observers {
+                        o.on_event(&ev);
+                    }
+                }
+            }
+            Backend::Bare(_) => panic!(
+                "bare-wire sessions host exactly one fixed query; \
+                 use the default tagged session for online retirement"
+            ),
+        }
+    }
+
+    fn ensure_initiated(&mut self) {
+        if self.initiated {
+            return;
+        }
+        let ev = SessionEvent::PhaseTransition {
+            cycle: 0,
+            phase: Phase::Initiation,
+        };
+        for o in &mut self.observers {
+            o.on_event(&ev);
+        }
+        // The cycle-0 batch: scheduled for cycle 0 and not already retired
+        // (a pre-step `retire` must stick — the query never comes online).
+        let arrivals: Vec<usize> = (0..self.st.lifecycles.len())
+            .filter(|&q| self.st.lifecycles[q].arrival == 0 && self.st.snapshots[q].is_none())
+            .collect();
+        for &q in &arrivals {
+            let ev = SessionEvent::Admitted {
+                cycle: 0,
+                query: QueryId(q),
+            };
+            for o in &mut self.observers {
+                o.on_event(&ev);
+            }
+        }
+        let (m, c) = with_host!(&mut self.backend, h => drive_initiation(h, &arrivals));
+        self.init_metrics = Some(m);
+        self.init_cycles = c;
+        self.initiated = true;
+        let ev = SessionEvent::PhaseTransition {
+            cycle: 0,
+            phase: Phase::Execution,
+        };
+        for o in &mut self.observers {
+            o.on_event(&ev);
+        }
+    }
+
+    /// Advance `n` sampling cycles (running the initiation phase first if
+    /// it has not happened yet). In-flight messages are *not* drained
+    /// between calls; [`Session::report`] drains.
+    pub fn step(&mut self, n: u32) {
+        self.ensure_initiated();
+        let Session {
+            backend,
+            plan,
+            st,
+            observers,
+            ..
+        } = self;
+        with_host!(backend, h => drive_cycles(h, st, plan, n, observers));
+    }
+
+    /// Step one cycle at a time until `pred` returns `true` on the
+    /// just-completed cycle's [`CycleView`]. Returns the number of cycles
+    /// advanced. A predicate that never fires loops forever — bound it on
+    /// `view.cycle` if unsure.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&CycleView<'_>) -> bool) -> u32 {
+        self.ensure_initiated();
+        let start = self.st.next_cycle;
+        loop {
+            self.step(1);
+            let view = cycle_view(self.backend.host(), &self.st, self.st.next_cycle - 1);
+            if pred(&view) {
+                break;
+            }
+        }
+        self.st.next_cycle - start
+    }
+
+    /// Kill a node immediately (outside any dynamics plan): its queue is
+    /// discarded, every query's liveness oracle learns of the death,
+    /// observers get a [`SessionEvent::NodeKilled`], and the kill counts
+    /// as an *event* for the [`Outcome`]'s pre/post-event result split
+    /// and re-convergence trace, exactly like a plan-scheduled failure.
+    pub fn kill(&mut self, v: NodeId) {
+        let c = self.st.next_cycle;
+        if self.st.results_pre_event.is_none() {
+            let host = self.backend.host();
+            self.st.results_pre_event = Some(host.live_results() + self.st.snapshot_results());
+            self.st.first_fired = Some(c);
+        }
+        self.st.last_fired = Some(c);
+        let dropped = with_host!(&mut self.backend, h => {
+            let d = h.kill_node(v);
+            h.mark_dead(v);
+            d
+        });
+        self.st.queued_msgs_lost += dropped as u64;
+        self.st.killed.push((c, v));
+        let ev = SessionEvent::NodeKilled { cycle: c, node: v };
+        for o in &mut self.observers {
+            o.on_event(&ev);
+        }
+    }
+
+    /// The alive non-base node currently serving the most join pairs
+    /// (failure-target selection, Fig 14).
+    pub fn busiest_join_node(&self) -> Option<NodeId> {
+        self.backend.host().busiest_join_node()
+    }
+
+    /// Read access to query `id`'s protocol instance at node `node`
+    /// (diagnostics; e.g. producer assignments after initiation).
+    pub fn query_node(&self, id: QueryId, node: NodeId) -> &JoinNode {
+        self.backend.host().join_node(id.0, node)
+    }
+
+    /// Drain in-flight messages and assemble the unified [`Outcome`].
+    /// May be called mid-run (and repeatedly); draining runs the engine
+    /// until quiescence so the last cycles' results are counted, exactly
+    /// as the legacy harnesses did at the end of `execute`.
+    pub fn report(&mut self) -> Outcome {
+        self.ensure_initiated();
+        with_host!(&mut self.backend, h => { h.run_until_quiet(5_000); });
+        let host = self.backend.host();
+        let st = &self.st;
+        let exec = host.metrics().clone();
+        let per_query: Vec<QueryStats> = (0..host.n_queries())
+            .map(|q| {
+                let snap = st.snapshots[q].unwrap_or_else(|| host.live_snapshot(q));
+                let avg_delay = if snap.results > 0 {
+                    snap.delay_sum as f64 / snap.results as f64
+                } else {
+                    0.0
+                };
+                QueryStats {
+                    label: host.query_label(q),
+                    name: host.query_name(q),
+                    arrival: st.lifecycles[q].arrival,
+                    departure: st.lifecycles[q].departure,
+                    results: snap.results,
+                    avg_delay_tx: avg_delay,
+                    flow: host.query_flow(q, &exec),
+                }
+            })
+            .collect();
+        let total: u64 = per_query.iter().map(|q| q.results).sum();
+        let pre = st.results_pre_event.unwrap_or(total);
+        Outcome {
+            shared_flow: host.shared_flow(&exec),
+            base: host.base(),
+            expired_frames: host.expired_frames(),
+            recovery: host.recovery_totals(),
+            per_query,
+            initiation: self
+                .init_metrics
+                .clone()
+                .unwrap_or_else(|| Metrics::new(host.topo_len())),
+            execution: exec,
+            initiation_cycles: self.init_cycles,
+            killed: st.killed.clone(),
+            queued_msgs_lost: st.queued_msgs_lost,
+            per_cycle_tx_bytes: st.per_cycle_tx_bytes.clone(),
+            results_pre_event: pre,
+            results_post_event: total - pre,
+            reconvergence_cycles: reconvergence(
+                &st.per_cycle_tx_bytes,
+                st.first_fired,
+                st.last_fired,
+            ),
+            arrivals: st.arrivals.clone(),
+            departures: st.departures.clone(),
+            unfinished_inits: st.unfinished_inits(),
+        }
+    }
+}
+
+/// Fluent assembly of a [`Session`]; see the [module docs](self).
+///
+/// ```
+/// use aspen_join::prelude::*;
+/// use aspen_join::{Algorithm, InnetOptions};
+///
+/// let topo = sensor_net::random_with_degree(60, 7.0, 1);
+/// let data = sensor_workload::WorkloadData::new(
+///     &topo,
+///     Schedule::Uniform(Rates::new(2, 2, 5)),
+///     1,
+/// );
+/// let cfg = AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2))
+///     .with_innet_options(InnetOptions::CMG);
+/// let mut session = Session::builder(topo, data)
+///     .query(sensor_workload::query1(3), cfg)
+///     .build();
+/// session.step(10);
+/// let outcome = session.report();
+/// assert!(outcome.total_traffic_bytes() > 0);
+/// ```
+pub struct SessionBuilder {
+    topo: sensor_net::Topology,
+    data: WorkloadData,
+    sim: SimConfig,
+    num_trees: usize,
+    sharing: Sharing,
+    plan: DynamicsPlan,
+    queries: Vec<QueryInstance>,
+    bare: bool,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl SessionBuilder {
+    pub fn new(topo: sensor_net::Topology, data: WorkloadData) -> SessionBuilder {
+        SessionBuilder {
+            topo,
+            data,
+            sim: SimConfig::default(),
+            num_trees: 3,
+            sharing: Sharing::Independent,
+            plan: DynamicsPlan::none(),
+            queries: Vec::new(),
+            bare: false,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Simulator parameters (loss, MAC budget, seed, fair MAC, …).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Routing trees in the multi-tree substrate (default 3).
+    pub fn trees(mut self, n: usize) -> Self {
+        self.num_trees = n;
+        self
+    }
+
+    /// How concurrent queries share delivery capacity (default
+    /// [`Sharing::Independent`]).
+    pub fn sharing(mut self, sharing: Sharing) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Declarative network dynamics fired at cycle boundaries.
+    pub fn plan(mut self, plan: DynamicsPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Per-node radio-byte energy budget (0 disables; base exempt).
+    /// Convenience over [`SimConfig::with_energy_budget`].
+    pub fn energy_budget(mut self, bytes: u64) -> Self {
+        self.sim = self.sim.with_energy_budget(bytes);
+        self
+    }
+
+    /// Add a query present from cycle 0.
+    pub fn query(self, spec: JoinQuerySpec, cfg: AlgoConfig) -> Self {
+        self.query_instance(QueryInstance {
+            spec,
+            cfg,
+            lifecycle: Lifecycle::STATIC,
+        })
+    }
+
+    /// Add a query arriving at `arrival` (initiates live mid-run).
+    pub fn query_arriving(self, arrival: u32, spec: JoinQuerySpec, cfg: AlgoConfig) -> Self {
+        self.query_instance(QueryInstance {
+            spec,
+            cfg,
+            lifecycle: Lifecycle::arriving(arrival),
+        })
+    }
+
+    /// Add a fully-specified [`QueryInstance`] (arrival and departure).
+    pub fn query_instance(mut self, qi: QueryInstance) -> Self {
+        self.queries.push(qi);
+        self
+    }
+
+    /// Attach an [`Observer`] from the start.
+    pub fn observer(mut self, obs: Box<dyn Observer>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Use the paper's original untagged single-query wire format instead
+    /// of the query-tagged wrapper: byte-for-byte the figures' traffic
+    /// numbers, at the price of a fixed single query (no
+    /// [`Session::admit`]/[`Session::retire`]). Requires exactly one
+    /// cycle-0 query.
+    pub fn bare_wire(mut self) -> Self {
+        self.bare = true;
+        self
+    }
+
+    /// Construct the engine (substrate built offline, as in Table 3) and
+    /// return the ready-to-step [`Session`].
+    ///
+    /// # Panics
+    /// If no query was added, or `bare_wire` constraints are violated.
+    pub fn build(self) -> Session {
+        assert!(
+            !self.queries.is_empty(),
+            "a session needs at least one initial query (add one with .query())"
+        );
+        let lifecycles: Vec<Lifecycle> = self.queries.iter().map(|qi| qi.lifecycle).collect();
+        let backend = if self.bare {
+            assert!(
+                self.queries.len() == 1 && lifecycles[0] == Lifecycle::STATIC,
+                "bare_wire sessions host exactly one static cycle-0 query"
+            );
+            let qi = self.queries.into_iter().next().expect("one query");
+            Backend::Bare(
+                Scenario {
+                    topo: self.topo,
+                    data: self.data,
+                    spec: qi.spec,
+                    cfg: qi.cfg,
+                    sim: self.sim,
+                    num_trees: self.num_trees,
+                }
+                .build(),
+            )
+        } else {
+            Backend::Tagged(
+                QuerySet {
+                    topo: self.topo,
+                    data: self.data,
+                    queries: self.queries,
+                    sim: self.sim,
+                    num_trees: self.num_trees,
+                    sharing: self.sharing,
+                }
+                .build(),
+            )
+        };
+        let st = with_host!(&backend, h => ExecState::new(h, lifecycles));
+        Session {
+            backend,
+            plan: self.plan,
+            st,
+            observers: self.observers,
+            init_metrics: None,
+            init_cycles: 0,
+            initiated: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// A bare-wire [`Session`] over this scenario: the modern entry point
+    /// with the figures' exact wire format (see
+    /// [`SessionBuilder::bare_wire`]). Clones the scenario's parts; use
+    /// [`Scenario::into_session`] when the scenario is a throwaway.
+    pub fn session(&self) -> Session {
+        Scenario {
+            topo: self.topo.clone(),
+            data: self.data.clone(),
+            spec: self.spec.clone(),
+            cfg: self.cfg,
+            sim: self.sim.clone(),
+            num_trees: self.num_trees,
+        }
+        .into_session()
+    }
+
+    /// [`Scenario::session`] without the deep clone — moves the topology
+    /// and workload in (the hot sweep/bench paths build one scenario per
+    /// run and discard it).
+    pub fn into_session(self) -> Session {
+        Session::builder(self.topo, self.data)
+            .sim(self.sim)
+            .trees(self.num_trees)
+            .query(self.spec, self.cfg)
+            .bare_wire()
+            .build()
+    }
+}
+
+impl QuerySet {
+    /// A tagged [`Session`] over this query set (the modern entry point;
+    /// [`QuerySet::run`] is the deprecated one-shot shim). Clones the
+    /// set's parts; use [`QuerySet::into_session`] for a throwaway set.
+    pub fn session(&self) -> Session {
+        QuerySet {
+            topo: self.topo.clone(),
+            data: self.data.clone(),
+            queries: self
+                .queries
+                .iter()
+                .map(|qi| QueryInstance {
+                    spec: qi.spec.clone(),
+                    cfg: qi.cfg,
+                    lifecycle: qi.lifecycle,
+                })
+                .collect(),
+            sim: self.sim.clone(),
+            num_trees: self.num_trees,
+            sharing: self.sharing,
+        }
+        .into_session()
+    }
+
+    /// [`QuerySet::session`] without the deep clone.
+    pub fn into_session(self) -> Session {
+        let mut b = Session::builder(self.topo, self.data)
+            .sim(self.sim)
+            .trees(self.num_trees)
+            .sharing(self.sharing);
+        for qi in self.queries {
+            b = b.query_instance(qi);
+        }
+        b.build()
+    }
+}

@@ -1,6 +1,10 @@
 //! End-to-end algorithm tests: every join strategy against the oracle, on
 //! lossless networks where the expected result counts are predictable.
 
+// These tests deliberately drive the deprecated one-shot shims
+// (`Scenario::run`): they are the legacy-path coverage the session
+// parity suite compares against.
+#![allow(deprecated)]
 use aspen_join::prelude::*;
 use aspen_join::scenario::oracle_result_count;
 use sensor_net::NodeId;

@@ -4,6 +4,10 @@
 //! regression — shared-tree frame aggregation beats independent per-query
 //! delivery on base load under contention.
 
+// These tests deliberately drive the deprecated one-shot shims
+// (`QuerySet::run`): they are the legacy-path coverage the session
+// parity suite compares against.
+#![allow(deprecated)]
 use aspen_join::prelude::*;
 use aspen_join::{Algorithm, InnetOptions};
 use sensor_workload::{query1, query2, WorkloadData};

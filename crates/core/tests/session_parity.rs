@@ -1,0 +1,207 @@
+//! Parity proof for the `Session` redesign: the unified [`Outcome`] and
+//! its `From` conversions reproduce — metric for metric, bit for bit —
+//! what the deprecated `Scenario::run` / `QuerySet::run` /
+//! `Run::execute_with_plan` harnesses report. Every metric the golden
+//! snapshots read is compared here, so `Outcome -> RunStats` and
+//! `Outcome -> MultiRunStats` cannot silently drop or distort one.
+#![allow(deprecated)] // the whole point is to compare against the shims
+
+use aspen_join::prelude::*;
+use aspen_join::{Algorithm, InnetOptions};
+use sensor_workload::{query0, query1, query2, WorkloadData};
+
+const RATES: Rates = Rates {
+    s_den: 2,
+    t_den: 2,
+    st_den: 5,
+};
+
+fn scenario(seed: u64, algo: Algorithm, opts: InnetOptions) -> Scenario {
+    let topo = sensor_net::random_with_degree(60, 7.0, seed);
+    let data = WorkloadData::new(&topo, Schedule::Uniform(RATES), seed);
+    let mut sim = SimConfig::default().with_seed(seed);
+    if opts.path_collapse {
+        sim = sim.with_snooping(true);
+    }
+    Scenario {
+        topo,
+        data,
+        spec: query1(3),
+        cfg: AlgoConfig::new(algo, Sigma::from_rates(RATES)).with_innet_options(opts),
+        sim,
+        num_trees: 3,
+    }
+}
+
+/// Outcome -> RunStats round-trips every single-query metric the sweep
+/// goldens read, under loss and for several algorithm families.
+#[test]
+fn outcome_to_run_stats_round_trips_every_metric() {
+    for (seed, algo, opts) in [
+        (5, Algorithm::Naive, InnetOptions::PLAIN),
+        (6, Algorithm::Innet, InnetOptions::CMG),
+        (7, Algorithm::Ght, InnetOptions::PLAIN),
+    ] {
+        let sc = scenario(seed, algo, opts);
+        let legacy = sc.run(20);
+        let mut session = sc.session();
+        session.step(20);
+        let out = session.report();
+        let converted = RunStats::from(out.clone());
+
+        // The phase metrics are `Eq`: compare them outright — this covers
+        // total/base/max-load bytes and msgs, send failures, queue drops.
+        assert_eq!(converted.initiation, legacy.initiation, "{algo:?} init");
+        assert_eq!(converted.execution, legacy.execution, "{algo:?} exec");
+        assert_eq!(converted.label, legacy.label);
+        assert_eq!(converted.results, legacy.results);
+        assert_eq!(converted.avg_delay_tx, legacy.avg_delay_tx, "bitwise");
+        assert_eq!(converted.initiation_cycles, legacy.initiation_cycles);
+        assert_eq!(converted.base, legacy.base);
+        // Derived accessors agree too (these are what the sweep reads).
+        assert_eq!(
+            converted.total_traffic_bytes(),
+            legacy.total_traffic_bytes()
+        );
+        assert_eq!(converted.total_traffic_msgs(), legacy.total_traffic_msgs());
+        assert_eq!(converted.base_load_bytes(), legacy.base_load_bytes());
+        assert_eq!(converted.base_load_msgs(), legacy.base_load_msgs());
+        assert_eq!(
+            converted.max_node_load_bytes(),
+            legacy.max_node_load_bytes()
+        );
+        assert_eq!(converted.top_loads(15), legacy.top_loads(15));
+        // And the Outcome's own mirrors of the same accessors.
+        assert_eq!(out.total_traffic_bytes(), legacy.total_traffic_bytes());
+        assert_eq!(out.base_load_bytes(), legacy.base_load_bytes());
+        assert_eq!(out.results_total(), legacy.results);
+        assert_eq!(out.avg_delay_tx(), legacy.avg_delay_tx);
+    }
+}
+
+/// Outcome -> MultiRunStats round-trips every multi-query metric the
+/// multiq goldens read: per-query rows, aggregate loads, the shared
+/// aggregation flow and expired-frame count.
+#[test]
+fn outcome_to_multi_run_stats_round_trips_every_metric() {
+    for (seed, sharing) in [(11, Sharing::Independent), (12, Sharing::SharedTree)] {
+        let topo = sensor_net::random_with_degree(60, 7.0, seed);
+        let data = WorkloadData::new(&topo, Schedule::Uniform(RATES), seed);
+        let mk_set = || QuerySet {
+            topo: topo.clone(),
+            data: data.clone(),
+            queries: (0..3)
+                .map(|i| QueryInstance {
+                    spec: if i % 2 == 0 { query1(3) } else { query2(1) },
+                    cfg: AlgoConfig::new(Algorithm::Innet, Sigma::from_rates(RATES))
+                        .with_innet_options(InnetOptions::CM),
+                    lifecycle: if i == 2 {
+                        Lifecycle::arriving(4)
+                    } else {
+                        Lifecycle::STATIC
+                    },
+                })
+                .collect(),
+            sim: SimConfig::default().with_seed(seed).with_fair_mac(true),
+            num_trees: 3,
+            sharing,
+        };
+        let legacy = mk_set().run(16);
+        let mut session = mk_set().session();
+        session.step(16);
+        let converted = MultiRunStats::from(session.report());
+
+        assert_eq!(converted.initiation, legacy.initiation);
+        assert_eq!(converted.execution, legacy.execution);
+        assert_eq!(converted.shared_flow, legacy.shared_flow);
+        assert_eq!(converted.base, legacy.base);
+        assert_eq!(converted.expired_frames, legacy.expired_frames);
+        assert_eq!(converted.per_query.len(), legacy.per_query.len());
+        for (c, l) in converted.per_query.iter().zip(&legacy.per_query) {
+            assert_eq!(c.label, l.label);
+            assert_eq!(c.name, l.name);
+            assert_eq!(c.arrival, l.arrival);
+            assert_eq!(c.departure, l.departure);
+            assert_eq!(c.results, l.results);
+            assert_eq!(c.avg_delay_tx, l.avg_delay_tx, "bitwise");
+            assert_eq!(c.flow, l.flow);
+        }
+        assert_eq!(converted.results_total(), legacy.results_total());
+        assert_eq!(converted.avg_delay_tx(), legacy.avg_delay_tx(), "bitwise");
+        assert_eq!(
+            converted.total_traffic_bytes(),
+            legacy.total_traffic_bytes()
+        );
+        assert_eq!(converted.total_traffic_msgs(), legacy.total_traffic_msgs());
+        assert_eq!(converted.base_load_bytes(), legacy.base_load_bytes());
+        assert_eq!(converted.base_load_msgs(), legacy.base_load_msgs());
+        assert_eq!(
+            converted.max_node_load_bytes(),
+            legacy.max_node_load_bytes()
+        );
+    }
+}
+
+/// Outcome -> DynamicsOutcome round-trips the recovery trace under a
+/// failure schedule (the metrics `experiments recovery` reads).
+#[test]
+fn outcome_to_dynamics_outcome_round_trips_the_trace() {
+    let mk = || {
+        let topo = sensor_net::random_with_degree(60, 7.0, 31);
+        let data =
+            WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 31).with_pairs(6);
+        Scenario {
+            topo,
+            data,
+            spec: query0(3),
+            cfg: AlgoConfig::new(Algorithm::Innet, Sigma::new(1.0, 1.0, 0.2)),
+            sim: SimConfig::default().with_seed(31),
+            num_trees: 3,
+        }
+    };
+    let plan = DynamicsPlan::none()
+        .with_seed(99)
+        .kill_random(8, 2)
+        .mark(12);
+    let mut run = mk().build();
+    run.initiate();
+    let legacy = run.execute_with_plan(24, &plan);
+    let legacy_rec = run.recovery_totals();
+
+    let mut session = mk().session();
+    session.set_plan(plan);
+    session.step(24);
+    let out = session.report();
+    let converted = DynamicsOutcome::from(out.clone());
+
+    assert_eq!(converted.killed, legacy.killed);
+    assert_eq!(converted.queued_msgs_lost, legacy.queued_msgs_lost);
+    assert_eq!(converted.per_cycle_tx_bytes, legacy.per_cycle_tx_bytes);
+    assert_eq!(converted.results_pre_event, legacy.results_pre_event);
+    assert_eq!(converted.results_post_event, legacy.results_post_event);
+    assert_eq!(converted.reconvergence_cycles, legacy.reconvergence_cycles);
+    assert_eq!(out.recovery, legacy_rec);
+    assert!(!out.killed.is_empty(), "the kills must actually fire");
+}
+
+/// The deprecated shims and the session agree even when stepping is
+/// chunked: step(a); step(b) == step(a + b).
+#[test]
+fn chunked_stepping_matches_one_shot() {
+    let sc = scenario(17, Algorithm::Innet, InnetOptions::CM);
+    let one_shot = {
+        let mut s = sc.session();
+        s.step(18);
+        s.report()
+    };
+    let chunked = {
+        let mut s = sc.session();
+        s.step(5);
+        s.step(13);
+        s.report()
+    };
+    // Chunking must not drain between chunks: identical traffic + results.
+    assert_eq!(chunked.execution, one_shot.execution);
+    assert_eq!(chunked.results_total(), one_shot.results_total());
+    assert_eq!(chunked.per_cycle_tx_bytes, one_shot.per_cycle_tx_bytes);
+}

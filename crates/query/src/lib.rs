@@ -14,7 +14,7 @@
 //!    ones evaluated after routing.
 //!
 //! The 28-attribute sensor schema of Appendix B is in [`schema`]; tuples
-//! and deterministic evaluation in [`tuple`] and [`expr`].
+//! and deterministic evaluation in [`tuple`](mod@tuple) and [`expr`].
 
 pub mod classify;
 pub mod expr;

@@ -1,4 +1,4 @@
-//! Geographic Hash Tables over GPSR ([13]).
+//! Geographic Hash Tables over GPSR (\[13\]).
 //!
 //! GHT hashes a join key to a point in the deployment area; the node
 //! closest to that point is the key's *home node* where the grouped join
@@ -101,6 +101,9 @@ impl GpsrRouter {
             match perimeter {
                 None => {
                     // Greedy: strictly closer neighbor, nearest first.
+                    // `total_cmp` keeps this panic-free even for the NaN
+                    // distances a degenerate position table could produce
+                    // (`partial_cmp().unwrap()` would abort the route).
                     let next = topo
                         .neighbors(at)
                         .iter()
@@ -109,8 +112,7 @@ impl GpsrRouter {
                         .min_by(|&a, &b| {
                             topo.position(a)
                                 .dist(&dest)
-                                .partial_cmp(&topo.position(b).dist(&dest))
-                                .unwrap()
+                                .total_cmp(&topo.position(b).dist(&dest))
                                 .then(a.cmp(&b))
                         });
                     match next {
@@ -189,7 +191,10 @@ impl GpsrRouter {
                     }
                     d
                 };
-                ang(a).partial_cmp(&ang(b)).unwrap().then(a.cmp(&b))
+                // Total order: sweep angles are finite by construction
+                // (nodes never share a position with `at`), but routing
+                // must not be able to panic on a malformed deployment.
+                ang(a).total_cmp(&ang(b)).then(a.cmp(&b))
             })
     }
 }

@@ -3,14 +3,14 @@
 //! Four substrates from the paper:
 //!
 //! 1. **Routing trees** ([`tree`]) — the standard construction of TinyDB
-//!    [10]: BFS from a root, every node knows parent, children and depth.
+//!    \[10\]: BFS from a root, every node knows parent, children and depth.
 //! 2. **The multi-tree substrate** ([`substrate`], [`search`]) — the
-//!    paper's own substrate [11]: several overlapping trees with
+//!    paper's own substrate \[11\]: several overlapping trees with
 //!    well-separated roots, each carrying *semantic routing tables* (per
 //!    child, per indexed attribute summaries; see `sensor-summaries`) that
 //!    let content-addressed searches prune subtrees.
 //! 3. **GHT/GPSR** ([`ght`]) — geographic hashing to a home node plus
-//!    greedy/perimeter geographic forwarding [13].
+//!    greedy/perimeter geographic forwarding \[13\].
 //! 4. **DHT** ([`dht`]) — a Chord-style hash-space overlay for 802.11 mesh
 //!    networks (Appendix F), where each overlay hop expands to an underlay
 //!    path.

@@ -1,4 +1,4 @@
-//! Limited-exploration path repair (§7, mechanism from [11]).
+//! Limited-exploration path repair (§7, mechanism from \[11\]).
 //!
 //! When a node on an established producer→join-node path fails, the
 //! upstream neighbor attempts a *local* bypass: a one- or two-hop bridge

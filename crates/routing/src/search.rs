@@ -55,6 +55,10 @@ pub struct SearchResult {
 /// `descending` reflects the message's current phase; the returned flag is
 /// the phase for each next hop. `from_child` must be set when the message
 /// arrived ascending from that child (so it is not re-explored).
+///
+/// Invariant: `tree < sub.num_trees()` — tree ids come off the wire from
+/// messages this substrate itself originated, so an out-of-range id is a
+/// protocol bug and panics via the index rather than routing garbage.
 pub fn next_hops(
     sub: &MultiTreeSubstrate,
     tree: usize,

@@ -1,4 +1,4 @@
-//! The multi-tree routing substrate of [11]: several overlapping routing
+//! The multi-tree routing substrate of \[11\]: several overlapping routing
 //! trees with well-separated roots, each carrying semantic routing tables.
 
 use crate::table::{TableEntry, TreeTables};

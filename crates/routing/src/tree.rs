@@ -1,4 +1,4 @@
-//! Routing-tree construction (the standard algorithm of TinyDB [10]).
+//! Routing-tree construction (the standard algorithm of TinyDB \[10\]).
 
 use sensor_net::{NodeId, Topology};
 use std::collections::VecDeque;

@@ -77,6 +77,9 @@ pub struct FireOutcome {
     /// Messages discarded from the victims' outgoing queues — traffic
     /// that was lost in transit to the failures.
     pub queued_msgs_dropped: u64,
+    /// Link-loss probabilities applied this cycle, in plan order (the
+    /// session layer's observers turn these into `LossShifted` events).
+    pub loss_shifts: Vec<f64>,
 }
 
 impl DynamicsPlan {
@@ -168,6 +171,13 @@ impl DynamicsPlan {
         self.event_cycles().filter(|&c| c < limit).max()
     }
 
+    /// Whether anything (fault, loss shift, or mark) is scheduled at
+    /// `cycle`. The session layer uses this to track fired-event bounds
+    /// online instead of needing the total run length up front.
+    pub fn has_event_at(&self, cycle: u32) -> bool {
+        self.event_cycles().any(|c| c == cycle)
+    }
+
     fn event_cycles(&self) -> impl Iterator<Item = u32> + '_ {
         self.faults
             .iter()
@@ -190,6 +200,7 @@ impl DynamicsPlan {
         let mut out = FireOutcome::default();
         for ls in self.loss_shifts.iter().filter(|l| l.at_cycle == cycle) {
             engine.set_loss_prob(ls.loss_prob);
+            out.loss_shifts.push(ls.loss_prob);
         }
         let base = engine.topology().base();
         for (i, ev) in self

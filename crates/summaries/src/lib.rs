@@ -1,6 +1,6 @@
 //! Index summary structures for semantic routing tables.
 //!
-//! The multi-tree routing substrate of [11] keeps, at every node and for
+//! The multi-tree routing substrate of \[11\] keeps, at every node and for
 //! every indexed static attribute, a compact summary of the values present
 //! in each child subtree. Routing a content-addressed search message then
 //! only descends into subtrees whose summary *may* contain a match.

@@ -1,7 +1,8 @@
 //! Query R from the paper's introduction: an instrumented data center
 //! where adjacent energy/temperature sensors must be paired up when their
 //! readings diverge — region-based join with adaptive learning and a
-//! mid-run node failure.
+//! mid-run node failure, driven through the `Session` layer with a
+//! streaming [`Observer`] watching migrations and deaths as they happen.
 //!
 //! ```sh
 //! cargo run --release --example datacenter_monitoring
@@ -10,6 +11,28 @@
 use aspen::join::prelude::*;
 use aspen::join::Algorithm;
 use aspen::workload::{query3, WorkloadData};
+
+/// Prints the interesting session events as they happen: the §6 learner
+/// migrating joins into the network, and the §7 recovery reactions after
+/// the crash.
+struct OpsConsole;
+
+impl Observer for OpsConsole {
+    fn on_event(&mut self, ev: &SessionEvent) {
+        match ev {
+            SessionEvent::PairsMigrated { cycle, count } => {
+                println!("  [cycle {cycle:3}] {count} join pair(s) migrated to better nodes");
+            }
+            SessionEvent::PathsRepaired { cycle, count } => {
+                println!("  [cycle {cycle:3}] {count} broken path(s) repaired locally");
+            }
+            SessionEvent::NodeKilled { cycle, node } => {
+                println!("  [cycle {cycle:3}] node {node} went down");
+            }
+            _ => {}
+        }
+    }
+}
 
 fn main() {
     // The Intel Research-Berkeley lab layout stands in for the data
@@ -30,49 +53,43 @@ fn main() {
     // The operator has no idea what the selectivities are: start assuming
     // everything joins (sigma = 100%), which places all joins at the base,
     // and let the learning optimizer migrate them into the network (§6).
-    let scenario = Scenario {
-        topo: topo.clone(),
-        data,
-        spec,
-        cfg: AlgoConfig::new(Algorithm::Innet, Sigma::new(1.0, 1.0, 1.0))
-            .with_innet_options(InnetOptions::CM.with_learning()),
-        sim: SimConfig::default(),
-        num_trees: 3,
-    };
-
-    let mut run = scenario.build();
-    run.initiate();
-    println!(
-        "initiation done: {:.1} KB of exploration traffic",
-        run.stats().initiation.total_tx_bytes() as f64 / 1024.0
-    );
+    let mut session = Session::builder(topo, data)
+        .sim(SimConfig::default())
+        .query(
+            spec,
+            AlgoConfig::new(Algorithm::Innet, Sigma::new(1.0, 1.0, 1.0))
+                .with_innet_options(InnetOptions::CM.with_learning()),
+        )
+        .observer(Box::new(OpsConsole))
+        .build();
 
     // Run 100 cycles, then lose the busiest join node (an overheated
     // server taking its wireless meter down with it).
-    for c in 0..100 {
-        run.engine.sampling_cycle(c);
-    }
-    let mid = run.stats();
+    session.step(100);
+    let mid = session.report();
     println!(
-        "after 100 cycles: {} events delivered, {:.1} KB execution traffic",
-        mid.results,
-        mid.execution.total_tx_bytes() as f64 / 1024.0
+        "after 100 cycles: {} events delivered, {:.1} KB execution traffic \
+         ({:.1} KB of initiation)",
+        mid.results_total(),
+        mid.execution.total_tx_bytes() as f64 / 1024.0,
+        mid.initiation.total_tx_bytes() as f64 / 1024.0,
     );
 
-    if let Some(victim) = run.busiest_join_node() {
+    if let Some(victim) = session.busiest_join_node() {
         println!("killing join node {victim} (simulated server crash)...");
-        run.shared.mark_dead(victim);
-        run.engine.kill(victim);
+        session.kill(victim);
     }
-    for c in 100..200 {
-        run.engine.sampling_cycle(c);
-    }
-    run.engine.run_until_quiet(5_000);
+    session.step(100);
 
-    let end = run.stats();
+    let end = session.report();
     println!(
         "after 200 cycles: {} events delivered (computation survived the failure), mean delay {:.1} tx cycles",
-        end.results, end.avg_delay_tx
+        end.results_total(),
+        end.avg_delay_tx()
+    );
+    println!(
+        "recovery: {} repair attempts, {} tuples re-routed, {} tuples lost",
+        end.recovery.repair_attempts, end.recovery.tuples_rerouted, end.recovery.tuples_lost,
     );
     println!(
         "total traffic: {:.1} KB; base-station load: {:.1} KB; max node load: {:.1} KB",

@@ -38,23 +38,23 @@ fn main() {
         if opts.path_collapse {
             sim = sim.with_snooping(true);
         }
-        let scenario = Scenario {
-            topo: topo.clone(),
-            data,
-            spec: spec.clone(),
-            cfg: AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.1)).with_innet_options(opts),
-            sim,
-            num_trees: 3,
-        };
-        let st = scenario.run(150);
+        let mut session = Session::builder(topo.clone(), data)
+            .sim(sim)
+            .query(
+                spec.clone(),
+                AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.1)).with_innet_options(opts),
+            )
+            .build();
+        session.step(150);
+        let st = session.report();
         println!(
             "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>9.1} {:>8}",
-            st.label,
+            st.per_query[0].label,
             st.initiation.total_tx_bytes() as f64 / 1024.0,
             st.execution.total_tx_bytes() as f64 / 1024.0,
             st.total_traffic_bytes() as f64 / 1024.0,
             st.base_load_bytes() as f64 / 1024.0,
-            st.results
+            st.results_total()
         );
     }
     println!("\nFor perimeter joins the paper finds Innet best across the board\n(Fig 3); Yang+07 suffers at the base, GHT from locality-blind homes.");

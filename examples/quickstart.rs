@@ -40,24 +40,26 @@ fn main() {
         ),
     ] {
         let data = WorkloadData::new(&topo, Schedule::Uniform(rates), 42);
-        let scenario = Scenario {
-            topo: topo.clone(),
-            data,
-            spec: spec.clone(),
-            cfg: AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.2)).with_innet_options(opts),
-            sim: SimConfig::default(),
-            num_trees: 3,
-        };
-        let stats = scenario.run(100);
+        // One Session per strategy: admit the query, step 100 sampling
+        // cycles, read the unified Outcome.
+        let mut session = Session::builder(topo.clone(), data)
+            .sim(SimConfig::default())
+            .query(
+                spec.clone(),
+                AlgoConfig::new(algo, Sigma::new(0.5, 0.5, 0.2)).with_innet_options(opts),
+            )
+            .build();
+        session.step(100);
+        let out = session.report();
         println!(
             "\n{} — {}\n  initiation: {:6.1} KB\n  execution:  {:6.1} KB over 100 cycles\n  base load:  {:6.1} KB\n  results:    {} join tuples, mean delay {:.1} tx cycles",
-            stats.label,
+            out.per_query[0].label,
             blurb,
-            stats.initiation.total_tx_bytes() as f64 / 1024.0,
-            stats.execution.total_tx_bytes() as f64 / 1024.0,
-            stats.base_load_bytes() as f64 / 1024.0,
-            stats.results,
-            stats.avg_delay_tx,
+            out.initiation.total_tx_bytes() as f64 / 1024.0,
+            out.execution.total_tx_bytes() as f64 / 1024.0,
+            out.base_load_bytes() as f64 / 1024.0,
+            out.results_total(),
+            out.avg_delay_tx(),
         );
     }
 }

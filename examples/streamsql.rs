@@ -1,5 +1,6 @@
 //! Pose a StreamSQL query (Appendix B dialect) against the simulated
-//! network: parse, inspect the compiled plan, execute.
+//! network: parse, inspect the compiled plan, execute through the
+//! `Session` layer.
 //!
 //! ```sh
 //! cargo run --release --example streamsql
@@ -40,20 +41,20 @@ fn main() {
     // send rates here (≈ 1/2 each); the optimizer is told as much.
     let topo = aspen::net::random_with_degree(100, 7.0, 4);
     let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(1, 1, 5)), 4);
-    let scenario = Scenario {
-        topo,
-        data,
-        spec,
-        cfg: AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2))
-            .with_innet_options(InnetOptions::CMG),
-        sim: SimConfig::default(),
-        num_trees: 3,
-    };
-    let stats = scenario.run(100);
+    let mut session = Session::builder(topo, data)
+        .sim(SimConfig::default())
+        .query(
+            spec,
+            AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2))
+                .with_innet_options(InnetOptions::CMG),
+        )
+        .build();
+    session.step(100);
+    let out = session.report();
     println!(
         "\nexecuted 100 sampling cycles with {}: {} results, {:.1} KB total traffic",
-        stats.label,
-        stats.results,
-        stats.total_traffic_bytes() as f64 / 1024.0
+        out.per_query[0].label,
+        out.results_total(),
+        out.total_traffic_bytes() as f64 / 1024.0
     );
 }

@@ -14,12 +14,16 @@
 //! - [`query`] — query model, CNF, static/dynamic predicate classification
 //! - [`workload`] — Table 1/2 workloads and the Intel-lab humidity model
 //! - [`join`] — the paper's contribution: cost-based, adaptive join
-//!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants),
-//!   plus the concurrent multi-query subsystem ([`join::multi`]): the
-//!   `QuerySet` scenario layer running N queries with per-query
-//!   lifecycle over one shared network, with independent vs shared-tree
-//!   frame delivery
-//! - [`bench`] — the experiment harness, including the declarative
+//!   optimization (Naive, Base, GHT, Yang+07, Innet and MPO variants).
+//!   Execution goes through the unified [`join::session`] layer: a
+//!   long-lived `Session` per network with online query
+//!   admission/retirement (`admit`/`retire`), `step`/`run_until` time
+//!   control, pluggable `Observer` telemetry (per-cycle views plus
+//!   admission/migration/death/loss-shift events) and one `Outcome`
+//!   report; the concurrent multi-query machinery ([`join::multi`] —
+//!   per-query lifecycle, independent vs shared-tree frame delivery)
+//!   is its tagged wire format
+//! - [`bench`](mod@bench) — the experiment harness, including the declarative
 //!   multi-seed scenario-sweep subsystem ([`bench::sweep`], built on the
 //!   engine-side fan-out in [`sim::sweep`]) with its `dynamics` grid
 //!   dimension, §7 recovery metrics (`experiments recovery`), the

@@ -52,16 +52,18 @@ fn every_facade_reexport_resolves() {
         7,
     );
 
-    // aspen::join — the optimizer, end to end at miniature scale.
-    let sc = Scenario {
-        topo,
-        data,
-        spec: aspen::workload::query1(2),
-        cfg: AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2)),
-        sim,
-        num_trees: 2,
-    };
-    let stats = sc.run(5);
+    // aspen::join — the optimizer, end to end at miniature scale,
+    // through the unified Session entry point.
+    let mut session = Session::builder(topo, data)
+        .sim(sim)
+        .trees(2)
+        .query(
+            aspen::workload::query1(2),
+            AlgoConfig::new(Algorithm::Innet, Sigma::new(0.5, 0.5, 0.2)),
+        )
+        .build();
+    session.step(5);
+    let stats = session.report();
     assert!(stats.total_traffic_bytes() > 0);
 
     // aspen::join cost model, directly.

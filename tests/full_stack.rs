@@ -2,6 +2,9 @@
 //! StreamSQL query, route it over the substrate, execute it with the
 //! optimizer, and check the moving parts against each other.
 
+// Deliberately exercises the deprecated `Scenario::run` shim so the
+// legacy entry point keeps compiling and behaving until removal.
+#![allow(deprecated)]
 use aspen::join::prelude::*;
 use aspen::join::Algorithm;
 use aspen::net::NodeId;
