@@ -387,17 +387,94 @@ impl<P: Protocol> Engine<P> {
             } = self;
             let n = topo.len();
             let snoop = cfg.snooping && P::WANTS_SNOOP;
-            // Per-flow service counts for fair-MAC arbitration, reused
-            // (and cleared) per node.
-            let mut served: Vec<u64> = Vec::new();
+            // Fair-MAC scratch, reused (and cleared) across nodes. The
+            // cycle's service schedule for a node is the first `budget`
+            // queue entries ordered by (within-flow ordinal, position):
+            // serving the earliest message of the least-served flow each
+            // slot is equivalent to that sort, because after `k` rounds
+            // every flow's next candidate is its `k`-th queued message.
+            // One capped scan per cycle replaces the per-slot O(queue)
+            // scan + O(queue) `VecDeque::remove(idx)` of the old picker.
+            let mut seen: Vec<u32> = Vec::new(); // per-flow ordinal counters
+            let mut touched: Vec<usize> = Vec::new(); // flows to clear in `seen`
+            let mut sched: Vec<(u32, u32, usize)> = Vec::new(); // (ordinal, pos, flow)
+            let mut order: Vec<(u32, usize)> = Vec::new(); // (pos, rank)
+            let mut picked: Vec<Option<(Outgoing<P::Msg>, usize)>> = Vec::new();
             for i in 0..n {
                 if !alive[i] {
                     continue;
                 }
                 let sender = NodeId(i as u16);
                 let mut budget = cfg.tx_per_cycle;
-                if cfg.fair_mac {
-                    served.clear();
+                // Fair MAC: each slot goes to the queued message of the
+                // least-served flow this cycle (FIFO within a flow, and
+                // plain FIFO when every message is the same flow).
+                let use_fair = cfg.fair_mac && outboxes[i].len() > 1 && budget > 0;
+                if use_fair {
+                    let cap = budget;
+                    sched.clear();
+                    for (pos, o) in outboxes[i].iter().enumerate() {
+                        let f = P::flow_of(&o.msg);
+                        if f >= seen.len() {
+                            seen.resize(f + 1, 0);
+                        }
+                        let k = seen[f];
+                        if k as usize >= cap {
+                            // This flow already holds every slot it could
+                            // win; read-only skip keeps the long-tail scan
+                            // store-free.
+                            continue;
+                        }
+                        seen[f] = k + 1;
+                        if k == 0 {
+                            touched.push(f);
+                        }
+                        let key = (k, pos as u32);
+                        if sched.len() == cap {
+                            let &(wo, wp, _) = sched.last().expect("cap > 0");
+                            if key >= (wo, wp) {
+                                continue;
+                            }
+                            sched.pop();
+                            let at = sched.partition_point(|&(o2, p2, _)| (o2, p2) < key);
+                            sched.insert(at, (key.0, key.1, f));
+                        } else if sched.last().is_none_or(|&(o2, p2, _)| (o2, p2) <= key) {
+                            // Keys arrive position-ascending, so the fill
+                            // phase is almost always a plain append.
+                            sched.push((key.0, key.1, f));
+                        } else {
+                            let at = sched.partition_point(|&(o2, p2, _)| (o2, p2) < key);
+                            sched.insert(at, (key.0, key.1, f));
+                        }
+                        // Every slot is claimed by a never-served flow:
+                        // no later entry can displace one (same ordinal,
+                        // higher position), so stop scanning.
+                        if sched.len() == cap && sched[cap - 1].0 == 0 {
+                            break;
+                        }
+                    }
+                    for f in touched.drain(..) {
+                        seen[f] = 0;
+                    }
+                    if sched.iter().enumerate().all(|(r, s)| s.1 as usize == r) {
+                        // Common case: the schedule serves the queue head
+                        // `k` times (distinct flows up front, or one flow
+                        // throughout) — serve lazily via pop_front.
+                        picked.clear();
+                    } else {
+                        // Pull scheduled entries out highest-position-first
+                        // so earlier indices stay valid, then serve them in
+                        // schedule order.
+                        order.clear();
+                        order.extend(sched.iter().enumerate().map(|(rank, &(_, p, _))| (p, rank)));
+                        order.sort_unstable_by_key(|&(pos, _)| std::cmp::Reverse(pos));
+                        picked.clear();
+                        picked.resize_with(sched.len(), || None);
+                        for &(pos, rank) in &order {
+                            let out = outboxes[i].remove(pos as usize).expect("scheduled entry");
+                            picked[rank] = Some((out, sched[rank].2));
+                        }
+                    }
                 }
                 // Lost unicasts awaiting retransmission. They rejoin the
                 // queue head only after the node's loop, so a lossy link
@@ -405,26 +482,30 @@ impl<P: Protocol> Engine<P> {
                 // link-ACK model: the retry happens in a *later* cycle) and
                 // the remaining budget serves the messages behind it.
                 let mut deferred: Vec<Outgoing<P::Msg>> = Vec::new();
+                let mut rank = 0usize;
                 while budget > 0 {
-                    // Fair MAC: each slot goes to the queued message of the
-                    // least-served flow this cycle (FIFO within a flow, and
-                    // plain FIFO when every message is the same flow).
-                    let idx = if cfg.fair_mac && outboxes[i].len() > 1 {
-                        fair_pick::<P>(&outboxes[i], &served)
+                    let (mut out, flow) = if use_fair {
+                        if rank == sched.len() {
+                            break;
+                        }
+                        let flow = sched[rank].2;
+                        rank += 1;
+                        if picked.is_empty() {
+                            let out = outboxes[i].pop_front().expect("scheduled entry");
+                            (out, flow)
+                        } else {
+                            picked[rank - 1].take().expect("unserved schedule slot")
+                        }
                     } else {
-                        0
-                    };
-                    let Some(mut out) = outboxes[i].remove(idx) else {
-                        break;
+                        match outboxes[i].pop_front() {
+                            Some(out) => {
+                                let f = P::flow_of(&out.msg);
+                                (out, f)
+                            }
+                            None => break,
+                        }
                     };
                     budget -= 1;
-                    let flow = P::flow_of(&out.msg);
-                    if cfg.fair_mac {
-                        if flow >= served.len() {
-                            served.resize(flow + 1, 0);
-                        }
-                        served[flow] += 1;
-                    }
                     // Charge the attempt.
                     {
                         let m = metrics.node_mut(sender);
@@ -618,25 +699,6 @@ impl<P: Protocol> Engine<P> {
             }
         }
     }
-}
-
-/// Queue index of the message belonging to the least-served flow, earliest
-/// position first (ties on service count go to FIFO order, so single-flow
-/// queues degrade to plain FIFO).
-fn fair_pick<P: Protocol>(q: &VecDeque<Outgoing<P::Msg>>, served: &[u64]) -> usize {
-    let mut best = 0usize;
-    let mut best_served = u64::MAX;
-    for (pos, o) in q.iter().enumerate() {
-        let s = served.get(P::flow_of(&o.msg)).copied().unwrap_or(0);
-        if s < best_served {
-            best_served = s;
-            best = pos;
-            if s == 0 {
-                break; // the earliest never-served flow wins outright
-            }
-        }
-    }
-    best
 }
 
 #[cfg(test)]
