@@ -201,10 +201,13 @@ const SWEEP_USAGE: &str = "usage: experiments <sweep|recovery> [options]
   --seeds N            replicate seeds per cell  (default 3)
   --cycles N           execution sampling cycles (default 60)
   --trees N            routing trees             (default 3)
-  --threads N          OS threads, 0 = all cores (default 0)
+  --threads N          OS threads fanning runs out, 0 = all cores (default 0)
+  --run-threads N      transmit-phase workers inside each run, 0 = all cores
+                       (default 1; outcomes are identical for any value)
   --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
                        (default target/sweep/sweep or target/recovery/recovery)
-  --check-determinism  re-run single-threaded and verify identical output";
+  --check-determinism  re-run single-threaded and at --run-threads 1|2|8,
+                       verifying byte-identical output";
 
 fn sweep_bad(msg: &str) -> ! {
     eprintln!("sweep: {msg}\n{SWEEP_USAGE}");
@@ -353,6 +356,12 @@ fn sweep_cmd(args: &[String], mode: SweepMode) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| sweep_bad("bad --threads"));
             }
+            "--run-threads" => {
+                grid.run_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| sweep_bad("bad --run-threads"));
+            }
             "--out" => {
                 out_prefix = it.next().cloned().unwrap_or_else(|| sweep_bad("bad --out"));
             }
@@ -392,7 +401,16 @@ fn sweep_cmd(args: &[String], mode: SweepMode) {
             rerun.to_json(),
             "{cmd} output must not depend on thread count"
         );
-        eprintln!("determinism check: multi-threaded == single-threaded ✓");
+        for run_threads in [1usize, 2, 8] {
+            let mut intra = grid.clone();
+            intra.run_threads = run_threads;
+            assert_eq!(
+                report.to_json(),
+                intra.run().to_json(),
+                "{cmd} output must not depend on intra-run threads ({run_threads})"
+            );
+        }
+        eprintln!("determinism check: fan-out threads and intra-run threads 1|2|8 all identical ✓");
     }
     if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
         if !dir.as_os_str().is_empty() {
@@ -422,10 +440,13 @@ const MULTIQ_USAGE: &str = "usage: experiments multiq [options]
   --seeds N            replicate seeds per mode       (default 3)
   --cycles N           execution sampling cycles      (default 40)
   --trees N            routing trees                  (default 3)
-  --threads N          OS threads, 0 = all cores      (default 0)
+  --threads N          OS threads fanning runs out, 0 = all cores (default 0)
+  --run-threads N      transmit-phase workers inside each run, 0 = all cores
+                       (default 1; outcomes are identical for any value)
   --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
                        (default target/multiq/multiq)
-  --check-determinism  re-run single-threaded and verify identical output";
+  --check-determinism  re-run single-threaded and at --run-threads 1|2|8,
+                       verifying byte-identical output";
 
 fn multiq_bad(msg: &str) -> ! {
     eprintln!("multiq: {msg}\n{MULTIQ_USAGE}");
@@ -506,6 +527,12 @@ fn multiq_cmd(args: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| multiq_bad("bad --threads"));
             }
+            "--run-threads" => {
+                cfg.run_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| multiq_bad("bad --run-threads"));
+            }
             "--out" => {
                 out_prefix = it
                     .next()
@@ -537,7 +564,16 @@ fn multiq_cmd(args: &[String]) {
             rerun.to_json(),
             "multiq output must not depend on thread count"
         );
-        eprintln!("determinism check: multi-threaded == single-threaded ✓");
+        for run_threads in [1usize, 2, 8] {
+            let mut intra = cfg.clone();
+            intra.run_threads = run_threads;
+            assert_eq!(
+                report.to_json(),
+                intra.run().to_json(),
+                "multiq output must not depend on intra-run threads ({run_threads})"
+            );
+        }
+        eprintln!("determinism check: fan-out threads and intra-run threads 1|2|8 all identical ✓");
     }
     if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
         if !dir.as_os_str().is_empty() {

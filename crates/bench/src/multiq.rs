@@ -45,6 +45,9 @@ pub struct MultiqConfig {
     pub num_trees: usize,
     /// OS threads; 0 = all cores. Output is identical for any value.
     pub threads: usize,
+    /// Transmit-phase workers *inside* each run ([`SimConfig::threads`];
+    /// 0 = all cores). Outcome-neutral like `threads`.
+    pub run_threads: usize,
 }
 
 impl Default for MultiqConfig {
@@ -64,6 +67,7 @@ impl Default for MultiqConfig {
             cycles: 40,
             num_trees: 3,
             threads: 0,
+            run_threads: 1,
         }
     }
 }
@@ -94,7 +98,10 @@ impl MultiqConfig {
         let data = WorkloadData::new(&topo, Schedule::Uniform(self.rates), seed);
         let cfg = AlgoConfig::new(self.algo.0, Sigma::from_rates(self.rates))
             .with_innet_options(self.algo.1);
-        let sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        let sim = SimConfig::default()
+            .with_loss(self.loss)
+            .with_seed(seed)
+            .with_threads(self.run_threads);
         let mut session = self
             .spec(sharing)
             .build_set(topo, data, cfg, sim, self.num_trees)
@@ -460,16 +467,25 @@ mod tests {
 
     #[test]
     fn multiq_report_thread_count_invariant() {
-        let cfg = |threads| MultiqConfig {
+        let cfg = |threads, run_threads| MultiqConfig {
             nodes: 40,
             seeds: seed_range(2),
             cycles: 6,
             threads,
+            run_threads,
             ..MultiqConfig::quick()
         };
-        let a = cfg(1).run();
-        let b = cfg(4).run();
-        assert_eq!(a.to_json(), b.to_json());
-        assert_eq!(a.to_csv(), b.to_csv());
+        let a = cfg(1, 1).run();
+        // Cross-replicate fan-out, intra-run chunking, and both at once
+        // must all reproduce the sequential report byte-for-byte.
+        for (threads, run_threads) in [(4, 1), (1, 4), (2, 3)] {
+            let b = cfg(threads, run_threads).run();
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "threads={threads} run_threads={run_threads}"
+            );
+            assert_eq!(a.to_csv(), b.to_csv());
+        }
     }
 }

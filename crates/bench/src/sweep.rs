@@ -439,24 +439,42 @@ impl CellSpec {
     /// [`SWEEP_METRICS`] order. Seed covers topology, workload, link RNG
     /// and dynamics-plan victim draws, exactly as the figure harness seeds
     /// its scenarios.
-    pub fn run_one(&self, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
+    /// `run_threads` is the *intra-run* transmit-phase worker count
+    /// ([`SimConfig::threads`]); any value yields the same row.
+    pub fn run_one(
+        &self,
+        seed: u64,
+        cycles: u32,
+        num_trees: usize,
+        run_threads: usize,
+    ) -> [f64; 17] {
         match self.query {
-            WorkloadSel::Single(q) => self.run_single(q, seed, cycles, num_trees),
-            WorkloadSel::Multi(m) => self.run_multi(m, seed, cycles, num_trees),
+            WorkloadSel::Single(q) => self.run_single(q, seed, cycles, num_trees, run_threads),
+            WorkloadSel::Multi(m) => self.run_multi(m, seed, cycles, num_trees, run_threads),
         }
     }
 
     /// The single-query path runs on the session's `bare_wire` mode — the
     /// paper's exact frame format, so the sweep numbers are byte-identical
     /// to the pre-session harness.
-    fn run_single(&self, query: QueryId, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
+    fn run_single(
+        &self,
+        query: QueryId,
+        seed: u64,
+        cycles: u32,
+        num_trees: usize,
+        run_threads: usize,
+    ) -> [f64; 17] {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
         let plan = self.dynamics.plan(seed, &topo);
         let mut data = WorkloadData::new(&topo, self.dynamics.schedule(self.rates), seed);
         if query.n_pairs() > 0 {
             data = data.with_pairs(query.n_pairs());
         }
-        let mut sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        let mut sim = SimConfig::default()
+            .with_loss(self.loss)
+            .with_seed(seed)
+            .with_threads(run_threads);
         if self.opts.path_collapse {
             sim = sim.with_snooping(true);
         }
@@ -484,11 +502,21 @@ impl CellSpec {
     /// single-run re-convergence split does not generalize to overlapping
     /// per-query lifecycles, so the last three [`SWEEP_METRICS`] report
     /// zero for multi-query cells.
-    fn run_multi(&self, m: MultiSpec, seed: u64, cycles: u32, num_trees: usize) -> [f64; 17] {
+    fn run_multi(
+        &self,
+        m: MultiSpec,
+        seed: u64,
+        cycles: u32,
+        num_trees: usize,
+        run_threads: usize,
+    ) -> [f64; 17] {
         let topo = TopologySpec::new(self.density, self.nodes, seed).build();
         let plan = self.dynamics.plan(seed, &topo);
         let data = WorkloadData::new(&topo, self.dynamics.schedule(self.rates), seed);
-        let mut sim = SimConfig::default().with_loss(self.loss).with_seed(seed);
+        let mut sim = SimConfig::default()
+            .with_loss(self.loss)
+            .with_seed(seed)
+            .with_threads(run_threads);
         if self.opts.path_collapse {
             sim = sim.with_snooping(true);
         }
@@ -548,6 +576,12 @@ pub struct SweepGrid {
     /// OS threads to fan runs across; 0 = all available cores. The report
     /// is identical for any value (determinism contract).
     pub threads: usize,
+    /// Transmit-phase workers *inside* each run ([`SimConfig::threads`];
+    /// 0 = all cores). Also outcome-neutral — the engine's intra-run
+    /// determinism contract — and compounding with `threads`, so the
+    /// default stays 1: cross-replicate fan-out already saturates cores
+    /// on multi-run grids.
+    pub run_threads: usize,
 }
 
 impl Default for SweepGrid {
@@ -571,6 +605,7 @@ impl Default for SweepGrid {
             cycles: 60,
             num_trees: 3,
             threads: 0,
+            run_threads: 1,
         }
     }
 }
@@ -667,7 +702,7 @@ impl SweepGrid {
             .flat_map(|(ci, _)| self.seeds.iter().map(move |&s| (ci, s)))
             .collect();
         let samples: Vec<[f64; 17]> = parallel_map(&jobs, self.threads, |&(ci, seed)| {
-            cells[ci].run_one(seed, self.cycles, self.num_trees)
+            cells[ci].run_one(seed, self.cycles, self.num_trees, self.run_threads)
         });
         let per_cell = self.seeds.len();
         let results = cells

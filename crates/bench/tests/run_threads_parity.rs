@@ -1,0 +1,79 @@
+//! Intra-run thread-count parity: the engine's chunk-parallel transmit
+//! phase must make `Outcome`s — and therefore whole reports — byte-
+//! identical for any [`sensor_sim::SimConfig::threads`] value. This
+//! suite pins that contract on the exact quick grids CI drives
+//! (`experiments sweep|recovery|multiq --quick`), across {1, 2, 8}
+//! workers, in both rendered formats.
+
+use aspen_bench::multiq::MultiqConfig;
+use aspen_bench::sweep::SweepGrid;
+
+const WORKERS: [usize; 2] = [2, 8];
+
+#[test]
+fn sweep_quick_grid_identical_across_run_threads() {
+    let at = |run_threads: usize| SweepGrid {
+        run_threads,
+        ..SweepGrid::quick()
+    };
+    let baseline = at(1).run();
+    assert!(
+        baseline
+            .cells
+            .iter()
+            .all(|c| c.stat("total_traffic_bytes").mean > 0.0),
+        "parity baseline must carry real traffic"
+    );
+    for w in WORKERS {
+        let report = at(w).run();
+        assert_eq!(baseline.to_json(), report.to_json(), "run_threads={w}");
+        assert_eq!(baseline.to_csv(), report.to_csv(), "run_threads={w}");
+    }
+}
+
+#[test]
+fn recovery_quick_grid_identical_across_run_threads() {
+    let at = |run_threads: usize| SweepGrid {
+        run_threads,
+        ..SweepGrid::recovery_quick()
+    };
+    let baseline = at(1).run();
+    assert!(
+        baseline
+            .cells
+            .iter()
+            .any(|c| c.stat("repair_attempts").mean + c.stat("tuples_lost").mean > 0.0),
+        "parity baseline must exercise failure recovery"
+    );
+    for w in WORKERS {
+        let report = at(w).run();
+        assert_eq!(
+            baseline.to_json(),
+            report.to_json(),
+            "run_threads={w} (recovery)"
+        );
+        assert_eq!(
+            baseline.to_recovery_table().to_aligned_string(),
+            report.to_recovery_table().to_aligned_string(),
+            "run_threads={w} (recovery table)"
+        );
+    }
+}
+
+#[test]
+fn multiq_quick_identical_across_run_threads() {
+    let at = |run_threads: usize| MultiqConfig {
+        run_threads,
+        ..MultiqConfig::quick()
+    };
+    let baseline = at(1).run();
+    assert!(
+        baseline.cells.iter().all(|c| c.stat("results").mean > 0.0),
+        "parity baseline must deliver results in both sharing modes"
+    );
+    for w in WORKERS {
+        let report = at(w).run();
+        assert_eq!(baseline.to_json(), report.to_json(), "run_threads={w}");
+        assert_eq!(baseline.to_csv(), report.to_csv(), "run_threads={w}");
+    }
+}

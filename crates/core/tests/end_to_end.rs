@@ -1,10 +1,6 @@
 //! End-to-end algorithm tests: every join strategy against the oracle, on
 //! lossless networks where the expected result counts are predictable.
 
-// These tests deliberately drive the deprecated one-shot shims
-// (`Scenario::run`): they are the legacy-path coverage the session
-// parity suite compares against.
-#![allow(deprecated)]
 use aspen_join::prelude::*;
 use aspen_join::scenario::oracle_result_count;
 use sensor_net::NodeId;
@@ -12,6 +8,14 @@ use sensor_sim::SimConfig;
 use sensor_workload::{query0, query1, query2, query3, WorkloadData};
 
 const CYCLES: u32 = 40;
+
+/// Initiate, run `cycles` sampling cycles, and collect legacy-shape stats
+/// through the [`Session`] layer.
+fn run_stats(sc: &Scenario, cycles: u32) -> RunStats {
+    let mut s = sc.session();
+    s.step(cycles);
+    RunStats::from(s.report())
+}
 
 fn scenario(
     algo: Algorithm,
@@ -54,7 +58,7 @@ fn naive_matches_oracle() {
         Rates::new(2, 2, 5),
         3,
     );
-    let stats = sc.run(CYCLES);
+    let stats = run_stats(&sc, CYCLES);
     let oracle = oracle_result_count(&sc.topo, &sc.data, &sc.spec, CYCLES);
     assert_close_to_oracle(stats.results, oracle, "naive");
     // Naive has no initiation at all.
@@ -77,8 +81,8 @@ fn base_matches_oracle_with_cheaper_execution() {
         Rates::new(2, 2, 5),
         3,
     );
-    let ns = naive.run(CYCLES);
-    let bs = base.run(CYCLES);
+    let ns = run_stats(&naive, CYCLES);
+    let bs = run_stats(&base, CYCLES);
     let oracle = oracle_result_count(&base.topo, &base.data, &base.spec, CYCLES);
     assert_close_to_oracle(bs.results, oracle, "base");
     // Pre-filtering costs initiation but trims execution traffic.
@@ -100,7 +104,7 @@ fn innet_matches_oracle() {
         Rates::new(2, 2, 5),
         3,
     );
-    let stats = sc.run(CYCLES);
+    let stats = run_stats(&sc, CYCLES);
     let oracle = oracle_result_count(&sc.topo, &sc.data, &sc.spec, CYCLES);
     assert_close_to_oracle(stats.results, oracle, "innet");
     assert!(stats.initiation.total_tx_bytes() > 0, "exploration costs");
@@ -115,7 +119,7 @@ fn ght_matches_oracle() {
         Rates::new(2, 2, 5),
         3,
     );
-    let stats = sc.run(CYCLES);
+    let stats = run_stats(&sc, CYCLES);
     let oracle = oracle_result_count(&sc.topo, &sc.data, &sc.spec, CYCLES);
     assert_close_to_oracle(stats.results, oracle, "ght");
 }
@@ -151,8 +155,8 @@ fn innet_cmg_not_worse_than_plain_innet() {
     let rates = Rates::new(2, 2, 20);
     let plain = scenario(Algorithm::Innet, InnetOptions::PLAIN, assumed, rates, 7);
     let cmg = scenario(Algorithm::Innet, InnetOptions::CMG, assumed, rates, 7);
-    let ps = plain.run(100);
-    let cs = cmg.run(100);
+    let ps = run_stats(&plain, 100);
+    let cs = run_stats(&cmg, 100);
     // §5.3: MPO matches or beats plain Innet overall (small slack for
     // group-coordination overhead on short runs).
     assert!(
@@ -183,7 +187,7 @@ fn query0_one_to_one_all_algorithms_agree() {
             sim: SimConfig::lossless(),
             num_trees: 3,
         };
-        let stats = sc.run(CYCLES);
+        let stats = run_stats(&sc, CYCLES);
         assert_close_to_oracle(stats.results, oracle, algo.name());
     }
 }
@@ -202,7 +206,7 @@ fn query2_perimeter_innet() {
         sim: SimConfig::lossless(),
         num_trees: 3,
     };
-    let stats = sc.run(CYCLES);
+    let stats = run_stats(&sc, CYCLES);
     let oracle = oracle_result_count(&topo, &data, &spec, CYCLES);
     assert_close_to_oracle(stats.results, oracle, "q2 innet");
 }
@@ -221,7 +225,7 @@ fn query3_region_join_on_intel_lab() {
         sim: SimConfig::lossless(),
         num_trees: 3,
     };
-    let stats = sc.run(30);
+    let stats = run_stats(&sc, 30);
     let oracle = oracle_result_count(&topo, &data, &spec, 30);
     assert_close_to_oracle(stats.results, oracle, "q3");
 }
@@ -251,9 +255,9 @@ fn learning_recovers_from_wrong_estimates() {
         }
     };
     let cycles = 200;
-    let oracle_run = mk(right, false).run(cycles);
-    let wrong_static = mk(wrong, false).run(cycles);
-    let wrong_learn = mk(wrong, true).run(cycles);
+    let oracle_run = run_stats(&mk(right, false), cycles);
+    let wrong_static = run_stats(&mk(wrong, false), cycles);
+    let wrong_learn = run_stats(&mk(wrong, true), cycles);
     // Learning must beat the static wrong-estimate run...
     assert!(
         wrong_learn.execution_traffic_bytes() < wrong_static.execution_traffic_bytes(),
@@ -320,8 +324,8 @@ fn innet_beats_naive_for_selective_long_queries() {
     let naive = scenario(Algorithm::Naive, InnetOptions::PLAIN, assumed, rates, 23);
     let innet = scenario(Algorithm::Innet, InnetOptions::CM, assumed, rates, 23);
     let cycles = 300;
-    let ns = naive.run(cycles);
-    let is = innet.run(cycles);
+    let ns = run_stats(&naive, cycles);
+    let is = run_stats(&innet, cycles);
     assert!(
         is.total_traffic_bytes() < ns.total_traffic_bytes(),
         "innet {} vs naive {}",
@@ -341,8 +345,8 @@ fn deterministic_across_reruns() {
         Rates::new(2, 2, 5),
         29,
     );
-    let a = sc.run(20);
-    let b = sc.run(20);
+    let a = run_stats(&sc, 20);
+    let b = run_stats(&sc, 20);
     assert_eq!(a.total_traffic_bytes(), b.total_traffic_bytes());
     assert_eq!(a.results, b.results);
 }

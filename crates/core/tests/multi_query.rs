@@ -4,10 +4,6 @@
 //! regression — shared-tree frame aggregation beats independent per-query
 //! delivery on base load under contention.
 
-// These tests deliberately drive the deprecated one-shot shims
-// (`QuerySet::run`): they are the legacy-path coverage the session
-// parity suite compares against.
-#![allow(deprecated)]
 use aspen_join::prelude::*;
 use aspen_join::{Algorithm, InnetOptions};
 use sensor_workload::{query1, query2, WorkloadData};
@@ -20,6 +16,14 @@ const RATES: Rates = Rates {
 
 fn algo_cfg(algo: Algorithm, opts: InnetOptions) -> AlgoConfig {
     AlgoConfig::new(algo, Sigma::from_rates(RATES)).with_innet_options(opts)
+}
+
+/// Initiate, run `cycles` sampling cycles, and collect legacy-shape
+/// multi-query stats through the [`Session`] layer.
+fn run_multi(set: QuerySet, cycles: u32) -> MultiRunStats {
+    let mut s = set.into_session();
+    s.step(cycles);
+    MultiRunStats::from(s.report())
 }
 
 /// A `k`-query mixed workload (alternating Query 1 / Query 2) on the
@@ -49,7 +53,10 @@ fn mixed_queries_each_deliver_results() {
     // Independent mode so every query's traffic stays on its own flow (in
     // shared mode a fully-aggregated query legitimately has no solo
     // frames).
-    let stats = mixed_set(4, Sharing::Independent, Algorithm::Innet, InnetOptions::CMG).run(12);
+    let stats = run_multi(
+        mixed_set(4, Sharing::Independent, Algorithm::Innet, InnetOptions::CMG),
+        12,
+    );
     assert_eq!(stats.per_query.len(), 4);
     for (q, qs) in stats.per_query.iter().enumerate() {
         assert!(qs.results > 0, "query {q} ({}) delivered nothing", qs.name);
@@ -70,7 +77,10 @@ fn mixed_queries_each_deliver_results() {
 /// query) must add up to the execution totals.
 #[test]
 fn flow_accounting_adds_up() {
-    let stats = mixed_set(3, Sharing::SharedTree, Algorithm::Innet, InnetOptions::CM).run(10);
+    let stats = run_multi(
+        mixed_set(3, Sharing::SharedTree, Algorithm::Innet, InnetOptions::CM),
+        10,
+    );
     let flow_tx: u64 =
         stats.shared_flow.tx_bytes + stats.per_query.iter().map(|q| q.flow.tx_bytes).sum::<u64>();
     assert_eq!(flow_tx, stats.execution.total_tx_bytes());
@@ -85,7 +95,12 @@ fn flow_accounting_adds_up() {
 /// frames near the base share link headers and MAC slots.
 #[test]
 fn shared_tree_beats_independent_on_base_load_under_contention() {
-    let run = |sharing| mixed_set(4, sharing, Algorithm::Innet, InnetOptions::CMG).run(12);
+    let run = |sharing| {
+        run_multi(
+            mixed_set(4, sharing, Algorithm::Innet, InnetOptions::CMG),
+            12,
+        )
+    };
     let indep = run(Sharing::Independent);
     let shared = run(Sharing::SharedTree);
     // Aggregation actually engaged...
@@ -161,7 +176,12 @@ fn energy_depletion_propagates_to_queries() {
 /// results (the multi-query determinism contract).
 #[test]
 fn multi_run_is_deterministic() {
-    let run = || mixed_set(3, Sharing::SharedTree, Algorithm::Innet, InnetOptions::CMG).run(8);
+    let run = || {
+        run_multi(
+            mixed_set(3, Sharing::SharedTree, Algorithm::Innet, InnetOptions::CMG),
+            8,
+        )
+    };
     let (a, b) = (run(), run());
     assert_eq!(a.execution, b.execution);
     assert_eq!(a.initiation, b.initiation);
@@ -236,7 +256,7 @@ fn departure_stops_a_query() {
         let seed = 31;
         let topo = sensor_net::random_with_degree(60, 7.0, seed);
         let data = WorkloadData::new(&topo, Schedule::Uniform(RATES), seed);
-        QuerySet {
+        let set = QuerySet {
             topo,
             data,
             queries: vec![
@@ -257,8 +277,8 @@ fn departure_stops_a_query() {
             sim: SimConfig::default().with_seed(seed),
             num_trees: 3,
             sharing: Sharing::Independent,
-        }
-        .run(16)
+        };
+        run_multi(set, 16)
     };
     let cut_short = build(Some(6));
     let full = build(None);
@@ -280,28 +300,34 @@ fn single_member_query_set_matches_scenario() {
     let seed = 7;
     let topo = sensor_net::random_with_degree(60, 7.0, seed);
     let data = WorkloadData::new(&topo, Schedule::Uniform(RATES), seed);
-    let single = aspen_join::Scenario {
-        topo: topo.clone(),
-        data: data.clone(),
-        spec: query1(3),
-        cfg: algo_cfg(Algorithm::Innet, InnetOptions::PLAIN),
-        sim: SimConfig::lossless().with_seed(seed),
-        num_trees: 3,
-    }
-    .run(10);
-    let multi = QuerySet {
-        topo,
-        data,
-        queries: vec![QueryInstance {
+    let single = {
+        let mut s = aspen_join::Scenario {
+            topo: topo.clone(),
+            data: data.clone(),
             spec: query1(3),
             cfg: algo_cfg(Algorithm::Innet, InnetOptions::PLAIN),
-            lifecycle: Lifecycle::STATIC,
-        }],
-        sim: SimConfig::lossless().with_seed(seed),
-        num_trees: 3,
-        sharing: Sharing::Independent,
-    }
-    .run(10);
+            sim: SimConfig::lossless().with_seed(seed),
+            num_trees: 3,
+        }
+        .into_session();
+        s.step(10);
+        RunStats::from(s.report())
+    };
+    let multi = run_multi(
+        QuerySet {
+            topo,
+            data,
+            queries: vec![QueryInstance {
+                spec: query1(3),
+                cfg: algo_cfg(Algorithm::Innet, InnetOptions::PLAIN),
+                lifecycle: Lifecycle::STATIC,
+            }],
+            sim: SimConfig::lossless().with_seed(seed),
+            num_trees: 3,
+            sharing: Sharing::Independent,
+        },
+        10,
+    );
     // Same join computation: identical result counts. (Traffic differs by
     // exactly the per-frame query tag, so compare message counts instead.)
     assert_eq!(multi.per_query[0].results, single.results);

@@ -28,6 +28,14 @@ pub struct SimConfig {
     /// query cannot starve the others' share of the shared radio. Off by
     /// default (single-flow protocols see pure FIFO either way).
     pub fair_mac: bool,
+    /// Intra-run worker threads for the transmit phase. `1` (the default)
+    /// runs fully sequentially; `0` means "all available cores"; any
+    /// value yields **byte-identical** outcomes — the engine partitions
+    /// nodes into contiguous chunks with per-chunk RNG streams positioned
+    /// by a draw-count prepass, and merges results in node order (see the
+    /// engine module docs). Not part of the experiment cell identity:
+    /// golden outputs never depend on it.
+    pub threads: usize,
     /// Per-node energy budget in radio bytes (TX + RX) accumulated since
     /// the last [`crate::Engine::reset_metrics`] — in the standard
     /// harnesses, the execution phase (initiation is excluded, matching
@@ -50,6 +58,7 @@ impl Default for SimConfig {
             header_bytes: 11,
             seed: 0,
             fair_mac: false,
+            threads: 1,
             energy_budget_bytes: 0,
         }
     }
@@ -94,6 +103,13 @@ impl SimConfig {
 
     pub fn with_energy_budget(mut self, bytes: u64) -> Self {
         self.energy_budget_bytes = bytes;
+        self
+    }
+
+    /// Intra-run transmit-phase worker count (`0` = all available cores).
+    /// Outcome-neutral: any value produces byte-identical results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }

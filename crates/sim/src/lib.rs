@@ -27,6 +27,7 @@ pub mod config;
 pub mod dynamics;
 pub mod engine;
 pub mod metrics;
+mod pool;
 pub mod sweep;
 
 pub use config::SimConfig;

@@ -1,0 +1,160 @@
+//! Arena-backed message pool.
+//!
+//! Messages live in slab slots addressed by a [`MsgHandle`]; link-layer
+//! queue entries and event records carry handles (small `Copy` structs),
+//! so the engine's hot loop moves 16–24-byte records instead of whole
+//! protocol messages, and the snoop events of a transmission share one
+//! pooled message instead of cloning it per bystander.
+//!
+//! Reference counting is cooperative: callers that hand out several
+//! owners for one slot allocate with [`MsgPool::alloc_shared`], and each
+//! owner's final consuming event releases exactly one reference. The
+//! pool itself is **never touched during the parallel transmit phase** —
+//! allocation happens in protocol callbacks (serial dispatch) and
+//! release happens in the serial event drain, which is what lets chunked
+//! transmit threads run against plain `&`-free queue state.
+
+/// Index of a pooled message. Stable for the slot's lifetime.
+pub(crate) type MsgHandle = u32;
+
+#[derive(Debug)]
+pub(crate) struct MsgPool<M> {
+    slots: Vec<Option<M>>,
+    refs: Vec<u32>,
+    free: Vec<MsgHandle>,
+}
+
+impl<M> MsgPool<M> {
+    pub(crate) fn new() -> Self {
+        MsgPool {
+            slots: Vec::new(),
+            refs: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live (allocated, unreleased) messages. Diagnostic.
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Allocate a slot with a single owner.
+    pub(crate) fn alloc(&mut self, msg: M) -> MsgHandle {
+        self.alloc_shared(msg, 1)
+    }
+
+    /// Allocate a slot with `owners` references; each is released
+    /// independently via [`MsgPool::consume`] or [`MsgPool::release`].
+    pub(crate) fn alloc_shared(&mut self, msg: M, owners: u32) -> MsgHandle {
+        debug_assert!(owners >= 1);
+        match self.free.pop() {
+            Some(h) => {
+                debug_assert!(self.slots[h as usize].is_none());
+                self.slots[h as usize] = Some(msg);
+                self.refs[h as usize] = owners;
+                h
+            }
+            None => {
+                let h = self.slots.len() as MsgHandle;
+                self.slots.push(Some(msg));
+                self.refs.push(owners);
+                h
+            }
+        }
+    }
+
+    /// Temporarily move the message out of its slot (borrow-by-move for
+    /// snoop dispatch: the callback may allocate into the pool while the
+    /// slot sits empty). Pair with [`MsgPool::put_back`].
+    pub(crate) fn take(&mut self, h: MsgHandle) -> M {
+        self.slots[h as usize].take().expect("live pool slot")
+    }
+
+    pub(crate) fn put_back(&mut self, h: MsgHandle, msg: M) {
+        debug_assert!(self.slots[h as usize].is_none());
+        self.slots[h as usize] = Some(msg);
+    }
+
+    /// Drop one reference without consuming the message (dead receiver,
+    /// zero-delivery broadcast, discarded queue).
+    pub(crate) fn release(&mut self, h: MsgHandle) {
+        let i = h as usize;
+        debug_assert!(self.refs[i] >= 1);
+        self.refs[i] -= 1;
+        if self.refs[i] == 0 {
+            self.slots[i] = None;
+            self.free.push(h);
+        }
+    }
+}
+
+impl<M: Clone> MsgPool<M> {
+    /// Clone the slot's message without touching its references (a
+    /// non-final delivery of a shared transmission).
+    pub(crate) fn clone_at(&self, h: MsgHandle) -> M {
+        self.slots[h as usize]
+            .as_ref()
+            .expect("live pool slot")
+            .clone()
+    }
+
+    /// Consume one reference, yielding an owned message: the last owner
+    /// moves the message out and frees the slot, earlier owners clone.
+    pub(crate) fn consume(&mut self, h: MsgHandle) -> M {
+        let i = h as usize;
+        debug_assert!(self.refs[i] >= 1);
+        if self.refs[i] == 1 {
+            self.refs[i] = 0;
+            self.free.push(h);
+            self.slots[i].take().expect("live pool slot")
+        } else {
+            self.refs[i] -= 1;
+            self.slots[i].as_ref().expect("live pool slot").clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_consume_reuses_slots() {
+        let mut p: MsgPool<String> = MsgPool::new();
+        let a = p.alloc("a".into());
+        let b = p.alloc("b".into());
+        assert_eq!(p.live(), 2);
+        assert_eq!(p.consume(a), "a");
+        assert_eq!(p.live(), 1);
+        let c = p.alloc("c".into());
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(p.consume(b), "b");
+        assert_eq!(p.consume(c), "c");
+        assert_eq!(p.live(), 0);
+    }
+
+    #[test]
+    fn shared_slot_clones_until_last_owner() {
+        let mut p: MsgPool<Vec<u8>> = MsgPool::new();
+        let h = p.alloc_shared(vec![7; 3], 3);
+        assert_eq!(p.clone_at(h), vec![7; 3]);
+        assert_eq!(p.consume(h), vec![7; 3]); // clone (2 owners left)
+        p.release(h); // dead receiver (1 owner left)
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.consume(h), vec![7; 3]); // move (last owner)
+        assert_eq!(p.live(), 0);
+    }
+
+    #[test]
+    fn take_and_put_back_keep_slot_live() {
+        let mut p: MsgPool<u32> = MsgPool::new();
+        let h = p.alloc(9);
+        let m = p.take(h);
+        let other = p.alloc(1); // may not disturb the taken slot
+        assert_ne!(other, h);
+        p.put_back(h, m);
+        assert_eq!(p.consume(h), 9);
+        p.release(other);
+        assert_eq!(p.live(), 0);
+    }
+}
