@@ -19,6 +19,7 @@
 //! records paper-vs-measured for every experiment.
 
 use aspen_bench::multiq::MultiqConfig;
+use aspen_bench::optimize::OptimizeConfig;
 use aspen_bench::sweep::{
     parse_algo, parse_density, seed_range, DynamicsSpec, MultiSpec, QueryId, SweepGrid,
     WorkloadSel, SEED_BASE,
@@ -87,6 +88,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "multiq",
         "concurrent multi-query workloads, shared vs independent",
     ),
+    (
+        "optimize",
+        "n-way join plans: bushy DP vs left-deep vs greedy",
+    ),
 ];
 
 fn usage_string() -> String {
@@ -118,6 +123,10 @@ fn main() {
         }
         Some("multiq") => {
             multiq_cmd(&args[1..]);
+            return;
+        }
+        Some("optimize") => {
+            optimize_cmd(&args[1..]);
             return;
         }
         _ => {}
@@ -585,6 +594,113 @@ fn multiq_cmd(args: &[String]) {
     eprintln!(
         "multiq: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
         2 * cfg.seeds.len()
+    );
+}
+
+// ----------------------------------------------------------------------
+// The `optimize` subcommand: n-way join plan quality — the bushy DP vs
+// the left-deep restriction vs the pairwise-greedy heuristic, on the §3
+// cost model over seed-replicated topologies. Pure plan costing, no
+// simulation.
+
+const OPTIMIZE_USAGE: &str = "usage: experiments optimize [options]
+  --quick              CI smoke config (60 nodes, 4 seeds)
+  --nodes N            topology size             (default 100)
+  --seeds N            replicate topology seeds  (default 8)
+  --threads N          OS threads fanning plan jobs out, 0 = all cores (default 0)
+  --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
+                       (default target/optimize/optimize)
+  --check-determinism  re-run at --threads 1|2|8, verifying byte-identical output";
+
+fn optimize_bad(msg: &str) -> ! {
+    eprintln!("optimize: {msg}\n{OPTIMIZE_USAGE}");
+    std::process::exit(2);
+}
+
+fn optimize_cmd(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        OptimizeConfig::quick()
+    } else {
+        OptimizeConfig::default()
+    };
+    let mut out_prefix = "target/optimize/optimize".to_string();
+    let mut check_determinism = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{OPTIMIZE_USAGE}");
+                return;
+            }
+            "--quick" => {}
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| optimize_bad("bad --nodes"));
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| optimize_bad("bad --seeds"));
+                if n == 0 {
+                    optimize_bad("--seeds must be at least 1");
+                }
+                cfg.seeds = seed_range(n);
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| optimize_bad("bad --threads"));
+            }
+            "--out" => {
+                out_prefix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| optimize_bad("bad --out"));
+            }
+            "--check-determinism" => check_determinism = true,
+            other => optimize_bad(&format!("unknown option {other}")),
+        }
+    }
+    let n_workloads = aspen_bench::optimize::workloads().len();
+    eprintln!(
+        "optimize: {} workloads x {} seeds on {}-node topologies = {} plan comparisons",
+        n_workloads,
+        cfg.seeds.len(),
+        cfg.nodes,
+        n_workloads * cfg.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = cfg.run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("{}", report.to_table().to_aligned_string());
+    println!("{}", report.headline());
+    if check_determinism {
+        for threads in [1usize, 2, 8] {
+            let mut rerun = cfg.clone();
+            rerun.threads = threads;
+            assert_eq!(
+                report.to_json(),
+                rerun.run().to_json(),
+                "optimize output must not depend on thread count ({threads})"
+            );
+        }
+        eprintln!("determinism check: threads 1|2|8 all identical ✓");
+    }
+    if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
+    std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
+    eprintln!(
+        "optimize: {} comparisons in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
+        n_workloads * cfg.seeds.len()
     );
 }
 

@@ -3,10 +3,12 @@
 //!
 //! The declarative multi-dimensional sweep lives in [`sweep`]; the
 //! concurrent multi-query comparison harness (`experiments multiq`) in
-//! [`multiq`]; the helpers here remain for the figure drivers that predate
-//! them.
+//! [`multiq`]; the n-way join plan quality comparison
+//! (`experiments optimize`) in [`mod@optimize`]; the helpers here remain for
+//! the figure drivers that predate them.
 
 pub mod multiq;
+pub mod optimize;
 pub mod sweep;
 
 use aspen_join::prelude::*;
@@ -118,8 +120,7 @@ impl Bench {
 
 /// Run a single-query scenario through the [`aspen_join::Session`] layer
 /// (bare wire — the figures' exact frame format) and return the classic
-/// [`RunStats`] view. The figure drivers' replacement for the deprecated
-/// `Scenario::run`.
+/// [`RunStats`] view.
 pub fn run_stats(sc: &Scenario, cycles: u32) -> RunStats {
     let mut session = sc.session();
     session.step(cycles);

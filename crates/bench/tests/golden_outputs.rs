@@ -1,6 +1,7 @@
 //! Golden-output snapshot tests: the JSON reports of `experiments sweep
-//! --quick`, `experiments recovery --quick` and `experiments multiq
-//! --quick` are compared byte-for-byte against committed fixtures, so a
+//! --quick`, `experiments recovery --quick`, `experiments multiq --quick`
+//! and `experiments optimize --quick` are compared byte-for-byte against
+//! committed fixtures, so a
 //! report-format change or a determinism regression (seeding, float
 //! formatting, aggregation order, engine behavior) fails loudly instead
 //! of silently shifting every downstream number.
@@ -16,6 +17,7 @@
 //! EXPERIMENTS.md § Golden outputs).
 
 use aspen_bench::multiq::MultiqConfig;
+use aspen_bench::optimize::OptimizeConfig;
 use aspen_bench::sweep::SweepGrid;
 use std::path::PathBuf;
 
@@ -89,4 +91,14 @@ fn recovery_quick_json_matches_golden() {
 #[test]
 fn multiq_quick_json_matches_golden() {
     check_golden("multiq_quick.json", &MultiqConfig::quick().run().to_json());
+}
+
+/// `experiments optimize --quick` JSON (the n-way join plan quality
+/// comparison: bushy DP vs left-deep vs pairwise-greedy).
+#[test]
+fn optimize_quick_json_matches_golden() {
+    check_golden(
+        "optimize_quick.json",
+        &OptimizeConfig::quick().run().to_json(),
+    );
 }

@@ -75,6 +75,22 @@ pub fn pair_cost_through_base(sig: Sigma, w: usize, d_sr: f64, d_tr: f64) -> f64
     sig.s * d_sr + (sig.s + (sig.s + sig.t) * w as f64 * sig.st) * d_tr
 }
 
+/// N-way generalization (plan optimizer, [`mod@crate::optimize`]): expected
+/// per-cycle output rate of a join whose input streams arrive at combined
+/// rates `rate_l`/`rate_r`. Each arriving tuple probes the opposite
+/// window (`w` tuples deep) under the joint selectivity `sigma` of the
+/// edges crossing the split. With singleton inputs this is exactly the
+/// result term `(σs+σt)·w·σst` of [`pair_cost_at`].
+pub fn join_out_rate(rate_l: f64, rate_r: f64, w: usize, sigma: f64) -> f64 {
+    (rate_l + rate_r) * w as f64 * sigma
+}
+
+/// Transporting a stream of `rate` tuples/cycle over `dist` hops: the
+/// hop-weighted tuple-transmission unit every §3.1 term is built from.
+pub fn transport_cost(rate: f64, dist: f64) -> f64 {
+    rate * dist
+}
+
 /// Outcome of pairwise placement over a discovered path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Placement {

@@ -42,9 +42,10 @@
 //! assert_eq!(outcome.per_query.len(), 1);
 //! ```
 //!
-//! The pre-session entry points ([`Scenario::run`], [`QuerySet::run`])
-//! remain as deprecated shims; `From<Outcome>` conversions exist for
-//! their [`RunStats`] / [`MultiRunStats`] / [`DynamicsOutcome`] types.
+//! The classic report types survive as views: `From<Outcome>`
+//! conversions exist for [`RunStats`] / [`MultiRunStats`] /
+//! [`DynamicsOutcome`], so sweep code reads the unified outcome
+//! through the shapes the figures were written against.
 
 pub mod centralized;
 pub mod cost;
@@ -53,6 +54,7 @@ pub mod msg;
 pub mod multi;
 pub mod multicast;
 pub mod node;
+pub mod optimize;
 pub mod scenario;
 pub mod session;
 pub mod shared;
@@ -64,9 +66,15 @@ pub use multi::{
     QueryStats, Sharing,
 };
 pub use node::{JoinNode, RecoveryStats};
-pub use scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
+pub use optimize::{
+    greedy, left_deep, optimize, sigmas_diverged, uniform_sigmas, Plan, PlanNode, PlanSpace,
+};
+pub use scenario::{
+    oracle_graph_result_count, oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario,
+};
 pub use session::{
-    CycleView, EventLog, Observer, Outcome, Phase, QueryId, Session, SessionBuilder, SessionEvent,
+    CycleView, EventLog, GraphId, Observer, Outcome, Phase, QueryId, Session, SessionBuilder,
+    SessionEvent,
 };
 pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 
@@ -78,9 +86,12 @@ pub mod prelude {
         Sharing,
     };
     pub use crate::node::RecoveryStats;
-    pub use crate::scenario::{oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario};
+    pub use crate::optimize::{greedy, left_deep, optimize, Plan, PlanSpace};
+    pub use crate::scenario::{
+        oracle_graph_result_count, oracle_result_count, DynamicsOutcome, Run, RunStats, Scenario,
+    };
     pub use crate::session::{
-        CycleView, EventLog, Observer, Outcome, Phase, QueryId, Session, SessionBuilder,
+        CycleView, EventLog, GraphId, Observer, Outcome, Phase, QueryId, Session, SessionBuilder,
         SessionEvent,
     };
     pub use crate::shared::{AlgoConfig, Algorithm, InnetOptions};

@@ -600,19 +600,6 @@ impl QuerySet {
             retired_migrations: 0,
         }
     }
-
-    /// Build, initiate, execute `cycles`, collect stats.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `QuerySet::session()` (or `aspen_join::session::Session::builder`) \
-                and convert the `Outcome` with `MultiRunStats::from`"
-    )]
-    pub fn run(&self, cycles: u32) -> MultiRunStats {
-        let mut run = self.build();
-        run.initiate();
-        run.execute(cycles);
-        run.stats()
-    }
 }
 
 impl MultiRun {

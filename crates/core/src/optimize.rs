@@ -1,0 +1,760 @@
+//! Bottom-up plan optimization for n-way join graphs.
+//!
+//! A Selinger-style dynamic program enumerates every *connected* subset of
+//! a [`JoinGraph`]'s relations (bitmasks) and, for each, the cheapest way
+//! to produce that sub-join's result stream at every candidate network
+//! site. Splitting a subset into two connected halves with at least one
+//! crossing join edge yields bushy operator trees; the cost of a join is
+//! the §3.1 transport model generalized through
+//! [`join_out_rate`](crate::cost::join_out_rate)/[`transport_cost`], and
+//! the two-relation case degenerates to exactly
+//! [`pair_cost_at`](crate::cost::pair_cost_at) — the pairwise placement
+//! the rest of the engine performs (asserted in the tests).
+//!
+//! Three strategies share the machinery:
+//!
+//! * [`optimize`] — the full DP over bushy trees (optimal in this model);
+//! * [`left_deep`] — the DP restricted to linear trees (every join has a
+//!   singleton side), the classic System-R baseline. Its search space is
+//!   a subset of the bushy one, so `optimize(..).cost <=
+//!   left_deep(..).cost` always holds (property-tested);
+//! * [`greedy`] — cheapest-pair-first agglomeration, mimicking what
+//!   placing one pair at a time (the pre-plan engine behavior) would do.
+//!
+//! Cardinality estimates come in as per-edge [`Sigma`]s — assumed at
+//! admission, replaced by learned [`PairStats`](crate::learn::PairStats)
+//! estimates when the session re-optimizes (§6 generalized to plans).
+
+use crate::cost::{transport_cost, Sigma};
+use sensor_net::{NodeId, Topology};
+use sensor_query::graph::JoinGraph;
+use sensor_workload::WorkloadData;
+
+/// Candidate placement sites and hop distances for one graph on one
+/// topology: each relation gets an *anchor* (the eligible producer
+/// closest to the group's mean position), and candidate sites are the
+/// anchors, the base, and every node on the shortest paths between them —
+/// the n-way analogue of §3.2's "place on the discovered path".
+#[derive(Debug, Clone)]
+pub struct PlanSpace {
+    /// Candidate placement sites (network nodes, ascending ids).
+    pub sites: Vec<NodeId>,
+    /// `dist[i][j]`: hop distance from `sites[i]` to `sites[j]`.
+    dist: Vec<Vec<f64>>,
+    /// Per relation, index into `sites` of its anchor.
+    pub anchors: Vec<usize>,
+    /// Index into `sites` of the base station.
+    pub base: usize,
+}
+
+impl PlanSpace {
+    /// Build the candidate space for `graph` over `topo`/`data`.
+    pub fn build(topo: &Topology, data: &WorkloadData, graph: &JoinGraph) -> PlanSpace {
+        let base = topo.base();
+        let n = graph.n_relations();
+        // Anchor of each relation: among its eligible producers, the node
+        // closest to their mean position (lowest id on ties); the network
+        // centroid when nothing is eligible.
+        let mut anchor_nodes: Vec<NodeId> = Vec::with_capacity(n);
+        for r in 0..n {
+            let e_idx = graph
+                .edges_of(r)
+                .next()
+                .expect("validated graphs have no unjoined relation");
+            let spec = graph.edge_spec(e_idx);
+            let on_s_side = graph.edges[e_idx].a == r;
+            let eligible: Vec<NodeId> = topo
+                .node_ids()
+                .filter(|&v| {
+                    if v == base {
+                        return false;
+                    }
+                    let st = data.static_of(v);
+                    if on_s_side {
+                        spec.analysis.s_eligible(st)
+                    } else {
+                        spec.analysis.t_eligible(st)
+                    }
+                })
+                .collect();
+            let anchor = if eligible.is_empty() {
+                topo.closest_node(topo.centroid())
+            } else {
+                let (mut mx, mut my) = (0.0f64, 0.0f64);
+                for &v in &eligible {
+                    let p = topo.position(v);
+                    mx += p.x;
+                    my += p.y;
+                }
+                mx /= eligible.len() as f64;
+                my /= eligible.len() as f64;
+                *eligible
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let pa = topo.position(a);
+                        let pb = topo.position(b);
+                        let da = (pa.x - mx).powi(2) + (pa.y - my).powi(2);
+                        let db = (pb.x - mx).powi(2) + (pb.y - my).powi(2);
+                        da.partial_cmp(&db).unwrap().then(a.0.cmp(&b.0))
+                    })
+                    .expect("non-empty")
+            };
+            anchor_nodes.push(anchor);
+        }
+        // Candidate sites: anchors + base + shortest-path interiors.
+        let mut site_set: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        site_set.insert(base);
+        site_set.extend(anchor_nodes.iter().copied());
+        let mut endpoints: Vec<NodeId> = anchor_nodes.clone();
+        endpoints.push(base);
+        for (i, &a) in endpoints.iter().enumerate() {
+            for &b in &endpoints[i + 1..] {
+                if let Some(path) = topo.shortest_path(a, b) {
+                    site_set.extend(path);
+                }
+            }
+        }
+        let sites: Vec<NodeId> = site_set.into_iter().collect();
+        let dist: Vec<Vec<f64>> = sites
+            .iter()
+            .map(|&s| {
+                let hops = topo.bfs_hops(s);
+                sites
+                    .iter()
+                    .map(|&t| {
+                        let h = hops[t.0 as usize];
+                        if h == u16::MAX {
+                            f64::INFINITY
+                        } else {
+                            h as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let site_idx = |v: NodeId| sites.binary_search(&v).expect("site present");
+        let anchors = anchor_nodes.iter().map(|&v| site_idx(v)).collect();
+        let base = site_idx(base);
+        PlanSpace {
+            sites,
+            dist,
+            anchors,
+            base,
+        }
+    }
+
+    fn d(&self, i: usize, j: usize) -> f64 {
+        self.dist[i][j]
+    }
+
+    fn m(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+/// Uniform per-edge selectivities from one assumed [`Sigma`] — the
+/// admission-time default before anything is learned.
+pub fn uniform_sigmas(graph: &JoinGraph, sig: Sigma) -> Vec<Sigma> {
+    vec![sig; graph.edges.len()]
+}
+
+/// One operator of a join plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Scan of relation `rel`, produced at its anchor.
+    Leaf { rel: usize },
+    /// Join the two child streams at `site`. `edge` is the representative
+    /// crossing join edge (the one the in-network layer executes when
+    /// both children are leaves).
+    Join {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        site: NodeId,
+        edge: usize,
+        /// Estimated result-stream rate (tuples/cycle).
+        out_rate: f64,
+    },
+}
+
+impl PlanNode {
+    fn shape_into(&self, graph: &JoinGraph, out: &mut String) {
+        match self {
+            PlanNode::Leaf { rel } => out.push_str(&graph.relations[*rel].name),
+            PlanNode::Join {
+                left, right, site, ..
+            } => {
+                out.push('(');
+                left.shape_into(graph, out);
+                out.push_str(" \u{22c8} ");
+                right.shape_into(graph, out);
+                out.push_str(&format!(")@{}", site.0));
+            }
+        }
+    }
+
+    /// Leaf-relation bitmask.
+    pub fn mask(&self) -> u32 {
+        match self {
+            PlanNode::Leaf { rel } => 1 << rel,
+            PlanNode::Join { left, right, .. } => left.mask() | right.mask(),
+        }
+    }
+
+    /// Collect every interior node's representative edge.
+    fn skeleton_into(&self, out: &mut Vec<usize>) {
+        if let PlanNode::Join {
+            left, right, edge, ..
+        } = self
+        {
+            left.skeleton_into(out);
+            right.skeleton_into(out);
+            out.push(*edge);
+        }
+    }
+}
+
+/// A costed join plan over a [`JoinGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub tree: PlanNode,
+    /// Total expected tuple transmissions per sampling cycle, including
+    /// delivery of the final result stream to the base.
+    pub cost: f64,
+    /// Where the root join runs.
+    pub root_site: NodeId,
+    /// Representative join edge of each interior node, in execution
+    /// (bottom-up, left-to-right) order — a spanning tree of the graph.
+    pub skeleton: Vec<usize>,
+    /// The per-edge selectivity basis this plan was costed with.
+    pub sigmas: Vec<Sigma>,
+}
+
+impl Plan {
+    /// Human-readable tree shape, e.g. `((a ⋈ b)@17 ⋈ c)@4`.
+    pub fn shape(&self, graph: &JoinGraph) -> String {
+        let mut s = String::new();
+        self.tree.shape_into(graph, &mut s);
+        s
+    }
+}
+
+/// Which tree shapes the DP may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Bushy,
+    Linear,
+}
+
+/// Estimated output rate of the sub-join over `mask`: the member send
+/// rates fanned through every *internal* edge's window probe — a
+/// plan-shape-independent Selinger-style cardinality, so every join order
+/// is costed against the same intermediate sizes.
+fn mask_rate(graph: &JoinGraph, sigmas: &[Sigma], rel_rate: &[f64], w: usize, mask: u32) -> f64 {
+    let mut rate: f64 = (0..graph.n_relations())
+        .filter(|&r| mask & (1 << r) != 0)
+        .map(|r| rel_rate[r])
+        .sum();
+    for (i, e) in graph.edges.iter().enumerate() {
+        if mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0 {
+            rate *= w as f64 * sigmas[i].st;
+        }
+    }
+    rate
+}
+
+/// Per-relation send rates implied by the edge sigmas (`.s` for the
+/// edge's `a` relation, `.t` for `b`; first incident edge wins).
+fn rel_rates(graph: &JoinGraph, sigmas: &[Sigma]) -> Vec<f64> {
+    (0..graph.n_relations())
+        .map(|r| {
+            let e = graph.edges_of(r).next().expect("validated graph");
+            if graph.edges[e].a == r {
+                sigmas[e].s
+            } else {
+                sigmas[e].t
+            }
+        })
+        .collect()
+}
+
+struct DpEntry {
+    /// `cost[j]`: cheapest way to *compute* this subset's join at site j.
+    cost: Vec<f64>,
+    /// `deliv[j]`: cheapest compute-anywhere-then-ship-to-j cost.
+    deliv: Vec<f64>,
+    /// argmin site behind `deliv[j]`.
+    deliv_arg: Vec<usize>,
+    /// Chosen split per site: the left submask (right = mask ^ left);
+    /// `0` marks a singleton (no split).
+    split: Vec<u32>,
+    rate: f64,
+}
+
+fn dp(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, shape: Shape) -> Plan {
+    assert_eq!(sigmas.len(), graph.edges.len(), "one Sigma per join edge");
+    let n = graph.n_relations();
+    let m = space.m();
+    let w = graph.window;
+    let rates = rel_rates(graph, sigmas);
+    let full: u32 = (1 << n) - 1;
+    let mut table: Vec<Option<DpEntry>> = (0..=full).map(|_| None).collect();
+
+    let finish = |e: &mut DpEntry, space: &PlanSpace| {
+        // deliv[j] = min_j' cost[j'] + rate·d(j', j), lowest j' on ties.
+        for j in 0..m {
+            let mut best = f64::INFINITY;
+            let mut arg = usize::MAX;
+            for jp in 0..m {
+                let c = e.cost[jp] + transport_cost(e.rate, space.d(jp, j));
+                if c < best - 1e-12 {
+                    best = c;
+                    arg = jp;
+                }
+            }
+            e.deliv[j] = best;
+            e.deliv_arg[j] = arg;
+        }
+    };
+
+    for r in 0..n {
+        let mut e = DpEntry {
+            cost: vec![f64::INFINITY; m],
+            deliv: vec![0.0; m],
+            deliv_arg: vec![0; m],
+            split: vec![0; m],
+            rate: rates[r],
+        };
+        e.cost[space.anchors[r]] = 0.0;
+        finish(&mut e, space);
+        table[1usize << r] = Some(e);
+    }
+
+    for mask in 1..=full {
+        if mask.count_ones() < 2 || table[mask as usize].is_some() {
+            continue;
+        }
+        let mut entry: Option<DpEntry> = None;
+        // Enumerate splits once: force the lowest set bit into the left
+        // half so (L, R) and (R, L) are not both visited.
+        let low = mask & mask.wrapping_neg();
+        let rest = mask ^ low;
+        let mut sub = rest;
+        loop {
+            let l = sub | low;
+            let r = mask ^ l;
+            sub = (sub.wrapping_sub(1)) & rest;
+            if r == 0 {
+                if sub == rest {
+                    break;
+                }
+                continue;
+            }
+            if shape == Shape::Linear && l.count_ones() > 1 && r.count_ones() > 1 {
+                if sub == rest {
+                    break;
+                }
+                continue;
+            }
+            if let (Some(le), Some(re)) = (&table[l as usize], &table[r as usize]) {
+                // At least one join edge must cross the split.
+                let has_crossing = graph.edges.iter().any(|e| {
+                    let (ma, mb) = (1u32 << e.a, 1u32 << e.b);
+                    (l & ma != 0 && r & mb != 0) || (l & mb != 0 && r & ma != 0)
+                });
+                if has_crossing {
+                    let entry = entry.get_or_insert_with(|| DpEntry {
+                        cost: vec![f64::INFINITY; m],
+                        deliv: vec![0.0; m],
+                        deliv_arg: vec![0; m],
+                        split: vec![0; m],
+                        rate: mask_rate(graph, sigmas, &rates, w, mask),
+                    });
+                    // Computing at j ships both child streams to j. For a
+                    // two-relation graph this is exactly the input half of
+                    // §3.1's pair_cost_at (the result term is added by
+                    // `finish` when the stream is delivered onward) —
+                    // verified against the raw formula in the tests.
+                    for j in 0..m {
+                        let c = le.deliv[j] + re.deliv[j];
+                        if c < entry.cost[j] - 1e-12 {
+                            entry.cost[j] = c;
+                            entry.split[j] = l;
+                        }
+                    }
+                }
+            }
+            if sub == rest {
+                break;
+            }
+        }
+        if let Some(mut e) = entry {
+            finish(&mut e, space);
+            table[mask as usize] = Some(e);
+        }
+    }
+
+    let root = table[full as usize]
+        .as_ref()
+        .expect("validated graphs are connected, so the full mask is reachable");
+    let cost = root.deliv[space.base];
+    let root_site_idx = root.deliv_arg[space.base];
+
+    // Reconstruct the tree from the split pointers.
+    fn rebuild(
+        table: &[Option<DpEntry>],
+        graph: &JoinGraph,
+        space: &PlanSpace,
+        mask: u32,
+        site: usize,
+    ) -> PlanNode {
+        if mask.count_ones() == 1 {
+            return PlanNode::Leaf {
+                rel: mask.trailing_zeros() as usize,
+            };
+        }
+        let e = table[mask as usize].as_ref().expect("reachable mask");
+        let l = e.split[site];
+        let r = mask ^ l;
+        let (le, re) = (
+            table[l as usize].as_ref().expect("left child"),
+            table[r as usize].as_ref().expect("right child"),
+        );
+        let (jl, jr) = (le.deliv_arg[site], re.deliv_arg[site]);
+        let edge = graph
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, ed)| {
+                let (ma, mb) = (1u32 << ed.a, 1u32 << ed.b);
+                (l & ma != 0 && r & mb != 0) || (l & mb != 0 && r & ma != 0)
+            })
+            .map(|(i, _)| i)
+            .next()
+            .expect("split has a crossing edge");
+        PlanNode::Join {
+            left: Box::new(rebuild(table, graph, space, l, jl)),
+            right: Box::new(rebuild(table, graph, space, r, jr)),
+            site: space.sites[site],
+            edge,
+            out_rate: e.rate,
+        }
+    }
+    let tree = rebuild(&table, graph, space, full, root_site_idx);
+    let mut skeleton = Vec::new();
+    tree.skeleton_into(&mut skeleton);
+    Plan {
+        tree,
+        cost,
+        root_site: space.sites[root_site_idx],
+        skeleton,
+        sigmas: sigmas.to_vec(),
+    }
+}
+
+/// The full bushy-tree DP: optimal placement + join order in this cost
+/// model. Deterministic: ties resolve to the lowest site id / submask.
+pub fn optimize(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace) -> Plan {
+    dp(graph, sigmas, space, Shape::Bushy)
+}
+
+/// The DP restricted to linear (left-deep) trees — the System-R baseline
+/// the bushy plan is measured against.
+pub fn left_deep(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace) -> Plan {
+    dp(graph, sigmas, space, Shape::Linear)
+}
+
+/// Cheapest-pair-first agglomeration: repeatedly join the two components
+/// whose merge has the lowest immediate transport cost, placing each join
+/// at its locally best site. This mirrors what the pairwise engine does
+/// when it places one edge at a time with no global view.
+pub fn greedy(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace) -> Plan {
+    assert_eq!(sigmas.len(), graph.edges.len(), "one Sigma per join edge");
+    let w = graph.window;
+    let rates = rel_rates(graph, sigmas);
+    struct Comp {
+        mask: u32,
+        site: usize,
+        rate: f64,
+        acc: f64,
+        node: PlanNode,
+    }
+    let mut comps: Vec<Comp> = (0..graph.n_relations())
+        .map(|r| Comp {
+            mask: 1 << r,
+            site: space.anchors[r],
+            rate: rates[r],
+            acc: 0.0,
+            node: PlanNode::Leaf { rel: r },
+        })
+        .collect();
+    while comps.len() > 1 {
+        // Best (i, j, site, marginal) over component pairs with a
+        // crossing edge; strict improvement keeps the first (lowest
+        // indices) on ties.
+        let mut best: Option<(usize, usize, usize, usize, f64)> = None;
+        for i in 0..comps.len() {
+            for j in i + 1..comps.len() {
+                let crossing = graph.edges.iter().enumerate().find(|(_, e)| {
+                    let (ma, mb) = (1u32 << e.a, 1u32 << e.b);
+                    (comps[i].mask & ma != 0 && comps[j].mask & mb != 0)
+                        || (comps[i].mask & mb != 0 && comps[j].mask & ma != 0)
+                });
+                let Some((edge, _)) = crossing else {
+                    continue;
+                };
+                for site in 0..space.m() {
+                    let marginal = transport_cost(comps[i].rate, space.d(comps[i].site, site))
+                        + transport_cost(comps[j].rate, space.d(comps[j].site, site));
+                    if best.is_none_or(|(.., bm)| marginal < bm - 1e-12) {
+                        best = Some((i, j, edge, site, marginal));
+                    }
+                }
+            }
+        }
+        let (i, j, edge, site, marginal) = best.expect("connected graph");
+        let cj = comps.swap_remove(j);
+        let ci = comps.swap_remove(i);
+        let mask = ci.mask | cj.mask;
+        let rate = mask_rate(graph, sigmas, &rates, w, mask);
+        comps.push(Comp {
+            mask,
+            site,
+            rate,
+            acc: ci.acc + cj.acc + marginal,
+            node: PlanNode::Join {
+                left: Box::new(ci.node),
+                right: Box::new(cj.node),
+                site: space.sites[site],
+                edge,
+                out_rate: rate,
+            },
+        });
+        // swap_remove disturbs order; restore determinism by mask.
+        comps.sort_by_key(|c| c.mask);
+    }
+    let root = comps.pop().expect("one component");
+    let cost = root.acc + transport_cost(root.rate, space.d(root.site, space.base));
+    let mut skeleton = Vec::new();
+    root.node.skeleton_into(&mut skeleton);
+    Plan {
+        tree: root.node,
+        cost,
+        root_site: space.sites[root.site],
+        skeleton,
+        sigmas: sigmas.to_vec(),
+    }
+}
+
+/// §6 generalized to plans: has any edge's learned estimate diverged from
+/// the basis the current plan was costed with?
+pub fn sigmas_diverged(basis: &[Sigma], learned: &[Option<Sigma>], threshold: f64) -> bool {
+    basis
+        .iter()
+        .zip(learned)
+        .any(|(b, l)| l.as_ref().is_some_and(|l| b.diverged(l, threshold)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::pair_cost_at;
+    use sensor_query::graph::{JoinEdge, JoinGraph, Relation};
+    use sensor_query::pred::{BoolExpr, CmpOp, Pred};
+    use sensor_query::schema::{ATTR_ID, ATTR_U};
+    use sensor_query::{Expr, Side};
+    use sensor_workload::{Rates, Schedule, WorkloadData};
+
+    /// A k-relation chain with mod-k id selections: relation r owns the
+    /// nodes with `id % k == r`, adjacent relations join on `u`.
+    fn chain_graph(k: usize) -> JoinGraph {
+        let relations = (0..k)
+            .map(|r| Relation {
+                name: format!("r{r}"),
+                selection: Some(BoolExpr::atom(Pred::new(
+                    Expr::modulo(Expr::attr(Side::S, ATTR_ID), Expr::Const(k as i64)),
+                    CmpOp::Eq,
+                    Expr::Const(r as i64),
+                ))),
+            })
+            .collect();
+        let edges = (0..k - 1)
+            .map(|i| JoinEdge {
+                a: i,
+                b: i + 1,
+                predicate: BoolExpr::atom(Pred::new(
+                    Expr::attr(Side::S, ATTR_U),
+                    CmpOp::Eq,
+                    Expr::attr(Side::T, ATTR_U),
+                )),
+            })
+            .collect();
+        JoinGraph::new("chain", relations, edges, vec![(0, ATTR_ID)], 2, 100).unwrap()
+    }
+
+    fn space_for(graph: &JoinGraph, n: usize, seed: u64) -> PlanSpace {
+        let topo = sensor_net::random_with_degree(n, 7.0, seed);
+        let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, 5)), seed);
+        PlanSpace::build(&topo, &data, graph)
+    }
+
+    #[test]
+    fn two_way_plan_matches_pairwise_model() {
+        let g = chain_graph(2);
+        let space = space_for(&g, 60, 11);
+        let sig = Sigma::new(0.5, 0.4, 0.1);
+        let plan = optimize(&g, &uniform_sigmas(&g, sig), &space);
+        // Exhaustive check against the raw §3.1 expression over the same
+        // candidate set.
+        let (a, b) = (space.anchors[0], space.anchors[1]);
+        let best = (0..space.m())
+            .map(|j| {
+                pair_cost_at(
+                    sig,
+                    g.window,
+                    space.d(a, j),
+                    space.d(b, j),
+                    space.d(j, space.base),
+                )
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (plan.cost - best).abs() < 1e-9,
+            "DP {} vs direct minimum {}",
+            plan.cost,
+            best
+        );
+        assert_eq!(plan.skeleton, vec![0]);
+    }
+
+    #[test]
+    fn chain_dp_beats_or_ties_baselines() {
+        for k in [3usize, 4, 5] {
+            let g = chain_graph(k);
+            let space = space_for(&g, 80, k as u64);
+            let sigmas = uniform_sigmas(&g, Sigma::new(0.5, 0.5, 0.05));
+            let dp = optimize(&g, &sigmas, &space);
+            let ld = left_deep(&g, &sigmas, &space);
+            let gr = greedy(&g, &sigmas, &space);
+            assert!(
+                dp.cost <= ld.cost + 1e-9,
+                "k={k}: {} > {}",
+                dp.cost,
+                ld.cost
+            );
+            assert!(
+                dp.cost <= gr.cost + 1e-9,
+                "k={k}: {} > {}",
+                dp.cost,
+                gr.cost
+            );
+            // A spanning tree: k-1 skeleton edges, all distinct.
+            let mut sk = dp.skeleton.clone();
+            sk.sort_unstable();
+            sk.dedup();
+            assert_eq!(sk.len(), k - 1);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let g = chain_graph(4);
+        let space = space_for(&g, 80, 7);
+        let sigmas = uniform_sigmas(&g, Sigma::new(0.4, 0.6, 0.08));
+        let p1 = optimize(&g, &sigmas, &space);
+        let p2 = optimize(&g, &sigmas, &space);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.shape(&g), p2.shape(&g));
+    }
+
+    #[test]
+    fn divergence_trigger() {
+        let basis = vec![Sigma::new(0.5, 0.5, 0.1); 2];
+        let same = vec![Some(Sigma::new(0.5, 0.5, 0.1)), None];
+        assert!(!sigmas_diverged(&basis, &same, 0.33));
+        let moved = vec![None, Some(Sigma::new(0.5, 0.5, 0.3))];
+        assert!(sigmas_diverged(&basis, &moved, 0.33));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random connected graph — a random spanning tree plus extra
+        /// random edges — and random per-edge selectivities, all derived
+        /// from one xorshift stream so each proptest case is one seed.
+        fn graph_and_sigmas(k: usize, seed: u64) -> (JoinGraph, Vec<Sigma>) {
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let relations = (0..k)
+                .map(|r| Relation {
+                    name: format!("r{r}"),
+                    selection: Some(BoolExpr::atom(Pred::new(
+                        Expr::modulo(Expr::attr(Side::S, ATTR_ID), Expr::Const(k as i64)),
+                        CmpOp::Eq,
+                        Expr::Const(r as i64),
+                    ))),
+                })
+                .collect();
+            let join_pred = || {
+                BoolExpr::atom(Pred::new(
+                    Expr::attr(Side::S, ATTR_U),
+                    CmpOp::Eq,
+                    Expr::attr(Side::T, ATTR_U),
+                ))
+            };
+            let mut edges: Vec<JoinEdge> = (1..k)
+                .map(|b| JoinEdge {
+                    a: (next() as usize) % b,
+                    b,
+                    predicate: join_pred(),
+                })
+                .collect();
+            for _ in 0..(next() % 3) {
+                let a = (next() as usize) % k;
+                let b = (next() as usize) % k;
+                if a != b {
+                    edges.push(JoinEdge {
+                        a,
+                        b,
+                        predicate: join_pred(),
+                    });
+                }
+            }
+            let g = JoinGraph::new("prop", relations, edges, vec![(0, ATTR_ID)], 2, 100)
+                .expect("spanning tree keeps it connected");
+            let sigmas = (0..g.edges.len())
+                .map(|_| {
+                    let f = |v: u64| 0.02 + (v % 950) as f64 / 1000.0;
+                    Sigma::new(f(next()), f(next()), f(next()) * 0.5)
+                })
+                .collect();
+            (g, sigmas)
+        }
+
+        proptest! {
+            /// The satellite property: the bushy DP never loses to the
+            /// left-deep baseline on identical σ/topology inputs.
+            #[test]
+            fn dp_never_costlier_than_left_deep(
+                k in 3usize..7,
+                seed in any::<u64>(),
+                topo_seed in 0u64..32,
+            ) {
+                let (g, sigmas) = graph_and_sigmas(k, seed);
+                let space = space_for(&g, 60, topo_seed);
+                let dp = optimize(&g, &sigmas, &space);
+                let ld = left_deep(&g, &sigmas, &space);
+                let gr = greedy(&g, &sigmas, &space);
+                prop_assert!(dp.cost <= ld.cost + 1e-9,
+                    "bushy {} beat by left-deep {}", dp.cost, ld.cost);
+                prop_assert!(dp.cost <= gr.cost + 1e-9,
+                    "bushy {} beat by greedy {}", dp.cost, gr.cost);
+            }
+        }
+    }
+}

@@ -4,9 +4,9 @@
 //!
 //! Since the [`crate::session`] redesign this module is a thin layer: the
 //! initiation and execution loops live in the unified session drivers
-//! (shared with the multi-query harness), and [`Scenario::run`] is a
-//! deprecated one-shot shim around [`Scenario::session`]. [`Run`] remains
-//! the bare-wire engine wrapper those drivers operate on.
+//! (shared with the multi-query harness), and one-shot runs go through
+//! [`Scenario::session`]. [`Run`] remains the bare-wire engine wrapper
+//! those drivers operate on.
 
 use crate::node::{JoinNode, RecoveryStats};
 use crate::shared::{AlgoConfig, Algorithm, Shared};
@@ -201,19 +201,6 @@ impl Scenario {
             init_metrics: None,
             init_cycles: 0,
         }
-    }
-
-    /// Build, run initiation and `cycles` sampling cycles, collect stats.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Scenario::session()` (or `aspen_join::session::Session::builder`) \
-                and convert the `Outcome` with `RunStats::from`"
-    )]
-    pub fn run(&self, cycles: u32) -> RunStats {
-        let mut run = self.build();
-        run.initiate();
-        run.execute(cycles);
-        run.stats()
     }
 }
 
@@ -426,6 +413,153 @@ pub fn oracle_result_count(
                     wt.pop_front();
                 }
                 wt.push_back(tt);
+            }
+        }
+    }
+    count
+}
+
+/// Oracle: expected number of full n-way join results of a
+/// [`JoinGraph`](sensor_query::JoinGraph) over `cycles` sampling cycles,
+/// ignoring transport delays and losses — the n-relation generalization of
+/// [`oracle_result_count`] (to which it is exactly equal for two-relation
+/// graphs; the tests assert this).
+///
+/// Each relation's eligible producers keep a window of their last `w`
+/// *sent* tuples; a combination (one tuple per relation, all edge
+/// predicates satisfied, per-edge distinct producers) is counted once,
+/// when its last tuple is generated — generation order, like the pairwise
+/// oracle.
+pub fn oracle_graph_result_count(
+    topo: &Topology,
+    data: &WorkloadData,
+    graph: &sensor_query::JoinGraph,
+    cycles: u32,
+) -> u64 {
+    use sensor_query::{QueryAnalysis, Tuple, TupleSource};
+    use std::collections::VecDeque;
+    /// Relation slot of a partially-assembled combination.
+    type Slot = Option<(NodeId, Tuple)>;
+    let base = topo.base();
+    let k = graph.n_relations();
+    // Relation r's selection semantics come from a representative incident
+    // edge's compiled spec: the S analysis if r is the edge's `a`, T
+    // otherwise (edge specs bundle exactly the endpoint selections).
+    let rep: Vec<(QueryAnalysis, bool)> = (0..k)
+        .map(|r| {
+            let e = graph
+                .edges_of(r)
+                .next()
+                .expect("validated graphs have no unjoined relation");
+            (graph.edge_spec(e).analysis, graph.edges[e].a == r)
+        })
+        .collect();
+    let eligible: Vec<Vec<NodeId>> = (0..k)
+        .map(|r| {
+            topo.node_ids()
+                .filter(|&n| {
+                    if n == base {
+                        return false;
+                    }
+                    let st = data.static_of(n);
+                    if rep[r].1 {
+                        rep[r].0.s_eligible(st)
+                    } else {
+                        rep[r].0.t_eligible(st)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let edge_analyses: Vec<QueryAnalysis> = (0..graph.edges.len())
+        .map(|e| graph.edge_spec(e).analysis)
+        .collect();
+    // Does assigning `(node, tuple)` to relation `r` satisfy every edge
+    // whose other endpoint is already assigned?
+    let edges_ok = |chosen: &[Slot], r: usize| -> bool {
+        graph.edges.iter().enumerate().all(|(ei, e)| {
+            let other = if e.a == r {
+                e.b
+            } else if e.b == r {
+                e.a
+            } else {
+                return true;
+            };
+            let Some((on, ot)) = &chosen[other] else {
+                return true;
+            };
+            let (rn, rt) = chosen[r].as_ref().expect("r was just assigned");
+            if rn == on {
+                return false;
+            }
+            let (sn, st, tn, tt) = if e.a == r {
+                (rn, rt, on, ot)
+            } else {
+                (on, ot, rn, rt)
+            };
+            edge_analyses[ei].static_join_matches(data.static_of(*sn), data.static_of(*tn))
+                && edge_analyses[ei].join_matches(st, tt)
+        })
+    };
+    // Count combinations completed by the fixed tuple in `chosen[fixed]`,
+    // extending one unassigned relation at a time from current windows.
+    fn extend(
+        graph: &sensor_query::JoinGraph,
+        windows: &[Vec<VecDeque<Tuple>>],
+        eligible: &[Vec<NodeId>],
+        edges_ok: &dyn Fn(&[Slot], usize) -> bool,
+        chosen: &mut Vec<Slot>,
+        next: usize,
+        fixed: usize,
+    ) -> u64 {
+        let k = graph.n_relations();
+        if next == k {
+            return 1;
+        }
+        if next == fixed {
+            return extend(graph, windows, eligible, edges_ok, chosen, next + 1, fixed);
+        }
+        let mut total = 0;
+        for (ni, &node) in eligible[next].iter().enumerate() {
+            for tup in &windows[next][ni] {
+                chosen[next] = Some((node, *tup));
+                if edges_ok(chosen, next) {
+                    total += extend(graph, windows, eligible, edges_ok, chosen, next + 1, fixed);
+                }
+            }
+        }
+        chosen[next] = None;
+        total
+    }
+    let w = graph.window;
+    let mut windows: Vec<Vec<VecDeque<Tuple>>> = eligible
+        .iter()
+        .map(|ns| vec![VecDeque::new(); ns.len()])
+        .collect();
+    let mut count = 0u64;
+    for c in 0..cycles {
+        // Deterministic generation order: relation index, then node order.
+        // A new tuple sees same-cycle tuples already pushed — exactly the
+        // S-before-T convention of the pairwise oracle.
+        for r in 0..k {
+            for (ni, &node) in eligible[r].iter().enumerate() {
+                let tup = data.sample(node, c);
+                let sends = if rep[r].1 {
+                    rep[r].0.s_sends(&tup)
+                } else {
+                    rep[r].0.t_sends(&tup)
+                };
+                if !sends {
+                    continue;
+                }
+                let mut chosen: Vec<Slot> = vec![None; k];
+                chosen[r] = Some((node, tup));
+                count += extend(graph, &windows, &eligible, &edges_ok, &mut chosen, 0, r);
+                let wd = &mut windows[r][ni];
+                if wd.len() == w {
+                    wd.pop_front();
+                }
+                wd.push_back(tup);
             }
         }
     }

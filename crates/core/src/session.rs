@@ -42,18 +42,20 @@
 //! path; the golden-output suite proves the sweep/recovery/multiq reports
 //! are byte-identical across the redesign.
 
+use crate::cost::Sigma;
 use crate::multi::{
     BaseSnapshot, Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet,
     QueryStats, Sharing,
 };
 use crate::node::{JoinNode, RecoveryStats};
+use crate::optimize::{optimize, sigmas_diverged, uniform_sigmas, Plan, PlanSpace};
 use crate::scenario::{
     busiest_join_node_of, init_steps, reconvergence, DynamicsOutcome, InitStep, Run, RunStats,
     Scenario,
 };
 use crate::shared::AlgoConfig;
 use sensor_net::NodeId;
-use sensor_query::JoinQuerySpec;
+use sensor_query::{JoinGraph, JoinQuerySpec};
 use sensor_sim::dynamics::{DynamicsPlan, FireOutcome};
 use sensor_sim::{FlowMetrics, Metrics, SimConfig};
 use sensor_workload::WorkloadData;
@@ -65,6 +67,10 @@ pub use crate::multi::LIVE_INIT_SPACING;
 /// are never reused, so the handle stays valid after retirement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub usize);
+
+/// Handle to an n-way graph query admitted via [`Session::admit_graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(pub usize);
 
 /// Harness phase a session is in (reported via
 /// [`SessionEvent::PhaseTransition`]).
@@ -101,6 +107,10 @@ pub enum SessionEvent {
     WorkloadMark { cycle: u32 },
     /// The harness moved between phases.
     PhaseTransition { cycle: u32, phase: Phase },
+    /// A graph query's plan was re-optimized against learned σ estimates
+    /// (§6 generalized to n-way plans); its skeleton sub-joins may have
+    /// been swapped.
+    Replanned { cycle: u32, graph: GraphId },
 }
 
 /// Per-sampling-cycle view handed to [`Observer::on_cycle`] right after
@@ -193,11 +203,38 @@ pub(crate) fn step_calls(step: InitStep, base: NodeId, n: usize) -> Vec<(NodeId,
     }
 }
 
+/// Mean of a stream of σ estimates (component-wise); `None` when empty.
+fn mean_sigma(estimates: impl Iterator<Item = crate::cost::Sigma>) -> Option<crate::cost::Sigma> {
+    let (mut s, mut t, mut st, mut n) = (0.0, 0.0, 0.0, 0u32);
+    for e in estimates {
+        s += e.s;
+        t += e.t;
+        st += e.st;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        let n = n as f64;
+        Some(crate::cost::Sigma::new(s / n, t / n, st / n))
+    }
+}
+
 pub(crate) trait Host {
     fn n_queries(&self) -> usize;
     fn cfg_of(&self, q: usize) -> AlgoConfig;
     fn base(&self) -> NodeId;
     fn topo_len(&self) -> usize;
+    /// The network the session runs on (plan optimization needs hop
+    /// distances and positions).
+    fn topology(&self) -> &sensor_net::Topology;
+    /// The sensor workload (plan optimization derives producer anchors
+    /// from static eligibility).
+    fn workload(&self) -> &WorkloadData;
+    /// Mean of query `q`'s learned per-pair σ estimates across every join
+    /// node currently holding state for it (`None` until §6 learning has
+    /// evidence). `w` is the query's window size.
+    fn learned_sigma(&self, q: usize, w: usize) -> Option<crate::cost::Sigma>;
     /// Fire one initiation step of query `q` across the network.
     fn apply_step(&mut self, q: usize, step: InitStep);
     /// Bring query `q` online at every node.
@@ -248,6 +285,24 @@ impl Host for Run {
     }
     fn topo_len(&self) -> usize {
         self.engine.topology().len()
+    }
+
+    fn topology(&self) -> &sensor_net::Topology {
+        &self.shared.topo
+    }
+
+    fn workload(&self) -> &WorkloadData {
+        &self.shared.data
+    }
+
+    fn learned_sigma(&self, _q: usize, w: usize) -> Option<crate::cost::Sigma> {
+        mean_sigma(
+            self.engine
+                .nodes()
+                .iter()
+                .flat_map(|jn| jn.pairs.values())
+                .filter_map(|ps| ps.stats.estimate(w)),
+        )
     }
 
     fn apply_step(&mut self, _q: usize, step: InitStep) {
@@ -376,6 +431,24 @@ impl Host for MultiRun {
     }
     fn topo_len(&self) -> usize {
         self.engine.topology().len()
+    }
+
+    fn topology(&self) -> &sensor_net::Topology {
+        &self.shareds[0].topo
+    }
+
+    fn workload(&self) -> &WorkloadData {
+        &self.shareds[0].data
+    }
+
+    fn learned_sigma(&self, q: usize, w: usize) -> Option<crate::cost::Sigma> {
+        mean_sigma(
+            self.engine
+                .nodes()
+                .iter()
+                .flat_map(|mn| mn.query_node(q).pairs.values())
+                .filter_map(|ps| ps.stats.estimate(w)),
+        )
     }
 
     fn apply_step(&mut self, q: usize, step: InitStep) {
@@ -977,6 +1050,53 @@ macro_rules! with_host {
     };
 }
 
+/// One resident n-way graph query: its current plan and the fingerprints
+/// of the skeleton sub-joins it holds references on.
+struct GraphEntry {
+    graph: JoinGraph,
+    plan: Plan,
+    cfg: AlgoConfig,
+    /// Parallel to `plan.skeleton`: registry key of each sub-join.
+    subs: Vec<String>,
+    retired: bool,
+}
+
+/// One shared in-network sub-join operator: the pairwise query executing
+/// it and how many resident graph plans reference it.
+struct SharedSub {
+    qid: QueryId,
+    refs: usize,
+}
+
+/// Structural identity of a skeleton edge's sub-join, independent of the
+/// owning graph's name or relation order: endpoint selections (canonical
+/// S/T-form display), join predicate, window and sampling interval. Two
+/// graphs whose plans contain the same fingerprint share one in-network
+/// operator. When sharing is disabled the fingerprint is scoped to the
+/// owning graph, which makes every reference private.
+fn sub_fingerprint(graph: &JoinGraph, edge: usize, scope: Option<usize>) -> String {
+    let e = &graph.edges[edge];
+    let sel = |r: usize| {
+        graph.relations[r]
+            .selection
+            .as_ref()
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    };
+    let base = format!(
+        "{}|{}|{}|w{}|i{}",
+        sel(e.a),
+        sel(e.b),
+        e.predicate,
+        graph.window,
+        graph.sample_interval
+    );
+    match scope {
+        Some(g) => format!("{g}#{base}"),
+        None => base,
+    }
+}
+
 /// A long-lived execution context: one network (topology + workload +
 /// substrate + simulator) serving a changing population of join queries.
 /// Built via [`SessionBuilder`]; see the [module docs](self) for the
@@ -989,6 +1109,9 @@ pub struct Session {
     init_metrics: Option<Metrics>,
     init_cycles: u64,
     initiated: bool,
+    graphs: Vec<GraphEntry>,
+    sub_registry: std::collections::BTreeMap<String, SharedSub>,
+    share_subjoins: bool,
 }
 
 impl Session {
@@ -1099,6 +1222,173 @@ impl Session {
                 "bare-wire sessions host exactly one fixed query; \
                  use the default tagged session for online retirement"
             ),
+        }
+    }
+
+    /// Admit an n-way [`JoinGraph`] query: optimize a bushy plan over the
+    /// session's topology and workload (costed with `cfg.assumed` on every
+    /// edge), then instantiate the plan's skeleton — one representative
+    /// crossing join edge per interior plan node, a spanning tree of the
+    /// graph — as pairwise in-network sub-queries. Skeleton sub-joins that
+    /// structurally match one already executing for another resident graph
+    /// are *shared*: the existing operator gets another reference instead
+    /// of a second copy (disable with
+    /// [`SessionBuilder::subjoin_sharing`]).
+    ///
+    /// # Panics
+    /// On a bare-wire session (see [`Session::admit`]).
+    pub fn admit_graph(&mut self, graph: &JoinGraph, cfg: AlgoConfig) -> GraphId {
+        let plan = {
+            let host = self.backend.host();
+            let space = PlanSpace::build(host.topology(), host.workload(), graph);
+            optimize(graph, &uniform_sigmas(graph, cfg.assumed), &space)
+        };
+        let gid = GraphId(self.graphs.len());
+        let scope = (!self.share_subjoins).then_some(gid.0);
+        let mut subs = Vec::with_capacity(plan.skeleton.len());
+        for &e in &plan.skeleton {
+            let fp = sub_fingerprint(graph, e, scope);
+            self.acquire_sub(fp.clone(), graph, e, cfg);
+            subs.push(fp);
+        }
+        self.graphs.push(GraphEntry {
+            graph: graph.clone(),
+            plan,
+            cfg,
+            subs,
+            retired: false,
+        });
+        gid
+    }
+
+    /// Retire a graph query: drop its references on its skeleton
+    /// sub-joins; operators no longer referenced by any resident graph are
+    /// retired from the network ([`Session::retire`]). Idempotent.
+    pub fn retire_graph(&mut self, id: GraphId) {
+        if self.graphs[id.0].retired {
+            return;
+        }
+        self.graphs[id.0].retired = true;
+        let subs = std::mem::take(&mut self.graphs[id.0].subs);
+        for fp in &subs {
+            self.release_sub(fp);
+        }
+    }
+
+    /// The current costed plan of a resident graph query.
+    pub fn graph_plan(&self, id: GraphId) -> &Plan {
+        &self.graphs[id.0].plan
+    }
+
+    /// The pairwise sub-queries currently executing graph `id`'s skeleton,
+    /// in plan order (shared operators appear for every graph referencing
+    /// them).
+    pub fn graph_queries(&self, id: GraphId) -> Vec<QueryId> {
+        self.graphs[id.0]
+            .subs
+            .iter()
+            .map(|fp| self.sub_registry[fp].qid)
+            .collect()
+    }
+
+    /// §6 re-optimization hook, generalized to plans: aggregate the
+    /// learned σ estimates of graph `id`'s skeleton sub-queries, and if
+    /// any edge's estimate diverged from the plan's costing basis by more
+    /// than `cfg.divergence_threshold`, re-run the DP on the learned
+    /// values and swap the skeleton in place ([`Session::replan_with`]).
+    /// Returns whether a re-plan happened.
+    pub fn maybe_replan(&mut self, id: GraphId) -> bool {
+        let entry = &self.graphs[id.0];
+        if entry.retired {
+            return false;
+        }
+        let w = entry.graph.window;
+        let mut learned: Vec<Option<Sigma>> = vec![None; entry.graph.edges.len()];
+        for (k, &e) in entry.plan.skeleton.iter().enumerate() {
+            let qid = self.sub_registry[&entry.subs[k]].qid;
+            learned[e] = self.backend.host().learned_sigma(qid.0, w);
+        }
+        let entry = &self.graphs[id.0];
+        if !sigmas_diverged(&entry.plan.sigmas, &learned, entry.cfg.divergence_threshold) {
+            return false;
+        }
+        let sigmas: Vec<Sigma> = entry
+            .plan
+            .sigmas
+            .iter()
+            .zip(&learned)
+            .map(|(b, l)| l.unwrap_or(*b))
+            .collect();
+        self.replan_with(id, &sigmas);
+        true
+    }
+
+    /// Re-optimize graph `id` against an explicit per-edge σ basis and
+    /// swap its skeleton live: sub-joins shared between the old and new
+    /// plans keep running untouched, new ones are admitted, and old ones
+    /// whose last reference this was are retired. Emits
+    /// [`SessionEvent::Replanned`].
+    ///
+    /// # Panics
+    /// If the graph was retired, or `sigmas.len()` ≠ the edge count.
+    pub fn replan_with(&mut self, id: GraphId, sigmas: &[Sigma]) {
+        let entry = &self.graphs[id.0];
+        assert!(!entry.retired, "cannot replan a retired graph query");
+        let graph = entry.graph.clone();
+        let cfg = entry.cfg;
+        let plan = {
+            let host = self.backend.host();
+            let space = PlanSpace::build(host.topology(), host.workload(), &graph);
+            optimize(&graph, sigmas, &space)
+        };
+        let scope = (!self.share_subjoins).then_some(id.0);
+        // Acquire the new skeleton first, then release the old one, so
+        // sub-joins common to both plans never drop to zero references
+        // (which would bounce a running operator off the network).
+        let mut subs = Vec::with_capacity(plan.skeleton.len());
+        for &e in &plan.skeleton {
+            let fp = sub_fingerprint(&graph, e, scope);
+            self.acquire_sub(fp.clone(), &graph, e, cfg);
+            subs.push(fp);
+        }
+        let old_subs = std::mem::replace(&mut self.graphs[id.0].subs, subs);
+        self.graphs[id.0].plan = plan;
+        for fp in &old_subs {
+            self.release_sub(fp);
+        }
+        let ev = SessionEvent::Replanned {
+            cycle: self.st.next_cycle,
+            graph: id,
+        };
+        for o in &mut self.observers {
+            o.on_event(&ev);
+        }
+    }
+
+    /// Take (or add) a reference on the sub-join keyed `fp`, admitting its
+    /// pairwise query if no live operator exists.
+    fn acquire_sub(&mut self, fp: String, graph: &JoinGraph, edge: usize, cfg: AlgoConfig) {
+        if let Some(sub) = self.sub_registry.get_mut(&fp) {
+            if sub.refs > 0 {
+                sub.refs += 1;
+                return;
+            }
+        }
+        let qid = self.admit(graph.edge_spec(edge), cfg);
+        self.sub_registry.insert(fp, SharedSub { qid, refs: 1 });
+    }
+
+    /// Drop a reference on the sub-join keyed `fp`; the last reference
+    /// retires its pairwise query.
+    fn release_sub(&mut self, fp: &str) {
+        let sub = self
+            .sub_registry
+            .get_mut(fp)
+            .expect("released sub-join was acquired");
+        sub.refs -= 1;
+        if sub.refs == 0 {
+            let qid = sub.qid;
+            self.retire(qid);
         }
     }
 
@@ -1301,6 +1591,7 @@ pub struct SessionBuilder {
     queries: Vec<QueryInstance>,
     bare: bool,
     observers: Vec<Box<dyn Observer>>,
+    share_subjoins: bool,
 }
 
 impl SessionBuilder {
@@ -1315,6 +1606,7 @@ impl SessionBuilder {
             queries: Vec::new(),
             bare: false,
             observers: Vec::new(),
+            share_subjoins: true,
         }
     }
 
@@ -1380,6 +1672,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Whether [`Session::admit_graph`] shares structurally identical
+    /// skeleton sub-joins across resident graph queries (default `true`).
+    /// Disabling gives every graph private operators — the baseline the
+    /// sharing regression tests compare against.
+    pub fn subjoin_sharing(mut self, share: bool) -> Self {
+        self.share_subjoins = share;
+        self
+    }
+
     /// Use the paper's original untagged single-query wire format instead
     /// of the query-tagged wrapper: byte-for-byte the figures' traffic
     /// numbers, at the price of a fixed single query (no
@@ -1440,6 +1741,9 @@ impl SessionBuilder {
             init_metrics: None,
             init_cycles: 0,
             initiated: false,
+            graphs: Vec::new(),
+            sub_registry: std::collections::BTreeMap::new(),
+            share_subjoins: self.share_subjoins,
         }
     }
 }
@@ -1475,9 +1779,9 @@ impl Scenario {
 }
 
 impl QuerySet {
-    /// A tagged [`Session`] over this query set (the modern entry point;
-    /// [`QuerySet::run`] is the deprecated one-shot shim). Clones the
-    /// set's parts; use [`QuerySet::into_session`] for a throwaway set.
+    /// A tagged [`Session`] over this query set (the modern entry point).
+    /// Clones the set's parts; use [`QuerySet::into_session`] for a
+    /// throwaway set.
     pub fn session(&self) -> Session {
         QuerySet {
             topo: self.topo.clone(),

@@ -1,10 +1,9 @@
 //! Parity proof for the `Session` redesign: the unified [`Outcome`] and
 //! its `From` conversions reproduce — metric for metric, bit for bit —
-//! what the deprecated `Scenario::run` / `QuerySet::run` /
-//! `Run::execute_with_plan` harnesses report. Every metric the golden
-//! snapshots read is compared here, so `Outcome -> RunStats` and
-//! `Outcome -> MultiRunStats` cannot silently drop or distort one.
-#![allow(deprecated)] // the whole point is to compare against the shims
+//! what the classic `build → initiate → execute → stats` harness path
+//! reports. Every metric the golden snapshots read is compared here, so
+//! `Outcome -> RunStats` and `Outcome -> MultiRunStats` cannot silently
+//! drop or distort one.
 
 use aspen_join::prelude::*;
 use aspen_join::{Algorithm, InnetOptions};
@@ -43,7 +42,12 @@ fn outcome_to_run_stats_round_trips_every_metric() {
         (7, Algorithm::Ght, InnetOptions::PLAIN),
     ] {
         let sc = scenario(seed, algo, opts);
-        let legacy = sc.run(20);
+        let legacy = {
+            let mut run = sc.build();
+            run.initiate();
+            run.execute(20);
+            run.stats()
+        };
         let mut session = sc.session();
         session.step(20);
         let out = session.report();
@@ -106,7 +110,12 @@ fn outcome_to_multi_run_stats_round_trips_every_metric() {
             num_trees: 3,
             sharing,
         };
-        let legacy = mk_set().run(16);
+        let legacy = {
+            let mut run = mk_set().build();
+            run.initiate();
+            run.execute(16);
+            run.stats()
+        };
         let mut session = mk_set().session();
         session.step(16);
         let converted = MultiRunStats::from(session.report());
@@ -184,8 +193,8 @@ fn outcome_to_dynamics_outcome_round_trips_the_trace() {
     assert!(!out.killed.is_empty(), "the kills must actually fire");
 }
 
-/// The deprecated shims and the session agree even when stepping is
-/// chunked: step(a); step(b) == step(a + b).
+/// The session agrees with itself even when stepping is chunked:
+/// step(a); step(b) == step(a + b).
 #[test]
 fn chunked_stepping_matches_one_shot() {
     let sc = scenario(17, Algorithm::Innet, InnetOptions::CM);

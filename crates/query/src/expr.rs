@@ -191,6 +191,62 @@ impl Expr {
         }
     }
 
+    /// Swap every `S` attribute reference to `T` and vice versa.
+    /// (`dist` is symmetric in the two positions, so `Dist` is unchanged.)
+    pub fn swap_sides(&self) -> Expr {
+        match self {
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::Attr(side, attr) => Expr::Attr(side.other(), *attr),
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(*op, Box::new(a.swap_sides()), Box::new(b.swap_sides()))
+            }
+            Expr::Hash(e) => Expr::Hash(Box::new(e.swap_sides())),
+            Expr::Abs(e) => Expr::Abs(Box::new(e.swap_sides())),
+            Expr::Dist => Expr::Dist,
+        }
+    }
+
+    /// Render as parseable StreamSQL with custom relation names standing in
+    /// for the two sides (`Display` uses `S`/`T`).
+    pub fn fmt_with(&self, f: &mut std::fmt::Formatter<'_>, s: &str, t: &str) -> std::fmt::Result {
+        match self {
+            Expr::Const(c) => {
+                if *c < 0 {
+                    // The grammar has no negative literals; unary minus
+                    // parses as `0 - x`, which this reproduces.
+                    write!(f, "(0 - {})", c.unsigned_abs())
+                } else {
+                    write!(f, "{c}")
+                }
+            }
+            Expr::Attr(side, attr) => {
+                let rel = match side {
+                    Side::S => s,
+                    Side::T => t,
+                };
+                write!(f, "{rel}.{}", Schema::name(*attr))
+            }
+            Expr::Arith(op, a, b) => {
+                write!(f, "(")?;
+                a.fmt_with(f, s, t)?;
+                write!(f, " {op} ")?;
+                b.fmt_with(f, s, t)?;
+                write!(f, ")")
+            }
+            Expr::Hash(e) => {
+                write!(f, "hash(")?;
+                e.fmt_with(f, s, t)?;
+                write!(f, ")")
+            }
+            Expr::Abs(e) => {
+                write!(f, "abs(")?;
+                e.fmt_with(f, s, t)?;
+                write!(f, ")")
+            }
+            Expr::Dist => write!(f, "dist({s}.pos, {t}.pos)"),
+        }
+    }
+
     /// Attributes referenced on a given side.
     pub fn attrs_on(&self, side: Side, out: &mut Vec<AttrId>) {
         match self {
@@ -210,6 +266,25 @@ impl Expr {
                 out.push(ATTR_POS_Y);
             }
         }
+    }
+}
+
+impl std::fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sym = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        };
+        write!(f, "{sym}")
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_with(f, "S", "T")
     }
 }
 

@@ -15,9 +15,14 @@
 //!
 //! The 28-attribute sensor schema of Appendix B is in [`schema`]; tuples
 //! and deterministic evaluation in [`tuple`](mod@tuple) and [`expr`].
+//!
+//! Multi-relation `FROM` lists parse into an n-way [`graph::JoinGraph`]
+//! whose edges each compile down to a pairwise spec; the two-relation
+//! query is the degenerate case ([`graph::JoinGraph::pair_spec`]).
 
 pub mod classify;
 pub mod expr;
+pub mod graph;
 pub mod parser;
 pub mod pattern;
 pub mod pred;
@@ -27,6 +32,7 @@ pub mod tuple;
 
 pub use classify::{ClauseClass, QueryAnalysis};
 pub use expr::{Expr, Side};
+pub use graph::{parse_join_graph, GraphError, JoinEdge, JoinGraph, Relation};
 pub use pattern::{RoutingPattern, RoutingPlan};
 pub use pred::{BoolExpr, Clause, CmpOp, Pred};
 pub use schema::{AttrId, Schema};

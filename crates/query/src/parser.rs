@@ -29,17 +29,17 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 #[derive(Debug, Clone, PartialEq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     Num(i64),
     Sym(&'static str),
 }
 
-struct Lexer {
-    toks: Vec<(usize, Tok)>,
+pub(crate) struct Lexer {
+    pub(crate) toks: Vec<(usize, Tok)>,
 }
 
-fn lex(input: &str) -> Result<Lexer, ParseError> {
+pub(crate) fn lex(input: &str) -> Result<Lexer, ParseError> {
     let bytes = input.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -110,13 +110,29 @@ fn lex(input: &str) -> Result<Lexer, ParseError> {
     Ok(Lexer { toks })
 }
 
-struct Parser {
-    toks: Vec<(usize, Tok)>,
-    at: usize,
+pub(crate) struct Parser {
+    pub(crate) toks: Vec<(usize, Tok)>,
+    pub(crate) at: usize,
+    /// Relation names from an n-way `FROM` list (lowercased). Empty in
+    /// the classic two-relation mode, where `S`/`T` are hard-wired.
+    pub(crate) rels: Vec<String>,
+    /// Graph mode: relations referenced by the current WHERE conjunct, in
+    /// first-use order. Position 0 binds to [`Side::S`], position 1 to
+    /// [`Side::T`]; a third distinct relation in one conjunct is an error.
+    pub(crate) bound: Vec<usize>,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Tok> {
+    pub(crate) fn new(toks: Vec<(usize, Tok)>) -> Parser {
+        Parser {
+            toks,
+            at: 0,
+            rels: Vec::new(),
+            bound: Vec::new(),
+        }
+    }
+
+    pub(crate) fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.at).map(|(_, t)| t)
     }
 
@@ -127,20 +143,20 @@ impl Parser {
             .unwrap_or(usize::MAX)
     }
 
-    fn bump(&mut self) -> Option<Tok> {
+    pub(crate) fn bump(&mut self) -> Option<Tok> {
         let t = self.toks.get(self.at).map(|(_, t)| t.clone());
         self.at += 1;
         t
     }
 
-    fn err(&self, message: impl Into<String>) -> ParseError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             pos: self.pos(),
             message: message.into(),
         }
     }
 
-    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+    pub(crate) fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
         match self.bump() {
             Some(Tok::Sym(sym)) if sym == s => Ok(()),
             other => Err(ParseError {
@@ -150,7 +166,7 @@ impl Parser {
         }
     }
 
-    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.bump() {
             Some(Tok::Ident(id)) if id == kw => Ok(()),
             other => Err(ParseError {
@@ -160,7 +176,7 @@ impl Parser {
         }
     }
 
-    fn eat_kw(&mut self, kw: &str) -> bool {
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
         if matches!(self.peek(), Some(Tok::Ident(id)) if id == kw) {
             self.at += 1;
             true
@@ -169,7 +185,7 @@ impl Parser {
         }
     }
 
-    fn eat_sym(&mut self, s: &str) -> bool {
+    pub(crate) fn eat_sym(&mut self, s: &str) -> bool {
         if matches!(self.peek(), Some(Tok::Sym(sym)) if *sym == s) {
             self.at += 1;
             true
@@ -178,10 +194,44 @@ impl Parser {
         }
     }
 
+    /// Graph mode: resolve a relation name to its `FROM`-list index.
+    pub(crate) fn rel_index(&self, name: &str) -> Option<usize> {
+        self.rels.iter().position(|r| r == name)
+    }
+
+    /// Graph mode: bind relation `rel` to a side within the current
+    /// conjunct (first distinct relation → S, second → T).
+    fn bind_side(&mut self, rel: usize) -> Result<Side, ParseError> {
+        if let Some(i) = self.bound.iter().position(|&r| r == rel) {
+            return Ok(if i == 0 { Side::S } else { Side::T });
+        }
+        if self.bound.len() >= 2 {
+            return Err(self.err(format!(
+                "predicate references more than two relations ('{}' after '{}' and '{}')",
+                self.rels[rel], self.rels[self.bound[0]], self.rels[self.bound[1]]
+            )));
+        }
+        self.bound.push(rel);
+        Ok(if self.bound.len() == 1 {
+            Side::S
+        } else {
+            Side::T
+        })
+    }
+
     fn attr_ref(&mut self) -> Result<(Side, AttrId), ParseError> {
         let side = match self.bump() {
-            Some(Tok::Ident(id)) if id == "s" => Side::S,
-            Some(Tok::Ident(id)) if id == "t" => Side::T,
+            Some(Tok::Ident(id)) if self.rels.is_empty() && id == "s" => Side::S,
+            Some(Tok::Ident(id)) if self.rels.is_empty() && id == "t" => Side::T,
+            Some(Tok::Ident(id)) if !self.rels.is_empty() => match self.rel_index(&id) {
+                Some(r) => self.bind_side(r)?,
+                None => {
+                    return Err(ParseError {
+                        pos: self.pos(),
+                        message: format!("unknown relation '{id}' (not in the FROM list)"),
+                    })
+                }
+            },
             other => {
                 return Err(ParseError {
                     pos: self.pos(),
@@ -207,6 +257,32 @@ impl Parser {
             })?,
         };
         Ok((side, attr))
+    }
+
+    /// Graph mode: one `rel.pos` argument of `dist`, binding the relation.
+    fn dist_arg(&mut self) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(id)) => match self.rel_index(&id) {
+                Some(r) => {
+                    self.bind_side(r)?;
+                }
+                None => {
+                    return Err(ParseError {
+                        pos: self.pos(),
+                        message: format!("unknown relation '{id}' (not in the FROM list)"),
+                    })
+                }
+            },
+            other => {
+                return Err(ParseError {
+                    pos: self.pos(),
+                    message: format!("expected a relation name, found {other:?}"),
+                })
+            }
+        }
+        self.expect_sym(".")?;
+        self.expect_kw("pos")?;
+        Ok(())
     }
 
     // --- expressions -----------------------------------------------------
@@ -280,18 +356,31 @@ impl Parser {
                 "dist" => {
                     self.bump();
                     self.expect_sym("(")?;
-                    // dist(S.pos, T.pos) — argument order is fixed.
-                    self.expect_kw("s")?;
-                    self.expect_sym(".")?;
-                    self.expect_kw("pos")?;
-                    self.expect_sym(",")?;
-                    self.expect_kw("t")?;
-                    self.expect_sym(".")?;
-                    self.expect_kw("pos")?;
+                    if self.rels.is_empty() {
+                        // dist(S.pos, T.pos) — argument order is fixed.
+                        self.expect_kw("s")?;
+                        self.expect_sym(".")?;
+                        self.expect_kw("pos")?;
+                        self.expect_sym(",")?;
+                        self.expect_kw("t")?;
+                        self.expect_sym(".")?;
+                        self.expect_kw("pos")?;
+                    } else {
+                        // Graph mode: dist(A.pos, B.pos) binds both
+                        // relations; Euclidean distance is symmetric, so
+                        // the S/T orientation does not matter.
+                        self.dist_arg()?;
+                        self.expect_sym(",")?;
+                        self.dist_arg()?;
+                    }
                     self.expect_sym(")")?;
                     Ok(Expr::Dist)
                 }
-                "s" | "t" => {
+                "s" | "t" if self.rels.is_empty() => {
+                    let (side, attr) = self.attr_ref()?;
+                    Ok(Expr::attr(side, attr))
+                }
+                other if self.rel_index(other).is_some() => {
                     let (side, attr) = self.attr_ref()?;
                     Ok(Expr::attr(side, attr))
                 }
@@ -323,7 +412,7 @@ impl Parser {
 
     // --- boolean layer ---------------------------------------------------
 
-    fn bool_or(&mut self) -> Result<BoolExpr, ParseError> {
+    pub(crate) fn bool_or(&mut self) -> Result<BoolExpr, ParseError> {
         let mut parts = vec![self.bool_and()?];
         while self.eat_kw("or") {
             parts.push(self.bool_and()?);
@@ -347,7 +436,7 @@ impl Parser {
         })
     }
 
-    fn bool_not(&mut self) -> Result<BoolExpr, ParseError> {
+    pub(crate) fn bool_not(&mut self) -> Result<BoolExpr, ParseError> {
         if self.eat_kw("not") {
             return Ok(BoolExpr::Not(Box::new(self.bool_not()?)));
         }
@@ -368,16 +457,8 @@ impl Parser {
 
     // --- top level ---------------------------------------------------------
 
-    fn query(&mut self) -> Result<JoinQuerySpec, ParseError> {
-        self.expect_kw("select")?;
-        let mut select = vec![self.attr_ref()?];
-        while self.eat_sym(",") {
-            select.push(self.attr_ref()?);
-        }
-        self.expect_kw("from")?;
-        self.expect_kw("s")?;
-        self.expect_sym(",")?;
-        self.expect_kw("t")?;
+    /// The optional `[windowsize=N sampleinterval=M]` block.
+    pub(crate) fn window_opts(&mut self) -> Result<(usize, u32), ParseError> {
         let mut window = 1usize;
         let mut sample_interval = 100u32;
         if self.eat_sym("[") {
@@ -406,6 +487,20 @@ impl Parser {
                 }
             }
         }
+        Ok((window, sample_interval))
+    }
+
+    fn query(&mut self) -> Result<JoinQuerySpec, ParseError> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.attr_ref()?];
+        while self.eat_sym(",") {
+            select.push(self.attr_ref()?);
+        }
+        self.expect_kw("from")?;
+        self.expect_kw("s")?;
+        self.expect_sym(",")?;
+        self.expect_kw("t")?;
+        let (window, sample_interval) = self.window_opts()?;
         self.expect_kw("where")?;
         let predicate = self.bool_or()?;
         if self.at != self.toks.len() {
@@ -421,14 +516,12 @@ impl Parser {
     }
 }
 
-/// Parse a StreamSQL-style join query.
+/// Parse a StreamSQL-style join query over the classic two relations
+/// `S`/`T`. For multi-relation `FROM` lists see
+/// [`crate::graph::parse_join_graph`].
 pub fn parse_query(input: &str) -> Result<JoinQuerySpec, ParseError> {
     let lexer = lex(input)?;
-    Parser {
-        toks: lexer.toks,
-        at: 0,
-    }
-    .query()
+    Parser::new(lexer.toks).query()
 }
 
 #[cfg(test)]

@@ -62,6 +62,43 @@ impl Pred {
     pub fn is_static(&self) -> bool {
         self.lhs.is_static() && self.rhs.is_static()
     }
+
+    /// Swap the S/T bindings of both operand expressions.
+    pub fn swap_sides(&self) -> Pred {
+        Pred {
+            lhs: self.lhs.swap_sides(),
+            op: self.op,
+            rhs: self.rhs.swap_sides(),
+        }
+    }
+
+    /// Render as parseable StreamSQL with custom relation names for the
+    /// two sides.
+    pub fn fmt_with(&self, f: &mut std::fmt::Formatter<'_>, s: &str, t: &str) -> std::fmt::Result {
+        self.lhs.fmt_with(f, s, t)?;
+        write!(f, " {} ", self.op)?;
+        self.rhs.fmt_with(f, s, t)
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sym = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{sym}")
+    }
+}
+
+impl std::fmt::Display for Pred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_with(f, "S", "T")
+    }
 }
 
 /// A Boolean expression over predicates.
@@ -186,6 +223,70 @@ impl BoolExpr {
         clauses
     }
 
+    /// Swap the S/T bindings of every atom.
+    pub fn swap_sides(&self) -> BoolExpr {
+        match self {
+            BoolExpr::Atom(p) => BoolExpr::Atom(p.swap_sides()),
+            BoolExpr::And(parts) => BoolExpr::And(parts.iter().map(Self::swap_sides).collect()),
+            BoolExpr::Or(parts) => BoolExpr::Or(parts.iter().map(Self::swap_sides).collect()),
+            BoolExpr::Not(inner) => BoolExpr::Not(Box::new(inner.swap_sides())),
+        }
+    }
+
+    /// Render as parseable StreamSQL with custom relation names for the
+    /// two sides. `OR` groups and conjunctions nested under other
+    /// connectives are parenthesized so the output re-parses to the same
+    /// structure.
+    pub fn fmt_with(&self, f: &mut std::fmt::Formatter<'_>, s: &str, t: &str) -> std::fmt::Result {
+        match self {
+            BoolExpr::Atom(p) => p.fmt_with(f, s, t),
+            BoolExpr::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    match p {
+                        BoolExpr::Or(_) | BoolExpr::And(_) => {
+                            write!(f, "(")?;
+                            p.fmt_with(f, s, t)?;
+                            write!(f, ")")?;
+                        }
+                        _ => p.fmt_with(f, s, t)?,
+                    }
+                }
+                Ok(())
+            }
+            BoolExpr::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    match p {
+                        BoolExpr::Or(_) | BoolExpr::And(_) => {
+                            write!(f, "(")?;
+                            p.fmt_with(f, s, t)?;
+                            write!(f, ")")?;
+                        }
+                        _ => p.fmt_with(f, s, t)?,
+                    }
+                }
+                write!(f, ")")
+            }
+            BoolExpr::Not(inner) => {
+                write!(f, "NOT ")?;
+                match inner.as_ref() {
+                    BoolExpr::Atom(p) => p.fmt_with(f, s, t),
+                    other => {
+                        write!(f, "(")?;
+                        other.fmt_with(f, s, t)?;
+                        write!(f, ")")
+                    }
+                }
+            }
+        }
+    }
+
     fn cnf_rec(e: BoolExpr) -> Vec<Clause> {
         match e {
             BoolExpr::Atom(p) => vec![Clause::single(p)],
@@ -213,6 +314,12 @@ impl BoolExpr {
             }
             BoolExpr::Not(_) => unreachable!("NNF has no negations"),
         }
+    }
+}
+
+impl std::fmt::Display for BoolExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_with(f, "S", "T")
     }
 }
 

@@ -3,7 +3,7 @@
 //!
 //! # Data-oriented core
 //!
-//! Protocol messages live in an arena-backed [`crate::pool::MsgPool`];
+//! Protocol messages live in an arena-backed `MsgPool` (`pool.rs`);
 //! everything the hot loop touches — queue entries, event records — is a
 //! small `Copy` struct carrying a message *handle*, the message's flow
 //! (computed once at enqueue) and its wire size. The transmit phase

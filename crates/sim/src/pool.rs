@@ -13,14 +13,23 @@
 //! allocation happens in protocol callbacks (serial dispatch) and
 //! release happens in the serial event drain, which is what lets chunked
 //! transmit threads run against plain `&`-free queue state.
+//!
+//! The message and its reference count share one slot struct (not
+//! parallel `Vec`s): the common single-owner alloc→consume round trip of
+//! unsnooped unicast traffic touches one slab entry, not two arrays.
 
 /// Index of a pooled message. Stable for the slot's lifetime.
 pub(crate) type MsgHandle = u32;
 
 #[derive(Debug)]
+struct Slot<M> {
+    msg: Option<M>,
+    refs: u32,
+}
+
+#[derive(Debug)]
 pub(crate) struct MsgPool<M> {
-    slots: Vec<Option<M>>,
-    refs: Vec<u32>,
+    slots: Vec<Slot<M>>,
     free: Vec<MsgHandle>,
 }
 
@@ -28,7 +37,6 @@ impl<M> MsgPool<M> {
     pub(crate) fn new() -> Self {
         MsgPool {
             slots: Vec::new(),
-            refs: Vec::new(),
             free: Vec::new(),
         }
     }
@@ -49,15 +57,18 @@ impl<M> MsgPool<M> {
         debug_assert!(owners >= 1);
         match self.free.pop() {
             Some(h) => {
-                debug_assert!(self.slots[h as usize].is_none());
-                self.slots[h as usize] = Some(msg);
-                self.refs[h as usize] = owners;
+                let s = &mut self.slots[h as usize];
+                debug_assert!(s.msg.is_none());
+                s.msg = Some(msg);
+                s.refs = owners;
                 h
             }
             None => {
                 let h = self.slots.len() as MsgHandle;
-                self.slots.push(Some(msg));
-                self.refs.push(owners);
+                self.slots.push(Slot {
+                    msg: Some(msg),
+                    refs: owners,
+                });
                 h
             }
         }
@@ -67,22 +78,23 @@ impl<M> MsgPool<M> {
     /// snoop dispatch: the callback may allocate into the pool while the
     /// slot sits empty). Pair with [`MsgPool::put_back`].
     pub(crate) fn take(&mut self, h: MsgHandle) -> M {
-        self.slots[h as usize].take().expect("live pool slot")
+        self.slots[h as usize].msg.take().expect("live pool slot")
     }
 
     pub(crate) fn put_back(&mut self, h: MsgHandle, msg: M) {
-        debug_assert!(self.slots[h as usize].is_none());
-        self.slots[h as usize] = Some(msg);
+        let s = &mut self.slots[h as usize];
+        debug_assert!(s.msg.is_none());
+        s.msg = Some(msg);
     }
 
     /// Drop one reference without consuming the message (dead receiver,
     /// zero-delivery broadcast, discarded queue).
     pub(crate) fn release(&mut self, h: MsgHandle) {
-        let i = h as usize;
-        debug_assert!(self.refs[i] >= 1);
-        self.refs[i] -= 1;
-        if self.refs[i] == 0 {
-            self.slots[i] = None;
+        let s = &mut self.slots[h as usize];
+        debug_assert!(s.refs >= 1);
+        s.refs -= 1;
+        if s.refs == 0 {
+            s.msg = None;
             self.free.push(h);
         }
     }
@@ -93,6 +105,7 @@ impl<M: Clone> MsgPool<M> {
     /// non-final delivery of a shared transmission).
     pub(crate) fn clone_at(&self, h: MsgHandle) -> M {
         self.slots[h as usize]
+            .msg
             .as_ref()
             .expect("live pool slot")
             .clone()
@@ -101,15 +114,16 @@ impl<M: Clone> MsgPool<M> {
     /// Consume one reference, yielding an owned message: the last owner
     /// moves the message out and frees the slot, earlier owners clone.
     pub(crate) fn consume(&mut self, h: MsgHandle) -> M {
-        let i = h as usize;
-        debug_assert!(self.refs[i] >= 1);
-        if self.refs[i] == 1 {
-            self.refs[i] = 0;
+        let s = &mut self.slots[h as usize];
+        debug_assert!(s.refs >= 1);
+        if s.refs == 1 {
+            s.refs = 0;
+            let msg = s.msg.take().expect("live pool slot");
             self.free.push(h);
-            self.slots[i].take().expect("live pool slot")
+            msg
         } else {
-            self.refs[i] -= 1;
-            self.slots[i].as_ref().expect("live pool slot").clone()
+            s.refs -= 1;
+            s.msg.as_ref().expect("live pool slot").clone()
         }
     }
 }

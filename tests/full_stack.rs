@@ -2,9 +2,6 @@
 //! StreamSQL query, route it over the substrate, execute it with the
 //! optimizer, and check the moving parts against each other.
 
-// Deliberately exercises the deprecated `Scenario::run` shim so the
-// legacy entry point keeps compiling and behaving until removal.
-#![allow(deprecated)]
 use aspen::join::prelude::*;
 use aspen::join::Algorithm;
 use aspen::net::NodeId;
@@ -30,7 +27,9 @@ fn parsed_query_runs_end_to_end() {
         sim: SimConfig::lossless(),
         num_trees: 3,
     };
-    let stats = sc.run(30);
+    let mut session = sc.session();
+    session.step(30);
+    let stats = RunStats::from(session.report());
     assert!(stats.results > 0, "parsed query produced no results");
 }
 
@@ -105,7 +104,9 @@ fn mesh_profile_message_counts_track_bytes() {
             sim: SimConfig::lossless(),
             num_trees: 3,
         };
-        let st = sc.run(40);
+        let mut session = sc.session();
+        session.step(40);
+        let st = RunStats::from(session.report());
         totals.push((st.total_traffic_msgs(), st.total_traffic_bytes()));
     }
     assert!(
@@ -129,7 +130,9 @@ fn lossy_network_still_computes_most_results() {
             sim: SimConfig::default().with_loss(loss).with_seed(1),
             num_trees: 3,
         };
-        sc.run(40)
+        let mut session = sc.session();
+        session.step(40);
+        RunStats::from(session.report())
     };
     let clean = mk(0.0);
     let lossy = mk(0.10);
