@@ -231,38 +231,9 @@ pub fn parse_density(s: &str) -> Option<DensityClass> {
         .find(|&c| density_slug(c) == s.to_ascii_lowercase())
 }
 
-/// Display name for an algorithm + options pair ("Naive", "Innet-cmg", …).
-pub fn algo_name(algo: Algorithm, opts: InnetOptions) -> String {
-    match algo {
-        Algorithm::Innet => opts.suffix().replace(' ', "-"),
-        a => a.name().to_string(),
-    }
-}
-
-pub fn parse_algo(s: &str) -> Option<(Algorithm, InnetOptions)> {
-    let all: [(Algorithm, InnetOptions); 11] = [
-        (Algorithm::Naive, InnetOptions::PLAIN),
-        (Algorithm::Base, InnetOptions::PLAIN),
-        (Algorithm::Ght, InnetOptions::PLAIN),
-        (Algorithm::Yang07, InnetOptions::PLAIN),
-        (Algorithm::Innet, InnetOptions::PLAIN),
-        (Algorithm::Innet, InnetOptions::CM),
-        (Algorithm::Innet, InnetOptions::CMP),
-        (Algorithm::Innet, InnetOptions::CMG),
-        (Algorithm::Innet, InnetOptions::CMPG),
-        // Learning variants ("innet-learn", "innet-cmg-learn"): §6
-        // adaptation on — the interesting setting under dynamics plans.
-        (Algorithm::Innet, InnetOptions::PLAIN.with_learning()),
-        (Algorithm::Innet, InnetOptions::CMG.with_learning()),
-    ];
-    let want = s.to_ascii_lowercase();
-    all.into_iter().find(|&(a, o)| {
-        algo_name(a, o).to_ascii_lowercase() == want || {
-            // Accept the bare enum name too ("ght" for "GHT").
-            a != Algorithm::Innet && a.name().to_ascii_lowercase() == want
-        }
-    })
-}
+// The algorithm-slug grammar moved into the core crate so the serve wire
+// protocol shares it; re-exported here for the sweep CLIs and drivers.
+pub use aspen_join::shared::{algo_name, parse_algo};
 
 /// Base of the replicate-seed range. Every figure driver and sweep grid
 /// derives its seeds from here so cells stay comparable across figures

@@ -48,6 +48,7 @@
 //! through the shapes the figures were written against.
 
 pub mod centralized;
+pub mod control;
 pub mod cost;
 pub mod learn;
 pub mod msg;
@@ -59,6 +60,10 @@ pub mod scenario;
 pub mod session;
 pub mod shared;
 
+pub use control::{
+    decode_event, encode_event, Command, ControlError, QuerySummary, ReportSummary, Response,
+    StopWhen, Target,
+};
 pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
 pub use msg::{Msg, Pair};
 pub use multi::{
@@ -80,6 +85,9 @@ pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
+    pub use crate::control::{
+        Command, ControlError, QuerySummary, ReportSummary, Response, StopWhen, Target,
+    };
     pub use crate::cost::Sigma;
     pub use crate::multi::{
         Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet, QueryStats,

@@ -539,6 +539,15 @@ pub(crate) struct BaseSnapshot {
 pub struct MultiRun {
     pub engine: Engine<MultiNode>,
     pub shareds: Vec<Arc<Shared>>,
+    /// The shared routing substrate — held run-level (not just inside each
+    /// query's [`Shared`]) so queries can be admitted into a run that
+    /// currently hosts none (a freshly opened serve session).
+    sub: Arc<MultiTreeSubstrate>,
+    /// The workload, same run-level ownership rationale as `sub`.
+    pub(crate) data: WorkloadData,
+    /// Master death ledger: every node that died so far, so queries
+    /// admitted later inherit the deaths regardless of query population.
+    dead: Mutex<HashSet<NodeId>>,
     lifecycles: Vec<Lifecycle>,
     init_metrics: Option<Metrics>,
     init_cycles: u64,
@@ -591,6 +600,9 @@ impl QuerySet {
         MultiRun {
             engine,
             shareds,
+            sub,
+            data: self.data.clone(),
+            dead: Mutex::new(HashSet::new()),
             lifecycles: self.queries.iter().map(|q| q.lifecycle).collect(),
             init_metrics: None,
             init_cycles: 0,
@@ -628,20 +640,17 @@ impl MultiRun {
         cfg: AlgoConfig,
         lifecycle: Lifecycle,
     ) -> usize {
-        let proto = self
-            .shareds
-            .first()
-            .expect("a query set always holds at least one query");
+        let topo = self.engine.topology().clone();
         let sh = Arc::new(Shared {
-            topo: proto.topo.clone(),
-            sub: proto.sub.clone(),
-            gpsr: matches!(cfg.algorithm, Algorithm::Ght).then(|| GpsrRouter::new(&proto.topo)),
+            gpsr: matches!(cfg.algorithm, Algorithm::Ght).then(|| GpsrRouter::new(&topo)),
+            topo,
+            sub: self.sub.clone(),
             spec,
-            data: proto.data.clone(),
+            data: self.data.clone(),
             cfg,
             // The admitted query's liveness oracle must know the nodes
             // that died before it arrived.
-            dead: Mutex::new(proto.dead.lock().unwrap().clone()),
+            dead: Mutex::new(self.dead.lock().unwrap().clone()),
         });
         for i in 0..self.engine.topology().len() {
             self.engine.node_mut(NodeId(i as u16)).add_slot(&sh);
@@ -650,6 +659,15 @@ impl MultiRun {
         self.lifecycles.push(lifecycle);
         self.snapshots.push(None);
         self.shareds.len() - 1
+    }
+
+    /// Record a death in the run-level ledger and every resident query's
+    /// liveness oracle (later admissions inherit it from the ledger).
+    pub(crate) fn mark_dead(&self, v: NodeId) {
+        self.dead.lock().unwrap().insert(v);
+        for sh in &self.shareds {
+            sh.mark_dead(v);
+        }
     }
 
     /// Fire one initiation step of query `q` across the network.

@@ -130,7 +130,8 @@ pub struct CycleView<'a> {
 }
 
 /// Streaming telemetry hook. Both methods default to no-ops so an
-/// observer implements only what it needs.
+/// observer implements only what it needs. Observers are `Send` so a
+/// whole [`Session`] can be moved into a serve worker thread.
 pub trait Observer {
     /// Called after every sampling cycle.
     fn on_cycle(&mut self, _view: &CycleView<'_>) {}
@@ -434,11 +435,11 @@ impl Host for MultiRun {
     }
 
     fn topology(&self) -> &sensor_net::Topology {
-        &self.shareds[0].topo
+        self.engine.topology()
     }
 
     fn workload(&self) -> &WorkloadData {
-        &self.shareds[0].data
+        &self.data
     }
 
     fn learned_sigma(&self, q: usize, w: usize) -> Option<crate::cost::Sigma> {
@@ -486,9 +487,7 @@ impl Host for MultiRun {
     }
 
     fn mark_dead(&self, v: NodeId) {
-        for sh in &self.shareds {
-            sh.mark_dead(v);
-        }
+        MultiRun::mark_dead(self, v);
     }
 
     fn recovery_totals(&self) -> RecoveryStats {
@@ -697,9 +696,9 @@ pub(crate) fn drive_cycles<H: Host>(
     st: &mut ExecState,
     plan: &DynamicsPlan,
     n: u32,
-    obs: &mut [Box<dyn Observer>],
+    obs: &mut [Box<dyn Observer + Send>],
 ) {
-    let emit = |obs: &mut [Box<dyn Observer>], ev: SessionEvent| {
+    let emit = |obs: &mut [Box<dyn Observer + Send>], ev: SessionEvent| {
         for o in obs.iter_mut() {
             o.on_event(&ev);
         }
@@ -1025,6 +1024,10 @@ impl From<Outcome> for MultiOutcome {
 // ----------------------------------------------------------------------
 // The session proper.
 
+// Exactly one `Backend` per `Session`, so the size gap between variants
+// costs a few hundred bytes once; boxing would add a pointer chase to
+// every `with_host!` dispatch on the step path.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     /// Untagged single-query frames — the paper's original wire format.
     Bare(Run),
@@ -1105,7 +1108,7 @@ pub struct Session {
     backend: Backend,
     plan: DynamicsPlan,
     st: ExecState,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     init_metrics: Option<Metrics>,
     init_cycles: u64,
     initiated: bool,
@@ -1125,6 +1128,29 @@ impl Session {
         self.st.next_cycle
     }
 
+    /// Pairwise query slots ever admitted (slots are never reused, so this
+    /// counts retired queries too; it bounds valid [`QueryId`]s).
+    pub fn query_slots(&self) -> usize {
+        self.st.snapshots.len()
+    }
+
+    /// Graph query slots ever admitted (bounds valid [`GraphId`]s).
+    pub fn graph_slots(&self) -> usize {
+        self.graphs.len()
+    }
+
+    pub(crate) fn is_bare(&self) -> bool {
+        matches!(self.backend, Backend::Bare(_))
+    }
+
+    pub(crate) fn node_count(&self) -> usize {
+        self.backend.host().topo_len()
+    }
+
+    pub(crate) fn base_node(&self) -> NodeId {
+        self.backend.host().base()
+    }
+
     /// Replace the dynamics plan (takes effect from the next cycle; events
     /// scheduled at already-run cycles never fire).
     pub fn set_plan(&mut self, plan: DynamicsPlan) {
@@ -1134,7 +1160,7 @@ impl Session {
     /// Attach a streaming [`Observer`]. Attaching mid-run is fine: the
     /// migration/repair diff counters are re-baselined so the first
     /// events reflect only what happens from now on, not history.
-    pub fn observe(&mut self, obs: Box<dyn Observer>) {
+    pub fn observe(&mut self, obs: Box<dyn Observer + Send>) {
         if self.observers.is_empty() {
             // The counters are only advanced while observers are attached
             // (sweeps shouldn't pay for telemetry nobody reads), so a
@@ -1590,7 +1616,8 @@ pub struct SessionBuilder {
     plan: DynamicsPlan,
     queries: Vec<QueryInstance>,
     bare: bool,
-    observers: Vec<Box<dyn Observer>>,
+    allow_empty: bool,
+    observers: Vec<Box<dyn Observer + Send>>,
     share_subjoins: bool,
 }
 
@@ -1605,6 +1632,7 @@ impl SessionBuilder {
             plan: DynamicsPlan::none(),
             queries: Vec::new(),
             bare: false,
+            allow_empty: false,
             observers: Vec::new(),
             share_subjoins: true,
         }
@@ -1667,7 +1695,7 @@ impl SessionBuilder {
     }
 
     /// Attach an [`Observer`] from the start.
-    pub fn observer(mut self, obs: Box<dyn Observer>) -> Self {
+    pub fn observer(mut self, obs: Box<dyn Observer + Send>) -> Self {
         self.observers.push(obs);
         self
     }
@@ -1678,6 +1706,18 @@ impl SessionBuilder {
     /// sharing regression tests compare against.
     pub fn subjoin_sharing(mut self, share: bool) -> Self {
         self.share_subjoins = share;
+        self
+    }
+
+    /// Allow building a tagged session with no initial queries: the
+    /// network boots and idles until the first [`Session::admit`]. This is
+    /// how `aspen-serve` opens a session — a standing network awaiting
+    /// admissions over the wire. Incompatible with [`bare_wire`]
+    /// (which needs its one fixed query).
+    ///
+    /// [`bare_wire`]: SessionBuilder::bare_wire
+    pub fn allow_empty(mut self) -> Self {
+        self.allow_empty = true;
         self
     }
 
@@ -1698,8 +1738,9 @@ impl SessionBuilder {
     /// If no query was added, or `bare_wire` constraints are violated.
     pub fn build(self) -> Session {
         assert!(
-            !self.queries.is_empty(),
-            "a session needs at least one initial query (add one with .query())"
+            self.bare || !self.queries.is_empty() || self.allow_empty,
+            "a session needs at least one initial query (add one with \
+             .query(), or opt into an empty session with .allow_empty())"
         );
         let lifecycles: Vec<Lifecycle> = self.queries.iter().map(|qi| qi.lifecycle).collect();
         let backend = if self.bare {
@@ -1777,6 +1818,15 @@ impl Scenario {
             .build()
     }
 }
+
+// aspen-serve moves whole sessions into worker threads: the entire
+// backend stack (engine, plans, observers) must stay `Send`. Compile-time
+// check so a non-Send closure snuck into e.g. DynamicsPlan fails here,
+// with a readable error, rather than deep inside the serve crate.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
 
 impl QuerySet {
     /// A tagged [`Session`] over this query set (the modern entry point).

@@ -145,6 +145,44 @@ impl AlgoConfig {
     }
 }
 
+/// Display name for an algorithm + options pair ("Naive", "Innet-cmg",
+/// "Innet-cmg-learn", …) — the slug grammar every sweep CLI and the serve
+/// wire protocol share.
+pub fn algo_name(algo: Algorithm, opts: InnetOptions) -> String {
+    match algo {
+        Algorithm::Innet => opts.suffix().replace(' ', "-"),
+        a => a.name().to_string(),
+    }
+}
+
+/// Parse a sweep-style algorithm slug back into the option matrix
+/// (case-insensitive; accepts bare enum names like "ght" too). The
+/// inverse of [`algo_name`] over the evaluation's 11 combinations.
+pub fn parse_algo(s: &str) -> Option<(Algorithm, InnetOptions)> {
+    let all: [(Algorithm, InnetOptions); 11] = [
+        (Algorithm::Naive, InnetOptions::PLAIN),
+        (Algorithm::Base, InnetOptions::PLAIN),
+        (Algorithm::Ght, InnetOptions::PLAIN),
+        (Algorithm::Yang07, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::PLAIN),
+        (Algorithm::Innet, InnetOptions::CM),
+        (Algorithm::Innet, InnetOptions::CMP),
+        (Algorithm::Innet, InnetOptions::CMG),
+        (Algorithm::Innet, InnetOptions::CMPG),
+        // Learning variants ("innet-learn", "innet-cmg-learn"): §6
+        // adaptation on — the interesting setting under dynamics plans.
+        (Algorithm::Innet, InnetOptions::PLAIN.with_learning()),
+        (Algorithm::Innet, InnetOptions::CMG.with_learning()),
+    ];
+    let want = s.to_ascii_lowercase();
+    all.into_iter().find(|&(a, o)| {
+        algo_name(a, o).to_ascii_lowercase() == want || {
+            // Accept the bare enum name too ("ght" for "GHT").
+            a != Algorithm::Innet && a.name().to_ascii_lowercase() == want
+        }
+    })
+}
+
 /// Immutable run context shared across nodes (via `Arc`). The `dead` set
 /// is the one mutable element: the harness updates it on node failure and
 /// neighbors consult it as the outcome of local liveness probes (§7).

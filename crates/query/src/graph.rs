@@ -26,7 +26,7 @@
 //! the degenerate case [`JoinGraph::pair_spec`].
 
 use crate::expr::Side;
-use crate::parser::{lex, ParseError, Parser, Tok};
+use crate::parser::{describe, lex, ParseError, Parser, Tok};
 use crate::pred::BoolExpr;
 use crate::schema::{AttrId, Schema, ATTR_ID, ATTR_LOCAL_TIME};
 use crate::spec::JoinQuerySpec;
@@ -408,16 +408,24 @@ const RESERVED: &[&str] = &[
 /// parentheses so each conjunct's relation pair stays unambiguous.
 pub fn parse_join_graph(input: &str) -> Result<JoinGraph, ParseError> {
     let lexer = lex(input)?;
-    let mut p = Parser::new(lexer.toks);
+    let tok_pos: Vec<usize> = lexer.toks.iter().map(|(p, _)| *p).collect();
+    let mut p = Parser::new(lexer);
+    // Byte position of the token about to be consumed (for diagnostics
+    // raised later, once relation references are resolved).
+    let pos_here = |p: &Parser| tok_pos.get(p.at).copied().unwrap_or(input.len());
     p.expect_kw("select")?;
     // Select items are collected as raw names first: the FROM list that
     // declares the relations comes after them.
-    let mut raw_select: Vec<(String, AttrId)> = Vec::new();
+    let mut raw_select: Vec<(String, AttrId, usize)> = Vec::new();
     loop {
+        let rel_pos = pos_here(&p);
         let rel = match p.bump() {
             Some(Tok::Ident(id)) => id,
             other => {
-                return Err(p.err(format!("expected a relation name, found {other:?}")));
+                return Err(p.err_prev(format!(
+                    "expected a relation name, found {}",
+                    describe(other.as_ref())
+                )));
             }
         };
         p.expect_sym(".")?;
@@ -425,29 +433,44 @@ pub fn parse_join_graph(input: &str) -> Result<JoinGraph, ParseError> {
             Some(Tok::Ident(name)) => match name.as_str() {
                 "time" => ATTR_LOCAL_TIME,
                 other => Schema::by_name(other)
-                    .ok_or_else(|| p.err(format!("unknown attribute '{other}'")))?,
+                    .ok_or_else(|| p.err_prev(format!("unknown attribute '{other}'")))?,
             },
             other => {
-                return Err(p.err(format!("expected attribute name, found {other:?}")));
+                return Err(p.err_prev(format!(
+                    "expected attribute name, found {}",
+                    describe(other.as_ref())
+                )));
             }
         };
-        raw_select.push((rel, attr));
+        raw_select.push((rel, attr, rel_pos));
         if !p.eat_sym(",") {
             break;
         }
     }
     p.expect_kw("from")?;
+    let from_pos = pos_here(&p);
     let mut rels: Vec<String> = Vec::new();
+    // Byte position of each FROM entry, for structural errors (cross
+    // products, duplicates) that only surface after the whole query
+    // parsed.
+    let mut rel_pos: Vec<usize> = Vec::new();
     loop {
+        let at = pos_here(&p);
         match p.bump() {
             Some(Tok::Ident(id)) => {
                 if RESERVED.contains(&id.as_str()) {
-                    return Err(p.err(format!("'{id}' is reserved and cannot name a relation")));
+                    return Err(
+                        p.err_prev(format!("'{id}' is reserved and cannot name a relation"))
+                    );
                 }
                 rels.push(id);
+                rel_pos.push(at);
             }
             other => {
-                return Err(p.err(format!("expected a relation name, found {other:?}")));
+                return Err(p.err_prev(format!(
+                    "expected a relation name, found {}",
+                    describe(other.as_ref())
+                )));
             }
         }
         if !p.eat_sym(",") {
@@ -455,23 +478,27 @@ pub fn parse_join_graph(input: &str) -> Result<JoinGraph, ParseError> {
         }
     }
     if rels.len() > MAX_RELATIONS {
-        return Err(p.err(format!(
-            "{} relations exceed the limit of {MAX_RELATIONS}",
-            rels.len()
-        )));
+        return Err(ParseError {
+            pos: from_pos,
+            message: format!(
+                "{} relations exceed the limit of {MAX_RELATIONS}",
+                rels.len()
+            ),
+        });
     }
     p.rels = rels.clone();
     let select: Vec<(usize, AttrId)> = raw_select
         .into_iter()
-        .map(|(rel, attr)| match p.rel_index(&rel) {
+        .map(|(rel, attr, at)| match p.rel_index(&rel) {
             Some(r) => Ok((r, attr)),
             None => Err(ParseError {
-                pos: 0,
+                pos: at,
                 message: format!("SELECT references '{rel}', which is not in the FROM list"),
             }),
         })
         .collect::<Result<_, _>>()?;
     let (window, sample_interval) = p.window_opts()?;
+    let where_pos = pos_here(&p);
     p.expect_kw("where")?;
     // One conjunct at a time, with the side binding reset in between.
     let mut units: Vec<(BoolExpr, Vec<usize>)> = Vec::new();
@@ -479,9 +506,9 @@ pub fn parse_join_graph(input: &str) -> Result<JoinGraph, ParseError> {
         p.bound.clear();
         let e = p.bool_not()?;
         if p.eat_kw("or") {
-            return Err(
-                p.err("top-level OR is ambiguous across relations; parenthesize the OR group")
-            );
+            return Err(p.err_prev(
+                "top-level OR is ambiguous across relations; parenthesize the OR group",
+            ));
         }
         units.push((e, p.bound.clone()));
         if !p.eat_kw("and") {
@@ -521,8 +548,21 @@ pub fn parse_join_graph(input: &str) -> Result<JoinGraph, ParseError> {
         })
         .collect();
     JoinGraph::new("parsed", relations, edges, select, window, sample_interval).map_err(|e| {
+        // Structural rejections happen after parsing; anchor each to the
+        // most telling byte of the input (the dangling relation's FROM
+        // entry, or the WHERE clause whose edges fail to connect).
+        let pos = match &e {
+            GraphError::CrossProduct(name) | GraphError::DuplicateRelation(name) => p
+                .rels
+                .iter()
+                .position(|r| r == name)
+                .map(|i| rel_pos[i])
+                .unwrap_or(from_pos),
+            GraphError::TooFewRelations | GraphError::TooManyRelations(_) => from_pos,
+            GraphError::Disconnected | GraphError::BadEdge(..) => where_pos,
+        };
         ParseError {
-            pos: 0,
+            pos,
             message: e.to_string(),
         }
     })
@@ -593,17 +633,32 @@ mod tests {
 
     #[test]
     fn rejects_cross_product() {
-        let err =
-            parse_join_graph("SELECT A.id FROM A, B, C WHERE A.id < 5 AND A.u = B.u AND C.id > 2")
-                .unwrap_err();
+        let sql = "SELECT A.id FROM A, B, C WHERE A.id < 5 AND A.u = B.u AND C.id > 2";
+        let err = parse_join_graph(sql).unwrap_err();
         assert!(err.message.contains("cross product"), "{}", err.message);
+        // The position anchors the dangling relation's FROM entry — the
+        // 'C' after "A, B, ".
+        assert_eq!(err.pos, sql.find(", C").unwrap() + 2);
     }
 
     #[test]
     fn rejects_disconnected_graph() {
-        let err = parse_join_graph("SELECT A.id FROM A, B, C, D WHERE A.u = B.u AND C.u = D.u")
-            .unwrap_err();
+        let sql = "SELECT A.id FROM A, B, C, D WHERE A.u = B.u AND C.u = D.u";
+        let err = parse_join_graph(sql).unwrap_err();
         assert!(err.message.contains("disconnected"), "{}", err.message);
+        assert_eq!(err.pos, sql.find("WHERE").unwrap());
+    }
+
+    #[test]
+    fn unknown_relation_position_points_at_token() {
+        let sql = "SELECT A.id FROM A, B WHERE A.u = B.u AND Z.id < 5";
+        let err = parse_join_graph(sql).unwrap_err();
+        assert!(err.message.contains("unknown relation"), "{}", err.message);
+        assert_eq!(err.pos, sql.find('Z').unwrap());
+        let sql = "SELECT Q.id FROM A, B WHERE A.u = B.u";
+        let err = parse_join_graph(sql).unwrap_err();
+        assert!(err.message.contains("not in the FROM"), "{}", err.message);
+        assert_eq!(err.pos, sql.find('Q').unwrap());
     }
 
     #[test]

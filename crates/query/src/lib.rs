@@ -33,6 +33,7 @@ pub mod tuple;
 pub use classify::{ClauseClass, QueryAnalysis};
 pub use expr::{Expr, Side};
 pub use graph::{parse_join_graph, GraphError, JoinEdge, JoinGraph, Relation};
+pub use parser::{parse, parse_query, ParseError, Parsed};
 pub use pattern::{RoutingPattern, RoutingPlan};
 pub use pred::{BoolExpr, Clause, CmpOp, Pred};
 pub use schema::{AttrId, Schema};

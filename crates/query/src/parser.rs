@@ -9,11 +9,16 @@
 //! ```
 
 use crate::expr::{ArithOp, Expr, Side};
+use crate::graph::JoinGraph;
 use crate::pred::{BoolExpr, CmpOp, Pred};
 use crate::schema::{AttrId, Schema, ATTR_LOCAL_TIME};
 use crate::spec::JoinQuerySpec;
 
-/// Parse error with byte position.
+/// The single structured parse-error type of the StreamSQL front end:
+/// a byte position into the input (pointing at the offending token, or at
+/// the end of the input for truncated queries) and a human-readable
+/// message. Machine consumers (the `aspen-serve` wire protocol) transmit
+/// both fields verbatim.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     pub pos: usize,
@@ -35,8 +40,21 @@ pub(crate) enum Tok {
     Sym(&'static str),
 }
 
+/// Error-message rendering of a token slot ("end of input" for `None`).
+pub(crate) fn describe(t: Option<&Tok>) -> String {
+    match t {
+        None => "end of input".to_string(),
+        Some(Tok::Ident(id)) => format!("'{id}'"),
+        Some(Tok::Num(n)) => format!("number {n}"),
+        Some(Tok::Sym(s)) => format!("'{s}'"),
+    }
+}
+
 pub(crate) struct Lexer {
     pub(crate) toks: Vec<(usize, Tok)>,
+    /// Byte length of the input: the position truncated-input errors
+    /// report.
+    pub(crate) end: usize,
 }
 
 pub(crate) fn lex(input: &str) -> Result<Lexer, ParseError> {
@@ -107,12 +125,20 @@ pub(crate) fn lex(input: &str) -> Result<Lexer, ParseError> {
         i += sym.len();
         toks.push((i - sym.len(), Tok::Sym(sym)));
     }
-    Ok(Lexer { toks })
+    Ok(Lexer {
+        toks,
+        end: bytes.len(),
+    })
 }
 
 pub(crate) struct Parser {
     pub(crate) toks: Vec<(usize, Tok)>,
     pub(crate) at: usize,
+    /// Byte length of the input (error position for truncated queries).
+    pub(crate) end: usize,
+    /// Position of the most recently consumed token (errors raised right
+    /// after a `bump` point here, at the offending token).
+    last_pos: usize,
     /// Relation names from an n-way `FROM` list (lowercased). Empty in
     /// the classic two-relation mode, where `S`/`T` are hard-wired.
     pub(crate) rels: Vec<String>,
@@ -123,10 +149,12 @@ pub(crate) struct Parser {
 }
 
 impl Parser {
-    pub(crate) fn new(toks: Vec<(usize, Tok)>) -> Parser {
+    pub(crate) fn new(lexer: Lexer) -> Parser {
         Parser {
-            toks,
+            toks: lexer.toks,
             at: 0,
+            end: lexer.end,
+            last_pos: 0,
             rels: Vec::new(),
             bound: Vec::new(),
         }
@@ -137,18 +165,18 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.toks
-            .get(self.at)
-            .map(|(p, _)| *p)
-            .unwrap_or(usize::MAX)
+        self.toks.get(self.at).map(|(p, _)| *p).unwrap_or(self.end)
     }
 
     pub(crate) fn bump(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        let slot = self.toks.get(self.at);
+        self.last_pos = slot.map(|(p, _)| *p).unwrap_or(self.end);
+        let t = slot.map(|(_, t)| t.clone());
         self.at += 1;
         t
     }
 
+    /// Error at the *next* (not yet consumed) token.
     pub(crate) fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             pos: self.pos(),
@@ -156,28 +184,38 @@ impl Parser {
         }
     }
 
+    /// Error at the most recently consumed token — for call sites that
+    /// `bump` first and reject afterwards.
+    pub(crate) fn err_prev(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.last_pos,
+            message: message.into(),
+        }
+    }
+
     pub(crate) fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
         match self.bump() {
             Some(Tok::Sym(sym)) if sym == s => Ok(()),
-            other => Err(ParseError {
-                pos: self.pos(),
-                message: format!("expected '{s}', found {other:?}"),
-            }),
+            other => Err(self.err_prev(format!(
+                "expected '{s}', found {}",
+                describe(other.as_ref())
+            ))),
         }
     }
 
     pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.bump() {
             Some(Tok::Ident(id)) if id == kw => Ok(()),
-            other => Err(ParseError {
-                pos: self.pos(),
-                message: format!("expected keyword '{kw}', found {other:?}"),
-            }),
+            other => Err(self.err_prev(format!(
+                "expected keyword '{kw}', found {}",
+                describe(other.as_ref())
+            ))),
         }
     }
 
     pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
         if matches!(self.peek(), Some(Tok::Ident(id)) if id == kw) {
+            self.last_pos = self.pos();
             self.at += 1;
             true
         } else {
@@ -187,6 +225,7 @@ impl Parser {
 
     pub(crate) fn eat_sym(&mut self, s: &str) -> bool {
         if matches!(self.peek(), Some(Tok::Sym(sym)) if *sym == s) {
+            self.last_pos = self.pos();
             self.at += 1;
             true
         } else {
@@ -226,35 +265,32 @@ impl Parser {
             Some(Tok::Ident(id)) if !self.rels.is_empty() => match self.rel_index(&id) {
                 Some(r) => self.bind_side(r)?,
                 None => {
-                    return Err(ParseError {
-                        pos: self.pos(),
-                        message: format!("unknown relation '{id}' (not in the FROM list)"),
-                    })
+                    return Err(
+                        self.err_prev(format!("unknown relation '{id}' (not in the FROM list)"))
+                    )
                 }
             },
             other => {
-                return Err(ParseError {
-                    pos: self.pos(),
-                    message: format!("expected relation S or T, found {other:?}"),
-                })
+                return Err(self.err_prev(format!(
+                    "expected relation S or T, found {}",
+                    describe(other.as_ref())
+                )))
             }
         };
         self.expect_sym(".")?;
         let name = match self.bump() {
             Some(Tok::Ident(id)) => id,
             other => {
-                return Err(ParseError {
-                    pos: self.pos(),
-                    message: format!("expected attribute name, found {other:?}"),
-                })
+                return Err(self.err_prev(format!(
+                    "expected attribute name, found {}",
+                    describe(other.as_ref())
+                )))
             }
         };
         let attr = match name.as_str() {
             "time" => ATTR_LOCAL_TIME,
-            other => Schema::by_name(other).ok_or_else(|| ParseError {
-                pos: self.pos(),
-                message: format!("unknown attribute '{other}'"),
-            })?,
+            other => Schema::by_name(other)
+                .ok_or_else(|| self.err_prev(format!("unknown attribute '{other}'")))?,
         };
         Ok((side, attr))
     }
@@ -267,17 +303,16 @@ impl Parser {
                     self.bind_side(r)?;
                 }
                 None => {
-                    return Err(ParseError {
-                        pos: self.pos(),
-                        message: format!("unknown relation '{id}' (not in the FROM list)"),
-                    })
+                    return Err(
+                        self.err_prev(format!("unknown relation '{id}' (not in the FROM list)"))
+                    )
                 }
             },
             other => {
-                return Err(ParseError {
-                    pos: self.pos(),
-                    message: format!("expected a relation name, found {other:?}"),
-                })
+                return Err(self.err_prev(format!(
+                    "expected a relation name, found {}",
+                    describe(other.as_ref())
+                )))
             }
         }
         self.expect_sym(".")?;
@@ -384,9 +419,15 @@ impl Parser {
                     let (side, attr) = self.attr_ref()?;
                     Ok(Expr::attr(side, attr))
                 }
+                other if !self.rels.is_empty() => {
+                    Err(self.err(format!("unknown relation '{other}' (not in the FROM list)")))
+                }
                 other => Err(self.err(format!("unexpected identifier '{other}'"))),
             },
-            other => Err(self.err(format!("expected expression, found {other:?}"))),
+            other => Err(self.err(format!(
+                "expected an expression, found {}",
+                describe(other.as_ref())
+            ))),
         }
     }
 
@@ -400,10 +441,10 @@ impl Parser {
             Some(Tok::Sym(">")) => CmpOp::Gt,
             Some(Tok::Sym(">=")) => CmpOp::Ge,
             other => {
-                return Err(ParseError {
-                    pos: self.pos(),
-                    message: format!("expected comparison operator, found {other:?}"),
-                })
+                return Err(self.err_prev(format!(
+                    "expected comparison operator, found {}",
+                    describe(other.as_ref())
+                )))
             }
         };
         let rhs = self.arith()?;
@@ -443,14 +484,15 @@ impl Parser {
         // '(' is ambiguous: try boolean grouping first, fall back to an
         // arithmetic comparison.
         if matches!(self.peek(), Some(Tok::Sym("("))) {
-            let save = self.at;
+            let (save_at, save_pos) = (self.at, self.last_pos);
             self.bump();
             if let Ok(inner) = self.bool_or() {
                 if self.eat_sym(")") {
                     return Ok(inner);
                 }
             }
-            self.at = save;
+            self.at = save_at;
+            self.last_pos = save_pos;
         }
         Ok(BoolExpr::Atom(self.comparison()?))
     }
@@ -479,10 +521,10 @@ impl Parser {
                         }
                     }
                     other => {
-                        return Err(ParseError {
-                            pos: self.pos(),
-                            message: format!("unknown window option {other:?}"),
-                        })
+                        return Err(self.err_prev(format!(
+                            "unknown window option {}",
+                            describe(other.as_ref())
+                        )))
                     }
                 }
             }
@@ -518,10 +560,56 @@ impl Parser {
 
 /// Parse a StreamSQL-style join query over the classic two relations
 /// `S`/`T`. For multi-relation `FROM` lists see
-/// [`crate::graph::parse_join_graph`].
+/// [`crate::graph::parse_join_graph`]; to accept both through one entry
+/// point see [`parse`].
 pub fn parse_query(input: &str) -> Result<JoinQuerySpec, ParseError> {
     let lexer = lex(input)?;
-    Parser::new(lexer.toks).query()
+    Parser::new(lexer).query()
+}
+
+/// What [`parse`] produced: the classic pairwise spec, or an n-way join
+/// graph.
+#[derive(Debug, Clone)]
+pub enum Parsed {
+    /// A two-relation `FROM S, T` query (full classic grammar, including
+    /// top-level `OR`). Boxed: the full spec dwarfs the graph variant.
+    Pair(Box<JoinQuerySpec>),
+    /// A multi-relation join graph.
+    Graph(JoinGraph),
+}
+
+/// The unified StreamSQL entry point: dispatches on the `FROM` list.
+/// `FROM S, T` goes through the classic two-relation grammar
+/// ([`parse_query`]); any other relation list goes through the n-way
+/// graph grammar ([`crate::graph::parse_join_graph`]). Both report
+/// failures through the one structured [`ParseError`].
+pub fn parse(input: &str) -> Result<Parsed, ParseError> {
+    let lexer = lex(input)?;
+    // Peek at the FROM list without committing to a grammar: the idents
+    // between `FROM` and the window block / WHERE clause.
+    let mut rels: Vec<&str> = Vec::new();
+    let mut toks = lexer.toks.iter().map(|(_, t)| t);
+    for t in toks.by_ref() {
+        if matches!(t, Tok::Ident(id) if id == "from") {
+            break;
+        }
+    }
+    let mut expect_rel = true;
+    for t in toks {
+        match t {
+            Tok::Ident(id) if expect_rel => {
+                rels.push(id);
+                expect_rel = false;
+            }
+            Tok::Sym(",") if !expect_rel => expect_rel = true,
+            _ => break,
+        }
+    }
+    if rels == ["s", "t"] {
+        parse_query(input).map(|spec| Parsed::Pair(Box::new(spec)))
+    } else {
+        crate::graph::parse_join_graph(input).map(Parsed::Graph)
+    }
 }
 
 #[cfg(test)]
@@ -629,5 +717,60 @@ mod tests {
         let q = parse_query("SELECT S.time FROM S, T WHERE S.u = T.u").expect("parse");
         assert_eq!(q.select[0].1, crate::schema::ATTR_LOCAL_TIME);
         let _ = ATTR_U; // silence unused import in some cfgs
+    }
+
+    // --- structured-error regressions ------------------------------------
+    // The three historically worst diagnostics: an empty predicate used to
+    // report position usize::MAX, and post-bump rejections pointed one
+    // token past the offender.
+
+    #[test]
+    fn empty_predicate_reports_end_of_input() {
+        let sql = "SELECT S.id FROM S, T WHERE";
+        let err = parse_query(sql).unwrap_err();
+        assert_eq!(err.pos, sql.len());
+        assert!(err.message.contains("end of input"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_position_points_at_offending_token() {
+        let sql = "SELECT S.bogus FROM S, T WHERE S.u = T.u";
+        let err = parse_query(sql).unwrap_err();
+        assert_eq!(err.pos, sql.find("bogus").unwrap());
+        assert!(err.message.contains("unknown attribute"), "{}", err.message);
+        // A missing comparison operator points at the stray token, not
+        // past it.
+        let sql = "SELECT S.id FROM S, T WHERE S.u T.u";
+        let err = parse_query(sql).unwrap_err();
+        assert_eq!(err.pos, sql.rfind("T.u").unwrap());
+    }
+
+    #[test]
+    fn messages_render_tokens_readably() {
+        let err = parse_query("SELECT S.id FROM S WHERE S.u = T.u").unwrap_err();
+        // `FROM S` is missing `, T`: the keyword expectation names the
+        // found token plainly instead of a Debug dump.
+        assert!(!err.message.contains("Ident("), "{}", err.message);
+        assert!(!err.message.contains("Some("), "{}", err.message);
+    }
+
+    #[test]
+    fn unified_parse_dispatches_on_from_list() {
+        match parse("SELECT S.id FROM S, T WHERE S.u = T.u").expect("pair") {
+            Parsed::Pair(spec) => assert_eq!(spec.select.len(), 1),
+            other => panic!("expected a pairwise spec, got {other:?}"),
+        }
+        match parse("SELECT A.id FROM A, B, C WHERE A.id < 5 AND A.u = B.u AND B.v = C.v")
+            .expect("graph")
+        {
+            Parsed::Graph(g) => assert_eq!(g.n_relations(), 3),
+            other => panic!("expected a join graph, got {other:?}"),
+        }
+        // Pairwise-only syntax (top-level OR) stays reachable through the
+        // unified entry point.
+        assert!(matches!(
+            parse("SELECT S.id FROM S, T WHERE S.id < 5 OR S.u = T.u").expect("or"),
+            Parsed::Pair(_)
+        ));
     }
 }

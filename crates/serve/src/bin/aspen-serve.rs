@@ -1,0 +1,69 @@
+//! `aspen-serve` — serve many join-optimization sessions over TCP.
+//!
+//! ```text
+//! aspen-serve [--addr HOST:PORT] [--workers N]
+//!             [--max-sessions N] [--max-queries N]
+//! ```
+//!
+//! Prints the bound address on stdout (`listening on 127.0.0.1:7878`) and
+//! serves until killed. See the crate docs for the line protocol.
+
+use aspen_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aspen-serve [--addr HOST:PORT] [--workers N] \
+         [--max-sessions N] [--max-queries N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--workers" => {
+                cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage());
+                if cfg.workers == 0 {
+                    usage();
+                }
+            }
+            "--max-sessions" => {
+                cfg.max_sessions_per_client =
+                    val("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-queries" => {
+                cfg.max_queries_per_client =
+                    val("--max-queries").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let workers = cfg.workers;
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("listening on {} ({workers} workers)", server.addr());
+            // Serve until the process is killed; the listener thread owns
+            // the accept loop, so just park forever.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("aspen-serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! `aspen-serve`: many [`Session`]s behind a TCP line protocol.
+//!
+//! The [control plane](aspen_join::control) made every session operation
+//! a serializable [`Command`]/[`Response`] pair; this crate puts a socket
+//! in front of it. A [`Server`] owns a fixed pool of OS worker threads
+//! and *shards* named sessions across them — each session is owned by
+//! exactly one worker for its whole life (`hash(name) % workers`), so
+//! commands against one session are applied strictly in arrival order
+//! with no locking around the simulation state, while different sessions
+//! run concurrently on different workers.
+//!
+//! # Protocol
+//!
+//! One UTF-8 line per request, one line per reply. A connection first
+//! selects a session, then speaks [`Command`] lines at it:
+//!
+//! ```text
+//! OPEN <name> [nodes=N] [degree=D] [seed=S]   create (or attach to) a session
+//! USE <name>                                  switch to an existing session
+//! ADMIT <algo> <streamsql>                    admit a query (pairwise or n-way)
+//! ADMITGRAPH <algo> <streamsql>               admit forcing the graph grammar
+//! RETIRE q<i> | g<i>                          retire a query
+//! STEP <n>                                    advance n sampling cycles
+//! RUN CYCLE <c> | RUN RESULTS <n>             run until a condition holds
+//! KILL <node>                                 kill a node
+//! REPORT                                      drain and summarize the outcome
+//! SUBSCRIBE                                   dedicate this connection to events
+//! CLOSE                                       tear down the current session
+//! QUIT                                        close the connection
+//! ```
+//!
+//! Replies are `OK …` / `ERR …` lines ([`Response::encode`]). After
+//! `OK SUBSCRIBED` the server writes `EVENT …` lines
+//! ([`aspen_join::encode_event`]) to the connection as the session
+//! advances; the subscriber sends nothing further (one writer per
+//! socket — command replies and the event stream never interleave).
+//!
+//! # Quotas
+//!
+//! Admission control is per *connection*: creating more than
+//! [`ServeConfig::max_sessions_per_client`] sessions or admitting more
+//! than [`ServeConfig::max_queries_per_client`] queries answers
+//! `ERR QUOTA …` without touching a worker. Attaching to an existing
+//! session costs no session quota; every `ADMIT`/`ADMITGRAPH` that
+//! reaches a worker costs one query quota, even if it is later rejected.
+
+use aspen_join::control::{Command, Response};
+use aspen_join::prelude::*;
+use aspen_join::{encode_event, Observer, SessionEvent};
+use sensor_workload::WorkloadData;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How a wire `OPEN` builds its network: a deterministic random topology
+/// plus the repo's standard uniform workload, keyed by one seed. Two
+/// servers (or a server and an in-process harness) given the same spec
+/// build byte-identical sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenSpec {
+    pub nodes: usize,
+    pub degree: f64,
+    pub seed: u64,
+}
+
+impl Default for OpenSpec {
+    fn default() -> Self {
+        OpenSpec {
+            nodes: 60,
+            degree: 7.0,
+            seed: 1,
+        }
+    }
+}
+
+impl OpenSpec {
+    /// Parse the `nodes=… degree=… seed=…` tail of an `OPEN` line.
+    pub fn parse(args: &str) -> Result<OpenSpec, String> {
+        let mut spec = OpenSpec::default();
+        for tok in args.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("bad option '{tok}' (want key=value)"))?;
+            match k {
+                "nodes" => spec.nodes = v.parse().map_err(|_| format!("bad nodes '{v}'"))?,
+                "degree" => spec.degree = v.parse().map_err(|_| format!("bad degree '{v}'"))?,
+                "seed" => spec.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?,
+                _ => return Err(format!("unknown option '{k}'")),
+            }
+        }
+        if spec.nodes < 2 || spec.nodes > 20_000 {
+            return Err(format!("nodes={} out of range [2, 20000]", spec.nodes));
+        }
+        Ok(spec)
+    }
+}
+
+/// Build the session an `OPEN` line describes. Public so the parity tests
+/// and the load generator can run the *same* construction in-process and
+/// compare outcomes byte-for-byte with the served ones.
+pub fn open_session(spec: &OpenSpec) -> Session {
+    let topo = sensor_net::random_with_degree(spec.nodes, spec.degree, spec.seed);
+    let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, 5)), spec.seed);
+    let sim = SimConfig {
+        tx_per_cycle: 64,
+        queue_capacity: 1024,
+        ..SimConfig::lossless().with_seed(spec.seed)
+    };
+    Session::builder(topo, data).sim(sim).allow_empty().build()
+}
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Session shard workers (each owns a disjoint set of sessions).
+    pub workers: usize,
+    /// Sessions one connection may *create* (attaching is free).
+    pub max_sessions_per_client: usize,
+    /// Queries one connection may admit across all its sessions.
+    pub max_queries_per_client: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_sessions_per_client: 4,
+            max_queries_per_client: 64,
+        }
+    }
+}
+
+/// Streams a session's events to its subscribed connections. Attached to
+/// every served session at creation; dead subscribers are dropped on the
+/// first failed write.
+struct WireObserver {
+    subs: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Observer for WireObserver {
+    fn on_event(&mut self, ev: &SessionEvent) {
+        let mut subs = self.subs.lock().unwrap();
+        if subs.is_empty() {
+            return;
+        }
+        let line = format!("{}\n", encode_event(ev));
+        subs.retain_mut(|s| s.write_all(line.as_bytes()).is_ok());
+    }
+}
+
+/// One served session: the simulation plus its subscriber list (shared
+/// with the [`WireObserver`] attached inside the session).
+struct Entry {
+    session: Session,
+    subs: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+/// Work routed to a shard worker. Every request carries its own reply
+/// channel; the worker answers with a ready-to-send protocol line.
+enum Job {
+    Open {
+        name: String,
+        spec: OpenSpec,
+        /// Whether the connection's session quota allows *creating* a
+        /// session; attaching to an existing one is always allowed, and
+        /// only the owning worker knows which case this is.
+        may_create: bool,
+        reply: Sender<String>,
+    },
+    Apply {
+        name: String,
+        cmd: Command,
+        reply: Sender<String>,
+    },
+    Subscribe {
+        name: String,
+        stream: TcpStream,
+        reply: Sender<String>,
+    },
+    Close {
+        name: String,
+        reply: Sender<String>,
+    },
+    Stop,
+}
+
+fn err_line(kind: &str, msg: &str) -> String {
+    format!("ERR {kind} {}", aspen_join::control::esc(msg))
+}
+
+fn worker_loop(rx: std::sync::mpsc::Receiver<Job>) {
+    let mut sessions: HashMap<String, Entry> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Open {
+                name,
+                spec,
+                may_create,
+                reply,
+            } => {
+                let line = if sessions.contains_key(&name) {
+                    format!("OK ATTACHED {name}")
+                } else if !may_create {
+                    err_line("QUOTA", "session quota exhausted")
+                } else {
+                    let subs = Arc::new(Mutex::new(Vec::new()));
+                    let mut session = open_session(&spec);
+                    session.observe(Box::new(WireObserver { subs: subs.clone() }));
+                    sessions.insert(name.clone(), Entry { session, subs });
+                    format!("OK OPENED {name} nodes={}", spec.nodes)
+                };
+                let _ = reply.send(line);
+            }
+            Job::Apply { name, cmd, reply } => {
+                let line = match sessions.get_mut(&name) {
+                    Some(e) => e.session.apply(cmd).encode(),
+                    None => err_line("NOSESSION", &format!("no session '{name}'")),
+                };
+                let _ = reply.send(line);
+            }
+            Job::Subscribe {
+                name,
+                stream,
+                reply,
+            } => {
+                let line = match sessions.get_mut(&name) {
+                    Some(e) => {
+                        // Answer the subscriber *before* registering it so
+                        // `OK SUBSCRIBED` is the first line it reads, ahead
+                        // of any event.
+                        let _ = reply.send(Response::Subscribed.encode());
+                        e.subs.lock().unwrap().push(stream);
+                        continue;
+                    }
+                    None => err_line("NOSESSION", &format!("no session '{name}'")),
+                };
+                let _ = reply.send(line);
+            }
+            Job::Close { name, reply } => {
+                let line = match sessions.remove(&name) {
+                    Some(e) => {
+                        for s in e.subs.lock().unwrap().iter() {
+                            let _ = s.shutdown(Shutdown::Both);
+                        }
+                        format!("OK CLOSED {name}")
+                    }
+                    None => err_line("NOSESSION", &format!("no session '{name}'")),
+                };
+                let _ = reply.send(line);
+            }
+            Job::Stop => break,
+        }
+    }
+    // Unblock any subscriber connections still attached to this shard.
+    for e in sessions.values() {
+        for s in e.subs.lock().unwrap().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn shard_of(name: &str, workers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    (h.finish() as usize) % workers
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] leaks the
+/// listener thread; call `shutdown` for a clean exit (the CI smoke test
+/// asserts it returns).
+pub struct Server {
+    addr: SocketAddr,
+    shards: Vec<Sender<Job>>,
+    stop: Arc<AtomicBool>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Bind, spawn the shard workers and the accept loop, and return.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        assert!(cfg.workers >= 1, "need at least one shard worker");
+        let listener = TcpListener::bind(&*cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut shards = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = channel();
+            shards.push(tx);
+            workers.push(std::thread::spawn(move || worker_loop(rx)));
+        }
+
+        let accept_stop = stop.clone();
+        let accept_shards = shards.clone();
+        let accept_conns = conns.clone();
+        let accept_cfg = cfg.clone();
+        let handle = std::thread::spawn(move || {
+            // Handler threads are detached; they exit when their socket is
+            // shut down (tracked in `conns`) or the peer hangs up.
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    accept_conns.lock().unwrap().push(clone);
+                }
+                let shards = accept_shards.clone();
+                let cfg = accept_cfg.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_client(stream, &shards, &cfg);
+                });
+            }
+        });
+
+        Ok(Server {
+            addr,
+            shards,
+            stop,
+            listener: Some(handle),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, stop every worker, unblock every connection, and
+    /// join all server threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        for tx in &self.shards {
+            let _ = tx.send(Job::Stop);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        for c in self.conns.lock().unwrap().iter() {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Route one request to its session's shard and wait for the reply line.
+fn call(shards: &[Sender<Job>], name: &str, job: impl FnOnce(Sender<String>) -> Job) -> String {
+    let (tx, rx) = channel();
+    if shards[shard_of(name, shards.len())].send(job(tx)).is_err() {
+        return err_line("SHUTDOWN", "server is shutting down");
+    }
+    rx.recv()
+        .unwrap_or_else(|_| err_line("SHUTDOWN", "server is shutting down"))
+}
+
+/// Per-connection protocol loop: line in, line out. Returns when the
+/// peer hangs up, after `QUIT`, or once the connection becomes an event
+/// stream via `SUBSCRIBE`.
+fn serve_client(
+    stream: TcpStream,
+    shards: &[Sender<Job>],
+    cfg: &ServeConfig,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut current: Option<String> = None;
+    let mut sessions_created = 0usize;
+    let mut queries_admitted = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let req = line.trim_end_matches(['\r', '\n']);
+        if req.is_empty() {
+            continue;
+        }
+        let (verb, rest) = req.split_once(' ').unwrap_or((req, ""));
+        let reply: String = match verb.to_ascii_uppercase().as_str() {
+            "QUIT" => {
+                out.write_all(b"OK BYE\n")?;
+                return Ok(());
+            }
+            "OPEN" => {
+                let (name, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                if name.is_empty() {
+                    err_line("USAGE", "OPEN <name> [nodes=N] [degree=D] [seed=S]")
+                } else {
+                    match OpenSpec::parse(args) {
+                        Ok(spec) => {
+                            let name_owned = name.to_string();
+                            let may_create = sessions_created < cfg.max_sessions_per_client;
+                            let r = call(shards, name, |reply| Job::Open {
+                                name: name_owned,
+                                spec,
+                                may_create,
+                                reply,
+                            });
+                            if r.starts_with("OK OPENED") {
+                                sessions_created += 1;
+                            }
+                            if r.starts_with("OK") {
+                                current = Some(name.to_string());
+                            }
+                            r
+                        }
+                        Err(e) => err_line("USAGE", &e),
+                    }
+                }
+            }
+            "USE" => {
+                if rest.is_empty() {
+                    err_line("USAGE", "USE <name>")
+                } else {
+                    // Cheap existence probe: report on open would be heavy,
+                    // so just adopt the name; a wrong one surfaces as
+                    // NOSESSION on the next command.
+                    current = Some(rest.to_string());
+                    format!("OK USING {rest}")
+                }
+            }
+            "CLOSE" => match &current {
+                Some(name) => {
+                    let name_owned = name.clone();
+                    let r = call(shards, name, |reply| Job::Close {
+                        name: name_owned,
+                        reply,
+                    });
+                    if r.starts_with("OK") {
+                        current = None;
+                    }
+                    r
+                }
+                None => err_line("NOSESSION", "no session selected (OPEN or USE one)"),
+            },
+            _ => match &current {
+                None => err_line("NOSESSION", "no session selected (OPEN or USE one)"),
+                Some(name) => match Command::decode(req) {
+                    Err(e) => err_line("USAGE", &e),
+                    Ok(Command::Subscribe) => {
+                        let name_owned = name.clone();
+                        let sub = out.try_clone()?;
+                        let r = call(shards, name, |reply| Job::Subscribe {
+                            name: name_owned,
+                            stream: sub,
+                            reply,
+                        });
+                        let subscribed = r.starts_with("OK");
+                        out.write_all(r.as_bytes())?;
+                        out.write_all(b"\n")?;
+                        if subscribed {
+                            // The connection now belongs to the event
+                            // stream; swallow any further input until the
+                            // peer hangs up so we never write here again.
+                            while reader.read_line(&mut line)? != 0 {
+                                line.clear();
+                            }
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    Ok(cmd) => {
+                        if matches!(cmd, Command::Admit { .. } | Command::AdmitGraph { .. }) {
+                            if queries_admitted >= cfg.max_queries_per_client {
+                                let e = err_line(
+                                    "QUOTA",
+                                    &format!(
+                                        "query quota exhausted ({} per client)",
+                                        cfg.max_queries_per_client
+                                    ),
+                                );
+                                out.write_all(e.as_bytes())?;
+                                out.write_all(b"\n")?;
+                                continue;
+                            }
+                            queries_admitted += 1;
+                        }
+                        let name_owned = name.clone();
+                        call(shards, name, |reply| Job::Apply {
+                            name: name_owned,
+                            cmd,
+                            reply,
+                        })
+                    }
+                },
+            },
+        };
+        out.write_all(reply.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+}
+
+/// Blocking line-protocol client — the counterpart every test and the
+/// load generator use. One request in, one reply line out.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            stream,
+        })
+    }
+
+    /// Send one request line, read one reply line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.read_line()
+    }
+
+    /// Read the next line (used to drain an event stream after
+    /// `SUBSCRIBE`). Empty string means the server hung up.
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_spec_parses_and_validates() {
+        assert_eq!(OpenSpec::parse("").unwrap(), OpenSpec::default());
+        let s = OpenSpec::parse("nodes=40 degree=6.5 seed=9").unwrap();
+        assert_eq!(
+            s,
+            OpenSpec {
+                nodes: 40,
+                degree: 6.5,
+                seed: 9
+            }
+        );
+        assert!(OpenSpec::parse("nodes=1").is_err());
+        assert!(OpenSpec::parse("widgets=3").is_err());
+        assert!(OpenSpec::parse("nodes").is_err());
+    }
+
+    #[test]
+    fn shard_choice_is_stable() {
+        for w in 1..6 {
+            assert_eq!(shard_of("alpha", w), shard_of("alpha", w));
+            assert!(shard_of("alpha", w) < w);
+        }
+    }
+
+    #[test]
+    fn end_to_end_open_admit_step_report() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(
+            c.request("OPEN demo nodes=60 seed=1").unwrap(),
+            "OK OPENED demo nodes=60"
+        );
+        let r = c
+            .request(
+                "ADMIT innet-cmg SELECT s.id, t.id FROM s, t \
+                 [windowsize=2 sampleinterval=100] \
+                 WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u",
+            )
+            .unwrap();
+        assert_eq!(r, "OK ADMITTED q0");
+        assert_eq!(c.request("STEP 10").unwrap(), "OK STEPPED 10");
+        let report = c.request("REPORT").unwrap();
+        assert!(report.starts_with("OK REPORT cycle=10 "), "got: {report}");
+        let parsed = Response::decode(&report).unwrap();
+        match parsed {
+            Response::Report(r) => assert!(r.total_traffic_bytes > 0),
+            other => panic!("expected report, got {other:?}"),
+        }
+        assert_eq!(c.request("QUIT").unwrap(), "OK BYE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_input_answers_errors_not_disconnects() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.request("STEP 5").unwrap().starts_with("ERR NOSESSION"));
+        assert!(c
+            .request("OPEN x nodes=zork")
+            .unwrap()
+            .starts_with("ERR USAGE"));
+        c.request("OPEN x").unwrap();
+        assert!(c.request("FROB 1").unwrap().starts_with("ERR USAGE"));
+        assert!(c
+            .request("ADMIT quantum SELECT s.id FROM s, t WHERE s.u = t.u")
+            .unwrap()
+            .starts_with("ERR ALGO"));
+        assert!(c
+            .request("ADMIT naive SELECT FROM")
+            .unwrap()
+            .starts_with("ERR PARSE"));
+        assert!(c.request("RETIRE q7").unwrap().starts_with("ERR TARGET"));
+        // The connection is still usable after every error.
+        assert_eq!(c.request("STEP 1").unwrap(), "OK STEPPED 1");
+        server.shutdown();
+    }
+
+    #[test]
+    fn quotas_are_enforced_per_connection() {
+        let server = Server::start(ServeConfig {
+            max_sessions_per_client: 1,
+            max_queries_per_client: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.request("OPEN a").unwrap().starts_with("OK OPENED"));
+        assert!(c.request("OPEN b").unwrap().starts_with("ERR QUOTA"));
+        // Attaching to an existing session is free.
+        assert!(c.request("OPEN a").unwrap().starts_with("OK ATTACHED"));
+        let admit = "ADMIT naive SELECT s.id, t.id FROM s, t \
+                     [windowsize=2 sampleinterval=100] \
+                     WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u";
+        assert!(c.request(admit).unwrap().starts_with("OK ADMITTED"));
+        assert!(c.request(admit).unwrap().starts_with("OK ADMITTED"));
+        assert!(c.request(admit).unwrap().starts_with("ERR QUOTA"));
+        // A fresh connection has a fresh quota but shares the session
+        // namespace.
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert!(c2.request("OPEN a").unwrap().starts_with("OK ATTACHED"));
+        assert!(c2.request(admit).unwrap().starts_with("OK ADMITTED"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn subscriber_streams_events() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut driver = Client::connect(server.addr()).unwrap();
+        driver.request("OPEN ev nodes=60 seed=1").unwrap();
+
+        let mut sub = Client::connect(server.addr()).unwrap();
+        sub.request("USE ev").unwrap();
+        assert_eq!(sub.request("SUBSCRIBE").unwrap(), "OK SUBSCRIBED");
+
+        driver
+            .request(
+                "ADMIT naive SELECT s.id, t.id FROM s, t \
+                 [windowsize=2 sampleinterval=100] \
+                 WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u",
+            )
+            .unwrap();
+        driver.request("STEP 2").unwrap();
+
+        // The admission produces PHASE + ADMITTED events at minimum.
+        let first = sub.read_line().unwrap();
+        assert!(first.starts_with("EVENT "), "got: {first}");
+        aspen_join::decode_event(&first).expect("subscriber line decodes");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,148 @@
+//! The serving acceptance contract: a session driven over the wire is
+//! *the same session* you would have driven in-process. Identical command
+//! scripts must produce byte-identical `REPORT` lines whether the server
+//! runs 1 shard worker or 4, and whether there is a server at all.
+
+use aspen_join::control::Command;
+use aspen_serve::{open_session, Client, OpenSpec, ServeConfig, Server};
+
+const ADMIT_PAIR: &str = "ADMIT innet-cmg SELECT s.id, t.id FROM s, t \
+                          [windowsize=2 sampleinterval=100] \
+                          WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u";
+const ADMIT_GRAPH: &str = "ADMIT naive SELECT a.id, c.id FROM a, b, c \
+                           [windowsize=2 sampleinterval=100] \
+                           WHERE a.id < 20 AND b.id >= 20 AND b.id < 40 \
+                           AND c.id >= 40 AND a.u = b.u AND b.u = c.u";
+
+/// Per-session command scripts: (session name, OPEN options, lines).
+fn scripts() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    vec![
+        (
+            "alpha",
+            "nodes=60 seed=1",
+            vec![ADMIT_PAIR, "STEP 8", "KILL 7", "STEP 4", "REPORT"],
+        ),
+        (
+            "beta",
+            "nodes=60 seed=2",
+            vec![ADMIT_GRAPH, "STEP 6", "RUN CYCLE 12", "REPORT"],
+        ),
+        (
+            "gamma",
+            "nodes=40 seed=3",
+            vec![ADMIT_PAIR, "STEP 5", "RETIRE q0", "STEP 3", "REPORT"],
+        ),
+        (
+            "delta",
+            "nodes=40 seed=5",
+            vec![
+                ADMIT_PAIR,
+                ADMIT_GRAPH,
+                "STEP 10",
+                "RETIRE g0",
+                "STEP 2",
+                "REPORT",
+            ],
+        ),
+    ]
+}
+
+/// Drive every script against one server; collect each session's final
+/// REPORT line.
+fn run_served(workers: usize) -> Vec<String> {
+    let server = Server::start(ServeConfig {
+        workers,
+        max_sessions_per_client: 8,
+        max_queries_per_client: 64,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut reports = Vec::new();
+    for (name, opts, lines) in scripts() {
+        let mut c = Client::connect(server.addr()).unwrap();
+        let opened = c.request(&format!("OPEN {name} {opts}")).unwrap();
+        assert!(opened.starts_with("OK OPENED"), "{opened}");
+        let mut last = String::new();
+        for l in &lines {
+            last = c.request(l).unwrap();
+            assert!(last.starts_with("OK"), "command '{l}' failed: {last}");
+        }
+        reports.push(last);
+    }
+    server.shutdown();
+    reports
+}
+
+/// The same scripts applied to in-process sessions through the control
+/// plane (no sockets anywhere).
+fn run_in_process() -> Vec<String> {
+    let mut reports = Vec::new();
+    for (_, opts, lines) in scripts() {
+        let mut session = open_session(&OpenSpec::parse(opts).unwrap());
+        let mut last = String::new();
+        for l in &lines {
+            let cmd = Command::decode(l).unwrap();
+            last = session.apply(cmd).encode();
+            assert!(last.starts_with("OK"), "command '{l}' rejected: {last}");
+        }
+        reports.push(last);
+    }
+    reports
+}
+
+#[test]
+fn outcomes_identical_across_worker_counts_and_in_process() {
+    let one = run_served(1);
+    let four = run_served(4);
+    let direct = run_in_process();
+    assert_eq!(one, four, "worker count changed session outcomes");
+    assert_eq!(one, direct, "serving changed session outcomes");
+    for r in &one {
+        assert!(r.starts_with("OK REPORT"), "script must end in REPORT: {r}");
+    }
+}
+
+/// Many concurrent clients hammering disjoint sessions: every client gets
+/// the exact same report it would get alone, regardless of interleaving.
+#[test]
+fn concurrent_clients_get_isolated_deterministic_sessions() {
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        max_sessions_per_client: 2,
+        max_queries_per_client: 8,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let name = format!("con{i}");
+                // Three distinct seeds so neighbors run different networks.
+                let seed = 1 + (i % 3);
+                c.request(&format!("OPEN {name} nodes=40 seed={seed}"))
+                    .unwrap();
+                c.request(ADMIT_PAIR).unwrap();
+                c.request("STEP 6").unwrap();
+                (seed, c.request("REPORT").unwrap())
+            })
+        })
+        .collect();
+    let results: Vec<(usize, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Same seed ⇒ same bytes; the serving layer adds no nondeterminism.
+    for (seed, report) in &results {
+        let expected = {
+            let mut s = open_session(&OpenSpec {
+                nodes: 40,
+                degree: 7.0,
+                seed: *seed as u64,
+            });
+            s.apply(Command::decode(ADMIT_PAIR).unwrap());
+            s.apply(Command::Step(6));
+            s.apply(Command::Report).encode()
+        };
+        assert_eq!(report, &expected, "seed {seed} diverged under concurrency");
+    }
+    server.shutdown();
+}

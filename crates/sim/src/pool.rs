@@ -17,9 +17,28 @@
 //! The message and its reference count share one slot struct (not
 //! parallel `Vec`s): the common single-owner alloc→consume round trip of
 //! unsnooped unicast traffic touches one slab entry, not two arrays.
+//! Single-owner allocations go further still: [`MsgPool::alloc`] tags its
+//! handle with [`UNIQUE_BIT`], and consuming a tagged handle is a
+//! straight move — the reference count is never read or written on the
+//! never-shared path that dominates snoop-off traffic.
 
 /// Index of a pooled message. Stable for the slot's lifetime.
+///
+/// The top bit is the **unique tag**: handles minted by [`MsgPool::alloc`]
+/// carry it, promising the slot has exactly one owner for its whole
+/// lifetime. Consuming such a handle skips the reference bookkeeping
+/// entirely — the common unsnooped-unicast round trip is alloc → move,
+/// with no refcount read-modify-write on either end.
 pub(crate) type MsgHandle = u32;
+
+/// Tags a [`MsgHandle`] whose slot can never be shared.
+const UNIQUE_BIT: u32 = 1 << 31;
+
+/// Slab index of a handle, unique tag stripped.
+#[inline]
+fn idx(h: MsgHandle) -> usize {
+    (h & !UNIQUE_BIT) as usize
+}
 
 #[derive(Debug)]
 struct Slot<M> {
@@ -46,9 +65,12 @@ impl<M> MsgPool<M> {
         self.slots.len() - self.free.len()
     }
 
-    /// Allocate a slot with a single owner.
+    /// Allocate a never-shared slot: exactly one owner, whose single
+    /// consuming event ([`MsgPool::consume`] or [`MsgPool::release`])
+    /// frees it with no reference bookkeeping (the returned handle
+    /// carries [`UNIQUE_BIT`]).
     pub(crate) fn alloc(&mut self, msg: M) -> MsgHandle {
-        self.alloc_shared(msg, 1)
+        self.alloc_shared(msg, 1) | UNIQUE_BIT
     }
 
     /// Allocate a slot with `owners` references; each is released
@@ -65,6 +87,7 @@ impl<M> MsgPool<M> {
             }
             None => {
                 let h = self.slots.len() as MsgHandle;
+                debug_assert!(h & UNIQUE_BIT == 0, "pool outgrew the handle space");
                 self.slots.push(Slot {
                     msg: Some(msg),
                     refs: owners,
@@ -78,11 +101,11 @@ impl<M> MsgPool<M> {
     /// snoop dispatch: the callback may allocate into the pool while the
     /// slot sits empty). Pair with [`MsgPool::put_back`].
     pub(crate) fn take(&mut self, h: MsgHandle) -> M {
-        self.slots[h as usize].msg.take().expect("live pool slot")
+        self.slots[idx(h)].msg.take().expect("live pool slot")
     }
 
     pub(crate) fn put_back(&mut self, h: MsgHandle, msg: M) {
-        let s = &mut self.slots[h as usize];
+        let s = &mut self.slots[idx(h)];
         debug_assert!(s.msg.is_none());
         s.msg = Some(msg);
     }
@@ -90,7 +113,16 @@ impl<M> MsgPool<M> {
     /// Drop one reference without consuming the message (dead receiver,
     /// zero-delivery broadcast, discarded queue).
     pub(crate) fn release(&mut self, h: MsgHandle) {
-        let s = &mut self.slots[h as usize];
+        let s = &mut self.slots[idx(h)];
+        if h & UNIQUE_BIT != 0 {
+            debug_assert_eq!(s.refs, 1, "unique slot released twice");
+            if cfg!(debug_assertions) {
+                s.refs = 0;
+            }
+            s.msg = None;
+            self.free.push(idx(h) as MsgHandle);
+            return;
+        }
         debug_assert!(s.refs >= 1);
         s.refs -= 1;
         if s.refs == 0 {
@@ -102,9 +134,10 @@ impl<M> MsgPool<M> {
 
 impl<M: Clone> MsgPool<M> {
     /// Clone the slot's message without touching its references (a
-    /// non-final delivery of a shared transmission).
+    /// non-final delivery of a shared transmission, or the non-final
+    /// deliveries of a never-shared broadcast's single queue entry).
     pub(crate) fn clone_at(&self, h: MsgHandle) -> M {
-        self.slots[h as usize]
+        self.slots[idx(h)]
             .msg
             .as_ref()
             .expect("live pool slot")
@@ -113,8 +146,19 @@ impl<M: Clone> MsgPool<M> {
 
     /// Consume one reference, yielding an owned message: the last owner
     /// moves the message out and frees the slot, earlier owners clone.
+    /// Unique handles take the fast path — straight move, no reference
+    /// count read or write.
     pub(crate) fn consume(&mut self, h: MsgHandle) -> M {
-        let s = &mut self.slots[h as usize];
+        let s = &mut self.slots[idx(h)];
+        if h & UNIQUE_BIT != 0 {
+            debug_assert_eq!(s.refs, 1, "unique slot consumed twice");
+            if cfg!(debug_assertions) {
+                s.refs = 0;
+            }
+            let msg = s.msg.take().expect("live pool slot");
+            self.free.push(idx(h) as MsgHandle);
+            return msg;
+        }
         debug_assert!(s.refs >= 1);
         if s.refs == 1 {
             s.refs = 0;
@@ -156,6 +200,30 @@ mod tests {
         p.release(h); // dead receiver (1 owner left)
         assert_eq!(p.live(), 1);
         assert_eq!(p.consume(h), vec![7; 3]); // move (last owner)
+        assert_eq!(p.live(), 0);
+    }
+
+    #[test]
+    fn unique_and_shared_handles_interleave() {
+        let mut p: MsgPool<String> = MsgPool::new();
+        let u = p.alloc("u".into());
+        assert_ne!(u & UNIQUE_BIT, 0, "alloc mints unique handles");
+        let sh = p.alloc_shared("s".into(), 2);
+        assert_eq!(sh & UNIQUE_BIT, 0, "shared handles are untagged");
+        assert_eq!(p.clone_at(u), "u");
+        assert_eq!(p.consume(u), "u");
+        assert_eq!(p.live(), 1);
+        // The tag lives on the handle, not the slot: a freed unique slot
+        // is reusable by a shared allocation and vice versa.
+        let sh2 = p.alloc_shared("t".into(), 2);
+        assert_eq!(idx(sh2), idx(u), "freed unique slot is reused");
+        assert_eq!(p.consume(sh), "s");
+        assert_eq!(p.consume(sh), "s");
+        assert_eq!(p.consume(sh2), "t");
+        let u2 = p.alloc("v".into());
+        assert_ne!(u2 & UNIQUE_BIT, 0);
+        p.release(u2); // dead-receiver path, unique flavor
+        assert_eq!(p.consume(sh2), "t");
         assert_eq!(p.live(), 0);
     }
 

@@ -4,12 +4,19 @@
 //! mid-run node failure, driven through the `Session` layer with a
 //! streaming [`Observer`] watching migrations and deaths as they happen.
 //!
+//! Act two re-attaches the *same* console over TCP: an in-process
+//! `aspen-serve` hosts the session, one connection drives it with wire
+//! commands, and a second `SUBSCRIBE`d connection feeds the decoded
+//! `EVENT` lines to the identical `OpsConsole` — same events, now over
+//! the wire.
+//!
 //! ```sh
 //! cargo run --release --example datacenter_monitoring
 //! ```
 
 use aspen::join::prelude::*;
-use aspen::join::Algorithm;
+use aspen::join::{decode_event, Algorithm, Response};
+use aspen::serve::{Client, ServeConfig, Server};
 use aspen::workload::{query3, WorkloadData};
 
 /// Prints the interesting session events as they happen: the §6 learner
@@ -20,6 +27,9 @@ struct OpsConsole;
 impl Observer for OpsConsole {
     fn on_event(&mut self, ev: &SessionEvent) {
         match ev {
+            SessionEvent::Admitted { cycle, query } => {
+                println!("  [cycle {cycle:3}] query q{} admitted", query.0);
+            }
             SessionEvent::PairsMigrated { cycle, count } => {
                 println!("  [cycle {cycle:3}] {count} join pair(s) migrated to better nodes");
             }
@@ -97,4 +107,60 @@ fn main() {
         end.base_load_bytes() as f64 / 1024.0,
         end.max_node_load_bytes() as f64 / 1024.0,
     );
+
+    // --- Act two: the same console, now over the wire --------------------
+    // An in-process aspen-serve hosts the session; the ops console becomes
+    // a thin TCP client decoding the server's EVENT stream.
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind aspen-serve");
+    let addr = server.addr();
+    println!("\naspen-serve listening on {addr}; reattaching the console over TCP");
+
+    let mut ctl = Client::connect(addr).expect("connect control client");
+    let mut console_conn = Client::connect(addr).expect("connect console client");
+    let mut console = OpsConsole;
+
+    let opened = ctl.request("OPEN dc nodes=60 seed=7").expect("OPEN");
+    println!("  > OPEN dc nodes=60 seed=7    -> {opened}");
+    // The console connection attaches to the same session and dedicates
+    // itself to the event stream.
+    console_conn.request("USE dc").expect("USE");
+    console_conn.request("SUBSCRIBE").expect("SUBSCRIBE");
+
+    for line in [
+        "ADMIT innet-cmg-learn SELECT s.id, t.id FROM s, t \
+         [windowsize=2 sampleinterval=100] \
+         WHERE s.id < 30 AND t.id >= 30 AND s.u = t.u",
+        "STEP 40",
+        "KILL 13",
+        "STEP 20",
+    ] {
+        let reply = ctl.request(line).expect("command");
+        assert!(reply.starts_with("OK"), "'{line}' failed: {reply}");
+    }
+    let report = ctl.request("REPORT").expect("REPORT");
+    if let Ok(Response::Report(r)) = Response::decode(&report) {
+        println!(
+            "  served session at cycle {}: {} events delivered, {} repair attempt(s)",
+            r.cycle, r.results, r.repair_attempts
+        );
+    }
+
+    // Tear the session down (which hangs up its subscribers), then replay
+    // the buffered EVENT lines through the very same OpsConsole.
+    ctl.request("CLOSE").expect("CLOSE");
+    println!("  event stream as the console saw it:");
+    loop {
+        let line = console_conn.read_line().expect("event stream");
+        if line.is_empty() {
+            break;
+        }
+        if let Ok(ev) = decode_event(&line) {
+            console.on_event(&ev);
+        }
+    }
+    server.shutdown();
 }

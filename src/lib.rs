@@ -32,6 +32,7 @@
 
 pub use aspen_bench as bench;
 pub use aspen_join as join;
+pub use aspen_serve as serve;
 pub use sensor_net as net;
 pub use sensor_query as query;
 pub use sensor_routing as routing;
