@@ -24,6 +24,7 @@ use aspen_bench::sweep::{
     parse_algo, parse_density, seed_range, DynamicsSpec, MultiSpec, QueryId, SweepGrid,
     WorkloadSel, SEED_BASE,
 };
+use aspen_bench::warmstart::WarmstartConfig;
 use aspen_bench::*;
 use aspen_join::prelude::*;
 use aspen_join::{centralized, Algorithm};
@@ -92,6 +93,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "optimize",
         "n-way join plans: bushy DP vs left-deep vs greedy",
     ),
+    (
+        "warmstart",
+        "warm vs cold admission over a repeated-shape workload",
+    ),
 ];
 
 fn usage_string() -> String {
@@ -127,6 +132,10 @@ fn main() {
         }
         Some("optimize") => {
             optimize_cmd(&args[1..]);
+            return;
+        }
+        Some("warmstart") => {
+            warmstart_cmd(&args[1..]);
             return;
         }
         _ => {}
@@ -431,6 +440,153 @@ fn sweep_cmd(args: &[String], mode: SweepMode) {
     eprintln!(
         "{cmd}: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv",
         grid.total_runs()
+    );
+}
+
+// ----------------------------------------------------------------------
+// The `warmstart` subcommand: warm vs cold admission over a
+// repeated-shape workload, measuring what the learned-state cache saves.
+
+const WARMSTART_USAGE: &str = "usage: experiments warmstart [options]
+  --quick              CI smoke config (60 nodes, 2 episodes, 2 seeds)
+  --nodes N            topology size                  (default 60)
+  --episodes N         admissions of the repeated shape per session, >= 2
+                       (default 3; episode 1 warms the cache, 2.. are measured)
+  --cycles N           sampling cycles per episode    (default 45; must exceed
+                       the learn interval of 20 or nobody migrates)
+  --seeds N            replicate seeds per mode       (default 3)
+  --threads N          OS threads fanning runs out, 0 = all cores (default 0)
+  --run-threads N      transmit-phase workers inside each run, 0 = all cores
+                       (default 1; outcomes are identical for any value)
+  --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
+                       (default target/warmstart/warmstart; the JSON is also
+                       recorded as BENCH_warmstart.json in the working dir)
+  --check-determinism  re-run single-threaded and at --run-threads 1|2|8,
+                       verifying byte-identical output";
+
+fn warmstart_bad(msg: &str) -> ! {
+    eprintln!("warmstart: {msg}\n{WARMSTART_USAGE}");
+    std::process::exit(2);
+}
+
+fn warmstart_cmd(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        WarmstartConfig::quick()
+    } else {
+        WarmstartConfig::default()
+    };
+    let mut out_prefix = "target/warmstart/warmstart".to_string();
+    let mut check_determinism = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{WARMSTART_USAGE}");
+                return;
+            }
+            "--quick" => {}
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --nodes"));
+                if cfg.nodes < 40 {
+                    warmstart_bad("--nodes must be at least 40 (the query splits ids at 20/40)");
+                }
+            }
+            "--episodes" => {
+                cfg.episodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --episodes"));
+                if cfg.episodes < 2 {
+                    warmstart_bad("--episodes must be at least 2 (episode 1 only warms the cache)");
+                }
+            }
+            "--cycles" => {
+                cfg.episode_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --cycles"));
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --seeds"));
+                if n == 0 {
+                    warmstart_bad("--seeds must be at least 1");
+                }
+                cfg.seeds = seed_range(n);
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --threads"));
+            }
+            "--run-threads" => {
+                cfg.run_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| warmstart_bad("bad --run-threads"));
+            }
+            "--out" => {
+                out_prefix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| warmstart_bad("bad --out"));
+            }
+            "--check-determinism" => check_determinism = true,
+            other => warmstart_bad(&format!("unknown option {other}")),
+        }
+    }
+    eprintln!(
+        "warmstart: {} episodes x {} cycles, 2 modes x {} seeds = {} runs",
+        cfg.episodes,
+        cfg.episode_cycles,
+        cfg.seeds.len(),
+        2 * cfg.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = cfg.run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("{}", report.to_table().to_aligned_string());
+    println!("{}", report.savings_line());
+    if check_determinism {
+        let mut single = cfg.clone();
+        single.threads = 1;
+        let rerun = single.run();
+        assert_eq!(
+            report.to_json(),
+            rerun.to_json(),
+            "warmstart output must not depend on thread count"
+        );
+        for run_threads in [1usize, 2, 8] {
+            let mut intra = cfg.clone();
+            intra.run_threads = run_threads;
+            assert_eq!(
+                report.to_json(),
+                intra.run().to_json(),
+                "warmstart output must not depend on intra-run threads ({run_threads})"
+            );
+        }
+        eprintln!("determinism check: fan-out threads and intra-run threads 1|2|8 all identical ✓");
+    }
+    if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
+    std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
+    // The convergence trajectory of record, next to BENCH_engine.json
+    // and BENCH_serve.json when run from the repo root.
+    std::fs::write("BENCH_warmstart.json", report.to_json()).expect("write BENCH_warmstart.json");
+    eprintln!(
+        "warmstart: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv, BENCH_warmstart.json",
+        2 * cfg.seeds.len()
     );
 }
 

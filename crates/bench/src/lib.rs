@@ -4,12 +4,14 @@
 //! The declarative multi-dimensional sweep lives in [`sweep`]; the
 //! concurrent multi-query comparison harness (`experiments multiq`) in
 //! [`multiq`]; the n-way join plan quality comparison
-//! (`experiments optimize`) in [`mod@optimize`]; the helpers here remain for
-//! the figure drivers that predate them.
+//! (`experiments optimize`) in [`mod@optimize`]; the warm-vs-cold
+//! admission comparison (`experiments warmstart`) in [`warmstart`]; the
+//! helpers here remain for the figure drivers that predate them.
 
 pub mod multiq;
 pub mod optimize;
 pub mod sweep;
+pub mod warmstart;
 
 use aspen_join::prelude::*;
 use aspen_join::Algorithm;

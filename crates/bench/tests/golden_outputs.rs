@@ -1,7 +1,7 @@
 //! Golden-output snapshot tests: the JSON reports of `experiments sweep
-//! --quick`, `experiments recovery --quick`, `experiments multiq --quick`
-//! and `experiments optimize --quick` are compared byte-for-byte against
-//! committed fixtures, so a
+//! --quick`, `experiments recovery --quick`, `experiments multiq --quick`,
+//! `experiments optimize --quick` and `experiments warmstart --quick` are
+//! compared byte-for-byte against committed fixtures, so a
 //! report-format change or a determinism regression (seeding, float
 //! formatting, aggregation order, engine behavior) fails loudly instead
 //! of silently shifting every downstream number.
@@ -19,6 +19,7 @@
 use aspen_bench::multiq::MultiqConfig;
 use aspen_bench::optimize::OptimizeConfig;
 use aspen_bench::sweep::SweepGrid;
+use aspen_bench::warmstart::WarmstartConfig;
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -100,5 +101,15 @@ fn optimize_quick_json_matches_golden() {
     check_golden(
         "optimize_quick.json",
         &OptimizeConfig::quick().run().to_json(),
+    );
+}
+
+/// `experiments warmstart --quick` JSON (the warm-vs-cold admission
+/// comparison over a repeated-shape workload).
+#[test]
+fn warmstart_quick_json_matches_golden() {
+    check_golden(
+        "warmstart_quick.json",
+        &WarmstartConfig::quick().run().to_json(),
     );
 }

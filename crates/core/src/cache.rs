@@ -1,0 +1,303 @@
+//! The warm-start learned-state cache.
+//!
+//! §6 adaptation re-learns selectivities and re-converges placement from
+//! scratch on every admission, yet serving traffic is dominated by
+//! repeated query shapes. When a [`Session`](crate::session::Session)
+//! retires a pairwise query (directly, or as a graph skeleton sub-join
+//! released by retirement or a re-plan), it *harvests* the learned
+//! [`PairStats`](crate::learn::PairStats) σ estimates, the join-host
+//! placements and the repair history into this cache. A later admission
+//! of the same shape consults the cache and seeds the optimizer's
+//! `assumed` σ — and through it the initial in-network placement — from
+//! the nearest entry instead of starting cold.
+//!
+//! The key is **(structural fingerprint, topology region)**:
+//!
+//! - the fingerprint is the canonical predicate text plus window and
+//!   sampling interval ([`spec_fingerprint`]) — the same structural
+//!   identity the sub-join sharing registry uses, so a re-admitted shape
+//!   matches no matter how the SQL was spelled;
+//! - the region quantizes the centroid of the query's eligible producers
+//!   into [`REGION_CELL_M`]-sized grid cells of the 256 m deployment
+//!   area ([`region_of`]). Learned σ values travel between *nearby*
+//!   producer populations: an exact-region hit is preferred, otherwise
+//!   the nearest same-fingerprint region wins (deterministic tie-break).
+//!
+//! The cache is bounded ([`CACHE_CAPACITY`]) with deterministic
+//! least-recently-used eviction (ties broken by key order), so a serve
+//! session surviving heavy query churn cannot grow without bound.
+
+use crate::cost::Sigma;
+use sensor_net::{NodeId, Topology};
+use sensor_query::JoinQuerySpec;
+use sensor_workload::WorkloadData;
+use std::collections::BTreeMap;
+
+/// Side of one square topology region, in meters. The synthetic
+/// deployments are 256 m × 256 m, so this yields a 4×4 region grid.
+pub const REGION_CELL_M: f64 = 64.0;
+
+/// Maximum resident entries before least-recently-used eviction.
+pub const CACHE_CAPACITY: usize = 64;
+
+/// Quantized topology region (grid cell of an eligible-producer
+/// centroid).
+pub type Region = (i32, i32);
+
+/// Structural identity of a pairwise query shape: canonical predicate
+/// text (selections and join predicate in S/T display form) plus window
+/// size and sampling interval. Matches for any spelling that compiles to
+/// the same analysis, and equals the fingerprint of the owning graph
+/// edge's [`edge_spec`](sensor_query::JoinGraph::edge_spec), so graph
+/// skeleton sub-joins and standalone pairwise queries share entries.
+pub fn spec_fingerprint(spec: &JoinQuerySpec) -> String {
+    format!(
+        "{}|w{}|i{}",
+        spec.predicate, spec.window, spec.sample_interval
+    )
+}
+
+/// The topology region a query shape lives in: the grid cell of the
+/// centroid of its eligible producers (either side), falling back to the
+/// network centroid when nothing is eligible. Deterministic in
+/// (spec, topology, workload), so harvest and lookup always agree.
+pub fn region_of(spec: &JoinQuerySpec, topo: &Topology, data: &WorkloadData) -> Region {
+    let base = topo.base();
+    let (mut cx, mut cy, mut n) = (0.0f64, 0.0f64, 0u32);
+    for v in topo.node_ids() {
+        if v == base {
+            continue;
+        }
+        let st = data.static_of(v);
+        if spec.analysis.s_eligible(st) || spec.analysis.t_eligible(st) {
+            let p = topo.position(v);
+            cx += p.x;
+            cy += p.y;
+            n += 1;
+        }
+    }
+    let (cx, cy) = if n == 0 {
+        let c = topo.centroid();
+        (c.x, c.y)
+    } else {
+        (cx / n as f64, cy / n as f64)
+    };
+    (
+        (cx / REGION_CELL_M).floor() as i32,
+        (cy / REGION_CELL_M).floor() as i32,
+    )
+}
+
+/// One harvested learned state: everything a retirement knew that a
+/// re-admission of the same shape can reuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Mean learned σ across the query's join hosts at harvest time —
+    /// the functional payload: it seeds `cfg.assumed` (and through it
+    /// the initial placement) on a hit.
+    pub sigma: Sigma,
+    /// Nodes that held join-pair state for the query when it retired
+    /// (its chosen placements).
+    pub placements: Vec<NodeId>,
+    /// Repair history digest at harvest: (attempts, successes).
+    pub repairs: (u64, u64),
+    /// Times this entry seeded an admission.
+    pub uses: u64,
+    /// LRU stamp (monotonic per cache operation).
+    last_used: u64,
+}
+
+/// Aggregate counters exposed over the wire (`CACHESTATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Lookups that seeded an admission.
+    pub hits: u64,
+    /// Lookups that fell back to cold admission.
+    pub misses: u64,
+    /// Harvests written (inserts and refreshes).
+    pub insertions: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+}
+
+/// The session-owned cache; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct LearnedCache {
+    map: BTreeMap<(String, Region), CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl LearnedCache {
+    pub fn new() -> LearnedCache {
+        LearnedCache::default()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Harvest one retired query's learned state. A same-key entry is
+    /// refreshed (fresher learning wins); over capacity, the
+    /// least-recently-used entry goes (lowest key on ties, which the
+    /// BTreeMap iteration order makes deterministic).
+    pub fn insert(
+        &mut self,
+        fingerprint: String,
+        region: Region,
+        sigma: Sigma,
+        placements: Vec<NodeId>,
+        repairs: (u64, u64),
+    ) {
+        let stamp = self.tick();
+        self.insertions += 1;
+        let uses = self
+            .map
+            .get(&(fingerprint.clone(), region))
+            .map(|e| e.uses)
+            .unwrap_or(0);
+        self.map.insert(
+            (fingerprint, region),
+            CacheEntry {
+                sigma,
+                placements,
+                repairs,
+                uses,
+                last_used: stamp,
+            },
+        );
+        while self.map.len() > CACHE_CAPACITY {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, (*k).clone()))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Consult the cache for an admission of `fingerprint` near `region`:
+    /// an exact-region entry wins, otherwise the nearest region holding
+    /// the same fingerprint (squared grid distance, lowest region on
+    /// ties). `None` — a miss — means cold admission.
+    pub fn lookup(&mut self, fingerprint: &str, region: Region) -> Option<Sigma> {
+        let key = self
+            .map
+            .range((fingerprint.to_string(), (i32::MIN, i32::MIN))..)
+            .take_while(|((fp, _), _)| fp == fingerprint)
+            .map(|((_, r), _)| *r)
+            .min_by_key(|r| {
+                let (dx, dy) = ((r.0 - region.0) as i64, (r.1 - region.1) as i64);
+                (dx * dx + dy * dy, *r)
+            });
+        match key {
+            Some(r) => {
+                self.hits += 1;
+                let stamp = self.tick();
+                let e = self
+                    .map
+                    .get_mut(&(fingerprint.to_string(), r))
+                    .expect("key just found");
+                e.uses += 1;
+                e.last_used = stamp;
+                Some(e.sigma)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read an entry without touching hit/miss accounting (diagnostics).
+    pub fn peek(&self, fingerprint: &str, region: Region) -> Option<&CacheEntry> {
+        self.map.get(&(fingerprint.to_string(), region))
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len() as u64,
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(s: f64) -> Sigma {
+        Sigma::new(s, s, s / 4.0)
+    }
+
+    #[test]
+    fn exact_hit_beats_nearest() {
+        let mut c = LearnedCache::new();
+        c.insert("fp".into(), (0, 0), sig(0.1), vec![], (0, 0));
+        c.insert("fp".into(), (2, 2), sig(0.9), vec![], (0, 0));
+        assert_eq!(c.lookup("fp", (2, 2)), Some(sig(0.9)));
+        assert_eq!(c.lookup("fp", (0, 0)), Some(sig(0.1)));
+    }
+
+    #[test]
+    fn nearest_region_with_same_fingerprint_wins() {
+        let mut c = LearnedCache::new();
+        c.insert("fp".into(), (0, 0), sig(0.1), vec![], (0, 0));
+        c.insert("fp".into(), (3, 3), sig(0.9), vec![], (0, 0));
+        c.insert("other".into(), (1, 1), sig(0.5), vec![], (0, 0));
+        // (1, 1) is nearest to (0, 0) among the "fp" entries.
+        assert_eq!(c.lookup("fp", (1, 1)), Some(sig(0.1)));
+        assert_eq!(c.lookup("nope", (1, 1)), None);
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 1));
+    }
+
+    #[test]
+    fn refresh_keeps_one_entry_and_updates_sigma() {
+        let mut c = LearnedCache::new();
+        c.insert("fp".into(), (0, 0), sig(0.1), vec![], (0, 0));
+        c.insert("fp".into(), (0, 0), sig(0.4), vec![], (1, 1));
+        assert_eq!(c.stats().entries, 1);
+        assert_eq!(c.lookup("fp", (0, 0)), Some(sig(0.4)));
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_deterministic() {
+        let mut c = LearnedCache::new();
+        for i in 0..(CACHE_CAPACITY + 5) {
+            c.insert(format!("fp{i:03}"), (0, 0), sig(0.2), vec![], (0, 0));
+        }
+        let st = c.stats();
+        assert_eq!(st.entries as usize, CACHE_CAPACITY);
+        assert_eq!(st.evictions, 5);
+        // The oldest five inserts were evicted.
+        assert_eq!(c.lookup("fp000", (0, 0)), None);
+        assert_eq!(c.lookup("fp004", (0, 0)), None);
+        assert!(c.lookup("fp005", (0, 0)).is_some());
+    }
+
+    #[test]
+    fn lookup_refreshes_lru_rank() {
+        let mut c = LearnedCache::new();
+        for i in 0..CACHE_CAPACITY {
+            c.insert(format!("fp{i:03}"), (0, 0), sig(0.2), vec![], (0, 0));
+        }
+        // Touch the oldest entry, then overflow by one: the *second*
+        // oldest must go instead.
+        assert!(c.lookup("fp000", (0, 0)).is_some());
+        c.insert("zz-new".into(), (0, 0), sig(0.3), vec![], (0, 0));
+        assert!(c.lookup("fp000", (0, 0)).is_some());
+        assert_eq!(c.lookup("fp001", (0, 0)), None);
+    }
+}

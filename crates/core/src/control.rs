@@ -17,6 +17,7 @@
 //! the SQL text of an `ADMIT` line is carried raw (rest-of-line) so
 //! humans can type it over `nc`.
 
+use crate::cache::CacheStats;
 use crate::cost::Sigma;
 use crate::session::{GraphId, Outcome, Phase, QueryId, Session, SessionEvent};
 use crate::shared::{parse_algo, AlgoConfig};
@@ -102,6 +103,11 @@ pub enum Command {
     Kill(NodeId),
     /// Drain in-flight traffic and summarize the outcome so far.
     Report,
+    /// Report the warm-start learned-state cache counters
+    /// ([`CacheStats`]): resident entries and cumulative
+    /// hit/miss/insertion/eviction counts across the session's query
+    /// churn.
+    CacheStats,
     /// Ask for the session's event stream. [`Session::apply`] answers
     /// [`Response::Subscribed`] and nothing more — in-process callers
     /// attach an [`Observer`](crate::session::Observer) directly; the
@@ -300,6 +306,9 @@ pub enum Response {
         node: NodeId,
     },
     Report(Box<ReportSummary>),
+    /// After [`Command::CacheStats`]: the session's learned-state cache
+    /// counters.
+    CacheStats(CacheStats),
     Subscribed,
     Rejected(ControlError),
 }
@@ -383,6 +392,7 @@ impl Command {
             Command::RunUntil(StopWhen::Results(n)) => format!("RUN RESULTS {n}"),
             Command::Kill(v) => format!("KILL {}", v.0),
             Command::Report => "REPORT".into(),
+            Command::CacheStats => "CACHESTATS".into(),
             Command::Subscribe => "SUBSCRIBE".into(),
         }
     }
@@ -436,6 +446,7 @@ impl Command {
                 .map(|v| Command::Kill(NodeId(v)))
                 .map_err(|_| format!("bad node id '{rest}'")),
             "REPORT" if rest.is_empty() => Ok(Command::Report),
+            "CACHESTATS" if rest.is_empty() => Ok(Command::CacheStats),
             "SUBSCRIBE" if rest.is_empty() => Ok(Command::Subscribe),
             _ => Err(format!("unknown command '{verb}'")),
         }
@@ -491,6 +502,10 @@ impl Response {
                 }
                 s
             }
+            Response::CacheStats(c) => format!(
+                "OK CACHESTATS entries={} hits={} misses={} insertions={} evictions={}",
+                c.entries, c.hits, c.misses, c.insertions, c.evictions,
+            ),
             Response::Rejected(e) => match e {
                 ControlError::Parse { pos, msg } => format!("ERR PARSE {pos} {}", esc(msg)),
                 ControlError::UnknownAlgo(s) => format!("ERR ALGO {}", esc(s)),
@@ -590,6 +605,22 @@ impl Response {
                 }
                 Ok(Response::Report(Box::new(r)))
             }
+            ("OK", "CACHESTATS") => {
+                let mut num = |name: &str| -> Result<u64, String> {
+                    let t = toks.next().ok_or_else(|| format!("missing {name}"))?;
+                    t.strip_prefix(name)
+                        .and_then(|t| t.strip_prefix('='))
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("expected {name}=<n>, got '{t}'"))
+                };
+                Ok(Response::CacheStats(CacheStats {
+                    entries: num("entries")?,
+                    hits: num("hits")?,
+                    misses: num("misses")?,
+                    insertions: num("insertions")?,
+                    evictions: num("evictions")?,
+                }))
+            }
             ("ERR", "PARSE") => {
                 let pos = toks.next().ok_or("missing position")?;
                 let msg = toks.next().ok_or("missing message")?;
@@ -639,6 +670,7 @@ pub fn encode_event(ev: &SessionEvent) -> String {
             format!("EVENT PHASE {cycle} {p}")
         }
         SessionEvent::Replanned { cycle, graph } => format!("EVENT REPLANNED {cycle} g{}", graph.0),
+        SessionEvent::Closed { cycle } => format!("EVENT CLOSED {cycle}"),
     }
 }
 
@@ -692,6 +724,7 @@ pub fn decode_event(line: &str) -> Result<SessionEvent, String> {
             })
         }
         "WORKLOAD_MARK" => Ok(SessionEvent::WorkloadMark { cycle }),
+        "CLOSED" => Ok(SessionEvent::Closed { cycle }),
         "PHASE" => Ok(SessionEvent::PhaseTransition {
             cycle,
             phase: match arg()? {
@@ -784,6 +817,7 @@ impl Session {
                 let out = self.report();
                 Response::Report(Box::new(ReportSummary::from_outcome(self.cycle(), &out)))
             }
+            Command::CacheStats => Response::CacheStats(self.cache_stats()),
             Command::Subscribe => Response::Subscribed,
         }
     }
@@ -844,6 +878,7 @@ mod tests {
             Command::RunUntil(StopWhen::Results(100)),
             Command::Kill(NodeId(17)),
             Command::Report,
+            Command::CacheStats,
             Command::Subscribe,
         ];
         for c in cmds {
@@ -862,6 +897,13 @@ mod tests {
                 cycle: 15,
             },
             Response::Killed { node: NodeId(9) },
+            Response::CacheStats(CacheStats {
+                entries: 3,
+                hits: 7,
+                misses: 2,
+                insertions: 5,
+                evictions: 1,
+            }),
             Response::Subscribed,
             Response::Rejected(ControlError::Parse {
                 pos: 7,
@@ -947,6 +989,7 @@ mod tests {
                 cycle: 12,
                 graph: GraphId(2),
             },
+            SessionEvent::Closed { cycle: 31 },
         ];
         for ev in evs {
             assert_eq!(decode_event(&encode_event(&ev)), Ok(ev));

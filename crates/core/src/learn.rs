@@ -14,6 +14,19 @@
 
 use crate::cost::Sigma;
 
+/// Minimum sampling cycles since the last reset before
+/// [`PairStats::estimate`] yields anything. One cycle of history is pure
+/// noise: a counter straight out of `reset()` would otherwise estimate
+/// from a single cycle, and one unlucky sample could trip the §6
+/// divergence test and trigger a replan thrash loop (replan → reset →
+/// one noisy sample → replan …).
+pub const MIN_ESTIMATE_CYCLES: u32 = 2;
+
+/// Minimum received tuples (`Ns + Nt`) before [`PairStats::estimate`]
+/// yields anything, for the same thrash-damping reason as
+/// [`MIN_ESTIMATE_CYCLES`].
+pub const MIN_ESTIMATE_TUPLES: u32 = 2;
+
 /// Per-pair learning counters at a join node.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PairStats {
@@ -45,10 +58,12 @@ impl PairStats {
         *self = PairStats::default();
     }
 
-    /// Estimate σ values; `None` until at least one full sampling cycle
-    /// and one received tuple (no information otherwise).
+    /// Estimate σ values; `None` until the minimum-evidence floor is met
+    /// ([`MIN_ESTIMATE_CYCLES`] sampling cycles *and*
+    /// [`MIN_ESTIMATE_TUPLES`] received tuples since the last reset — no
+    /// usable information otherwise).
     pub fn estimate(&self, w: usize) -> Option<Sigma> {
-        if self.cycles == 0 || self.n_s + self.n_t == 0 {
+        if self.cycles < MIN_ESTIMATE_CYCLES || self.n_s + self.n_t < MIN_ESTIMATE_TUPLES {
             return None;
         }
         let t = self.cycles as f64;
@@ -96,12 +111,33 @@ mod tests {
     fn estimates_clamped_to_probability() {
         let mut st = PairStats::default();
         st.tick();
+        st.tick();
         for _ in 0..5 {
             st.record_s();
         }
         st.record_results(1000);
         let e = st.estimate(1).unwrap();
         assert!(e.s <= 1.0 && e.st <= 1.0);
+    }
+
+    /// Regression: a counter straight out of `reset()` must not estimate
+    /// from one tuple in one cycle — that single noisy sample could trip
+    /// `sigmas_diverged` and start a replan thrash cycle.
+    #[test]
+    fn no_estimate_below_minimum_evidence_floor() {
+        let mut st = PairStats::default();
+        st.reset();
+        st.tick();
+        st.record_s(); // one tuple, one cycle — below both floors
+        assert_eq!(st.estimate(2), None);
+        st.tick(); // two cycles, still one tuple
+        assert_eq!(st.estimate(2), None);
+        st.record_t(); // two cycles, two tuples — floor met
+        let e = st.estimate(2).expect("evidence floor met");
+        // The estimate the single wild sample would have produced
+        // (σs = 1.0 from one tuple in one cycle) is now averaged over
+        // the evidence floor instead of taken at face value.
+        assert!((e.s - 0.5).abs() < 1e-12);
     }
 
     #[test]

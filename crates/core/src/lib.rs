@@ -47,6 +47,7 @@
 //! [`DynamicsOutcome`], so sweep code reads the unified outcome
 //! through the shapes the figures were written against.
 
+pub mod cache;
 pub mod centralized;
 pub mod control;
 pub mod cost;
@@ -60,6 +61,7 @@ pub mod scenario;
 pub mod session;
 pub mod shared;
 
+pub use cache::{region_of, spec_fingerprint, CacheEntry, CacheStats, LearnedCache};
 pub use control::{
     decode_event, encode_event, Command, ControlError, QuerySummary, ReportSummary, Response,
     StopWhen, Target,
@@ -85,6 +87,7 @@ pub use shared::{AlgoConfig, Algorithm, InnetOptions, Shared};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
+    pub use crate::cache::CacheStats;
     pub use crate::control::{
         Command, ControlError, QuerySummary, ReportSummary, Response, StopWhen, Target,
     };

@@ -563,6 +563,8 @@ pub struct MultiRun {
     /// Migration adoptions of retired queries (same monotonicity need —
     /// the session's observer diffing relies on it).
     pub(crate) retired_migrations: u64,
+    /// `WindowXfer` bytes of retired queries (same monotonicity need).
+    pub(crate) retired_xfer_bytes: u64,
 }
 
 impl QuerySet {
@@ -610,6 +612,7 @@ impl QuerySet {
             pending_steps: Vec::new(),
             retired_recovery: crate::node::RecoveryStats::default(),
             retired_migrations: 0,
+            retired_xfer_bytes: 0,
         }
     }
 }
@@ -716,6 +719,7 @@ impl MultiRun {
             let node = self.engine.node_mut(id).deactivate(q);
             self.retired_recovery.absorb(&node.recovery);
             self.retired_migrations += node.migrations_adopted;
+            self.retired_xfer_bytes += node.xfer_bytes;
             if id == base {
                 snap = node.base_state().map(|b| BaseSnapshot {
                     results: b.results,

@@ -127,7 +127,10 @@ impl JoinNode {
                     win_t,
                     route: Route::TreeUp,
                 };
-                if !self.forward_tree_up(ctx, msg) {
+                let wb = msg.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
+                if self.forward_tree_up(ctx, msg) {
+                    self.xfer_bytes += wb;
+                } else {
                     self.adopt_transferred_pair(
                         ctx,
                         pair,
@@ -184,6 +187,8 @@ impl JoinNode {
                             pos: 1,
                         },
                     };
+                    self.xfer_bytes +=
+                        msg.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
                     self.send(ctx, route_path[1], msg);
                 }
             }
@@ -217,7 +222,9 @@ impl JoinNode {
                     win_t: win_t.clone(),
                     route: Route::TreeUp,
                 };
+                let wb = msg.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
                 if self.forward_tree_up(ctx, msg) {
+                    self.xfer_bytes += wb;
                     return;
                 }
                 self.adopt_transferred_pair(
@@ -225,21 +232,27 @@ impl JoinNode {
                 );
             }
             Route::Path { path: rpath, pos } => {
-                let forwarded = self.forward_path(ctx, &rpath, pos, |p| Msg::WindowXfer {
-                    pair,
-                    seq,
-                    path: path.clone(),
-                    hops: hops.clone(),
-                    new_j_idx,
-                    assumed,
-                    win_s: win_s.clone(),
-                    win_t: win_t.clone(),
-                    route: Route::Path {
-                        path: rpath.clone(),
-                        pos: p,
-                    },
-                });
-                if !forwarded {
+                debug_assert_eq!(rpath.get(pos), Some(&self.id), "path routing desync");
+                if pos + 1 < rpath.len() {
+                    let next = rpath[pos + 1];
+                    let msg = Msg::WindowXfer {
+                        pair,
+                        seq,
+                        path,
+                        hops,
+                        new_j_idx,
+                        assumed,
+                        win_s,
+                        win_t,
+                        route: Route::Path {
+                            path: rpath,
+                            pos: pos + 1,
+                        },
+                    };
+                    self.xfer_bytes +=
+                        msg.wire_bytes(self.sh.data_bytes(), self.sh.result_bytes()) as u64;
+                    self.send(ctx, next, msg);
+                } else {
                     self.adopt_transferred_pair(
                         ctx, pair, seq, path, hops, new_j_idx, assumed, win_s, win_t,
                     );

@@ -226,6 +226,10 @@ pub struct JoinNode {
     /// session layer diffs the network-wide total per cycle to emit
     /// `PairsMigrated` observer events.
     pub migrations_adopted: u64,
+    /// Bytes this node put on the air carrying `WindowXfer` frames — the
+    /// §6 migration control traffic (window hand-off included), separated
+    /// out so the cost of wasted migrations is directly measurable.
+    pub xfer_bytes: u64,
 }
 
 impl JoinNode {
@@ -261,6 +265,7 @@ impl JoinNode {
             recovery: RecoveryStats::default(),
             produced_results: 0,
             migrations_adopted: 0,
+            xfer_bytes: 0,
             sh,
         }
     }

@@ -42,6 +42,7 @@
 //! path; the golden-output suite proves the sweep/recovery/multiq reports
 //! are byte-identical across the redesign.
 
+use crate::cache::{region_of, spec_fingerprint, CacheStats, LearnedCache, Region};
 use crate::cost::Sigma;
 use crate::multi::{
     BaseSnapshot, Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet,
@@ -111,6 +112,10 @@ pub enum SessionEvent {
     /// (§6 generalized to n-way plans); its skeleton sub-joins may have
     /// been swapped.
     Replanned { cycle: u32, graph: GraphId },
+    /// The session was closed by its owner (`aspen-serve` `CLOSE`).
+    /// Terminal: no further events follow on any subscription. Emitted by
+    /// the serving layer, never by the session itself.
+    Closed { cycle: u32 },
 }
 
 /// Per-sampling-cycle view handed to [`Observer::on_cycle`] right after
@@ -253,6 +258,9 @@ pub(crate) trait Host {
     fn expired_frames(&self) -> u64;
     /// Network-wide migration-adoption counter (observer diffing).
     fn migrations_total(&self) -> u64;
+    /// Network-wide §6 migration control traffic: bytes put on the air
+    /// carrying `WindowXfer` frames, monotone across retirements.
+    fn xfer_bytes_total(&self) -> u64;
     /// Per-query execution flow ([`FlowMetrics`]) for outcome rows.
     fn query_flow(&self, q: usize, exec: &Metrics) -> FlowMetrics;
     /// Cross-query aggregate flow (zero for the bare wire).
@@ -362,6 +370,10 @@ impl Host for Run {
             .iter()
             .map(|n| n.migrations_adopted)
             .sum()
+    }
+
+    fn xfer_bytes_total(&self) -> u64 {
+        self.engine.nodes().iter().map(|n| n.xfer_bytes).sum()
     }
 
     fn query_flow(&self, _q: usize, exec: &Metrics) -> FlowMetrics {
@@ -506,6 +518,17 @@ impl Host for MultiRun {
                 .iter()
                 .flat_map(|mn| mn.query_nodes())
                 .map(|jn| jn.migrations_adopted)
+                .sum::<u64>()
+    }
+
+    fn xfer_bytes_total(&self) -> u64 {
+        self.retired_xfer_bytes
+            + self
+                .engine
+                .nodes()
+                .iter()
+                .flat_map(|mn| mn.query_nodes())
+                .map(|jn| jn.xfer_bytes)
                 .sum::<u64>()
     }
 
@@ -1100,6 +1123,14 @@ fn sub_fingerprint(graph: &JoinGraph, edge: usize, scope: Option<usize>) -> Stri
     }
 }
 
+/// Cache identity of one admitted pairwise query, recorded at admission
+/// so retirement can harvest its learned state under the same key.
+struct QueryCacheMeta {
+    fingerprint: String,
+    region: Region,
+    window: usize,
+}
+
 /// A long-lived execution context: one network (topology + workload +
 /// substrate + simulator) serving a changing population of join queries.
 /// Built via [`SessionBuilder`]; see the [module docs](self) for the
@@ -1115,6 +1146,13 @@ pub struct Session {
     graphs: Vec<GraphEntry>,
     sub_registry: std::collections::BTreeMap<String, SharedSub>,
     share_subjoins: bool,
+    /// Warm-start learned-state cache (see [`crate::cache`]); disabled
+    /// sessions keep it empty.
+    cache: LearnedCache,
+    warm_start: bool,
+    /// Parallel to query slots: cache identity for harvest at retirement
+    /// (`None` when warm-start is off).
+    q_meta: Vec<Option<QueryCacheMeta>>,
 }
 
 impl Session {
@@ -1178,10 +1216,29 @@ impl Session {
     /// queries keep streaming. Before the first [`Session::step`] the
     /// query instead joins the cycle-0 initiation batch.
     ///
+    /// With warm-start enabled (the default), the learned-state cache is
+    /// consulted first: a [hit](crate::cache::LearnedCache::lookup)
+    /// replaces `cfg.assumed` with the harvested σ of the nearest
+    /// same-shape entry, seeding both the §3 initial placement and the §6
+    /// divergence baseline; a miss admits cold, exactly as before.
+    ///
     /// # Panics
     /// On a [`SessionBuilder::bare_wire`] session — the untagged wire
     /// format hosts exactly one query for its whole life.
-    pub fn admit(&mut self, spec: JoinQuerySpec, cfg: AlgoConfig) -> QueryId {
+    pub fn admit(&mut self, spec: JoinQuerySpec, mut cfg: AlgoConfig) -> QueryId {
+        let meta = self.warm_start.then(|| {
+            let host = self.backend.host();
+            QueryCacheMeta {
+                fingerprint: spec_fingerprint(&spec),
+                region: region_of(&spec, host.topology(), host.workload()),
+                window: spec.window,
+            }
+        });
+        if let Some(m) = &meta {
+            if let Some(sigma) = self.cache.lookup(&m.fingerprint, m.region) {
+                cfg.assumed = sigma;
+            }
+        }
         let mr = match &mut self.backend {
             Backend::Tagged(mr) => mr,
             Backend::Bare(_) => panic!(
@@ -1213,12 +1270,18 @@ impl Session {
             self.st.activated[q] = true;
         }
         self.st.snapshots.push(None);
+        self.q_meta.push(meta);
         QueryId(q)
     }
 
     /// Retire a query now: deactivate it at every node, snapshot its base
     /// counters (kept in the final [`Outcome`] row) and free its slot's
     /// network share. Idempotent.
+    ///
+    /// With warm-start enabled, the query's learned σ estimates, join-host
+    /// placements and repair history are harvested into the session's
+    /// [`LearnedCache`] *before* deactivation wipes the in-network state,
+    /// so a later admission of the same shape can start warm.
     ///
     /// # Panics
     /// On a bare-wire session (see [`Session::admit`]).
@@ -1227,6 +1290,31 @@ impl Session {
         match &mut self.backend {
             Backend::Tagged(mr) => {
                 if self.st.snapshots[q].is_none() {
+                    // Harvest learned state while the per-node protocol
+                    // instances still hold it; `retire_query` deactivates
+                    // them everywhere.
+                    if let Some(meta) = &self.q_meta[q] {
+                        if let Some(sigma) = Host::learned_sigma(&*mr, q, meta.window) {
+                            let n = Host::topo_len(&*mr);
+                            let mut placements = Vec::new();
+                            let (mut attempts, mut successes) = (0u64, 0u64);
+                            for i in 0..n {
+                                let jn = Host::join_node(&*mr, q, NodeId(i as u16));
+                                if !jn.pairs.is_empty() {
+                                    placements.push(NodeId(i as u16));
+                                }
+                                attempts += jn.recovery.repair_attempts;
+                                successes += jn.recovery.repair_successes;
+                            }
+                            self.cache.insert(
+                                meta.fingerprint.clone(),
+                                meta.region,
+                                sigma,
+                                placements,
+                                (attempts, successes),
+                            );
+                        }
+                    }
                     let c = self.st.next_cycle;
                     self.st.snapshots[q] = mr.retire_query(q);
                     // Deliberate retirement is not a truncated initiation:
@@ -1252,22 +1340,30 @@ impl Session {
     }
 
     /// Admit an n-way [`JoinGraph`] query: optimize a bushy plan over the
-    /// session's topology and workload (costed with `cfg.assumed` on every
-    /// edge), then instantiate the plan's skeleton — one representative
-    /// crossing join edge per interior plan node, a spanning tree of the
-    /// graph — as pairwise in-network sub-queries. Skeleton sub-joins that
-    /// structurally match one already executing for another resident graph
-    /// are *shared*: the existing operator gets another reference instead
-    /// of a second copy (disable with
-    /// [`SessionBuilder::subjoin_sharing`]).
+    /// session's topology and workload, then instantiate the plan's
+    /// skeleton — one representative crossing join edge per interior plan
+    /// node, a spanning tree of the graph — as pairwise in-network
+    /// sub-queries. Skeleton sub-joins that structurally match one already
+    /// executing for another resident graph are *shared*: the existing
+    /// operator gets another reference instead of a second copy (disable
+    /// with [`SessionBuilder::subjoin_sharing`]).
+    ///
+    /// With warm-start enabled, each edge's costing σ comes from the
+    /// learned-state cache when its sub-join shape has a harvested entry,
+    /// falling back to `cfg.assumed` per edge on a miss — so a re-admitted
+    /// graph shape is planned against learned selectivities instead of a
+    /// uniform assumption. (Skeleton sub-join *placement* is seeded
+    /// automatically: instantiating the skeleton goes through
+    /// [`Session::admit`], which consults the same cache.)
     ///
     /// # Panics
     /// On a bare-wire session (see [`Session::admit`]).
     pub fn admit_graph(&mut self, graph: &JoinGraph, cfg: AlgoConfig) -> GraphId {
+        let sigmas = self.seeded_sigmas(graph, cfg.assumed);
         let plan = {
             let host = self.backend.host();
             let space = PlanSpace::build(host.topology(), host.workload(), graph);
-            optimize(graph, &uniform_sigmas(graph, cfg.assumed), &space)
+            optimize(graph, &sigmas, &space)
         };
         let gid = GraphId(self.graphs.len());
         let scope = (!self.share_subjoins).then_some(gid.0);
@@ -1285,6 +1381,47 @@ impl Session {
             retired: false,
         });
         gid
+    }
+
+    /// Per-edge costing basis for `graph`: the cache's learned σ where the
+    /// edge's sub-join shape has a harvested entry, `assumed` otherwise.
+    /// With warm-start off this is exactly [`uniform_sigmas`].
+    fn seeded_sigmas(&mut self, graph: &JoinGraph, assumed: Sigma) -> Vec<Sigma> {
+        if !self.warm_start {
+            return uniform_sigmas(graph, assumed);
+        }
+        let keys: Vec<(String, Region)> = {
+            let host = self.backend.host();
+            (0..graph.edges.len())
+                .map(|e| {
+                    let spec = graph.edge_spec(e);
+                    let region = region_of(&spec, host.topology(), host.workload());
+                    (spec_fingerprint(&spec), region)
+                })
+                .collect()
+        };
+        keys.into_iter()
+            .map(|(fp, region)| self.cache.lookup(&fp, region).unwrap_or(assumed))
+            .collect()
+    }
+
+    /// Aggregate counters of the warm-start learned-state cache (exposed
+    /// over the wire as `CACHESTATS`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Read access to the learned-state cache (diagnostics; the parity
+    /// suite peeks harvested entries through this).
+    pub fn learned_cache(&self) -> &crate::cache::LearnedCache {
+        &self.cache
+    }
+
+    /// Network-wide §6 migration control traffic so far: bytes put on the
+    /// air carrying `WindowXfer` frames. Monotone across retirements, so
+    /// per-phase costs fall out of boundary differences.
+    pub fn migration_xfer_bytes(&self) -> u64 {
+        self.backend.host().xfer_bytes_total()
     }
 
     /// Retire a graph query: drop its references on its skeleton
@@ -1355,11 +1492,17 @@ impl Session {
     /// whose last reference this was are retired. Emits
     /// [`SessionEvent::Replanned`].
     ///
+    /// A retired graph is a graceful no-op: its skeleton references were
+    /// already released, and re-acquiring them here would resurrect
+    /// retired sub-join operators on the network.
+    ///
     /// # Panics
-    /// If the graph was retired, or `sigmas.len()` ≠ the edge count.
+    /// If `sigmas.len()` ≠ the edge count.
     pub fn replan_with(&mut self, id: GraphId, sigmas: &[Sigma]) {
         let entry = &self.graphs[id.0];
-        assert!(!entry.retired, "cannot replan a retired graph query");
+        if entry.retired {
+            return;
+        }
         let graph = entry.graph.clone();
         let cfg = entry.cfg;
         let plan = {
@@ -1619,6 +1762,7 @@ pub struct SessionBuilder {
     allow_empty: bool,
     observers: Vec<Box<dyn Observer + Send>>,
     share_subjoins: bool,
+    warm_start: bool,
 }
 
 impl SessionBuilder {
@@ -1635,6 +1779,7 @@ impl SessionBuilder {
             allow_empty: false,
             observers: Vec::new(),
             share_subjoins: true,
+            warm_start: true,
         }
     }
 
@@ -1709,6 +1854,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Whether the session harvests retired queries' learned state into
+    /// the [`LearnedCache`] and seeds later same-shape admissions from it
+    /// (default `true`). Disabling makes every admission cold — the
+    /// baseline the warm-vs-cold experiments compare against.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
     /// Allow building a tagged session with no initial queries: the
     /// network boots and idles until the first [`Session::admit`]. This is
     /// how `aspen-serve` opens a session — a standing network awaiting
@@ -1743,6 +1897,24 @@ impl SessionBuilder {
              .query(), or opt into an empty session with .allow_empty())"
         );
         let lifecycles: Vec<Lifecycle> = self.queries.iter().map(|qi| qi.lifecycle).collect();
+        // Cache identities of the initial population, computed before the
+        // topology and workload move into the backend. Builder queries are
+        // never *seeded* (they exist before anything could be harvested),
+        // but retiring one live still contributes its learned state.
+        let q_meta: Vec<Option<QueryCacheMeta>> = if self.warm_start {
+            self.queries
+                .iter()
+                .map(|qi| {
+                    Some(QueryCacheMeta {
+                        fingerprint: spec_fingerprint(&qi.spec),
+                        region: region_of(&qi.spec, &self.topo, &self.data),
+                        window: qi.spec.window,
+                    })
+                })
+                .collect()
+        } else {
+            (0..self.queries.len()).map(|_| None).collect()
+        };
         let backend = if self.bare {
             assert!(
                 self.queries.len() == 1 && lifecycles[0] == Lifecycle::STATIC,
@@ -1785,6 +1957,9 @@ impl SessionBuilder {
             graphs: Vec::new(),
             sub_registry: std::collections::BTreeMap::new(),
             share_subjoins: self.share_subjoins,
+            cache: LearnedCache::new(),
+            warm_start: self.warm_start,
+            q_meta,
         }
     }
 }

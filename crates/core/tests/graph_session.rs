@@ -204,6 +204,44 @@ fn replan_swaps_skeleton_live() {
     }
 }
 
+/// Lifecycle regression: re-planning a *retired* graph must be a graceful
+/// no-op. Pre-fix, `replan_with` asserted on the retired entry (fatal for
+/// a serve worker applying wire commands), and would otherwise have
+/// re-acquired sub-join fingerprints — resurrecting operators that
+/// `retire_graph` had just released.
+#[test]
+fn replan_on_retired_graph_is_a_noop() {
+    let mut s = session_with(9, true);
+    let g = s.admit_graph(&chain_abc(), cfg());
+    let subs = s.graph_queries(g);
+    s.step(6);
+    s.retire_graph(g);
+    let slots_after_retire = s.report().per_query.len();
+
+    // Neither entry point may panic or resurrect operators.
+    assert!(!s.maybe_replan(g), "retired graph must not re-plan");
+    let n_edges = chain_abc().edges.len();
+    s.replan_with(g, &vec![Sigma::new(0.9, 0.9, 0.5); n_edges]);
+
+    assert!(
+        s.graph_queries(g).is_empty(),
+        "retired graph's sub-joins must stay released"
+    );
+    s.step(4);
+    let out = s.report();
+    assert_eq!(
+        out.per_query.len(),
+        slots_after_retire,
+        "re-plan on a retired graph must not admit new sub-queries"
+    );
+    for &q in &subs {
+        assert!(
+            out.per_query[q.0].departure.is_some(),
+            "sub-query {q:?} was resurrected after graph retirement"
+        );
+    }
+}
+
 #[test]
 fn graph_oracle_matches_pairwise_oracle_on_two_relations() {
     let sql = "SELECT s.id, t.id FROM s, t [windowsize=2 sampleinterval=100] \

@@ -24,6 +24,7 @@
 //! RUN CYCLE <c> | RUN RESULTS <n>             run until a condition holds
 //! KILL <node>                                 kill a node
 //! REPORT                                      drain and summarize the outcome
+//! CACHESTATS                                  warm-start cache counters
 //! SUBSCRIBE                                   dedicate this connection to events
 //! CLOSE                                       tear down the current session
 //! QUIT                                        close the connection
@@ -34,6 +35,13 @@
 //! ([`aspen_join::encode_event`]) to the connection as the session
 //! advances; the subscriber sends nothing further (one writer per
 //! socket — command replies and the event stream never interleave).
+//! `CLOSE` is terminal for the event stream: every subscriber reads one
+//! final `EVENT CLOSED <cycle>` line and then a clean EOF.
+//!
+//! Sessions are long-lived and keep their warm-start
+//! [learned-state cache](aspen_join::cache) across query churn: queries
+//! admitted, retired and re-admitted on one named session seed from the
+//! cache, and `CACHESTATS` exposes the counters.
 //!
 //! # Quotas
 //!
@@ -248,7 +256,18 @@ fn worker_loop(rx: std::sync::mpsc::Receiver<Job>) {
             Job::Close { name, reply } => {
                 let line = match sessions.remove(&name) {
                     Some(e) => {
-                        for s in e.subs.lock().unwrap().iter() {
+                        // Terminal event, then a clean disconnect: every
+                        // subscriber reads `EVENT CLOSED <cycle>` followed
+                        // by EOF, never a dangling stream.
+                        let closed = format!(
+                            "{}\n",
+                            encode_event(&SessionEvent::Closed {
+                                cycle: e.session.cycle()
+                            })
+                        );
+                        for s in e.subs.lock().unwrap().iter_mut() {
+                            let _ = s.write_all(closed.as_bytes());
+                            let _ = s.flush();
                             let _ = s.shutdown(Shutdown::Both);
                         }
                         format!("OK CLOSED {name}")
@@ -677,6 +696,71 @@ mod tests {
         let first = sub.read_line().unwrap();
         assert!(first.starts_with("EVENT "), "got: {first}");
         aspen_join::decode_event(&first).expect("subscriber line decodes");
+        server.shutdown();
+    }
+
+    /// CLOSE with a live SUBSCRIBE attached: the subscriber must read a
+    /// terminal `EVENT CLOSED <cycle>` line and then a clean EOF — not a
+    /// dangling stream, not a bare disconnect.
+    #[test]
+    fn close_sends_terminal_event_to_subscribers() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut driver = Client::connect(server.addr()).unwrap();
+        driver.request("OPEN doomed nodes=60 seed=1").unwrap();
+        driver.request("STEP 3").unwrap();
+
+        let mut sub = Client::connect(server.addr()).unwrap();
+        sub.request("USE doomed").unwrap();
+        assert_eq!(sub.request("SUBSCRIBE").unwrap(), "OK SUBSCRIBED");
+
+        assert_eq!(driver.request("CLOSE").unwrap(), "OK CLOSED doomed");
+
+        // The subscriber had seen no events yet (no queries admitted), so
+        // the very next line is the terminal one.
+        let last = sub.read_line().unwrap();
+        assert_eq!(
+            aspen_join::decode_event(&last),
+            Ok(SessionEvent::Closed { cycle: 3 }),
+            "got: {last}"
+        );
+        // …followed by a clean EOF.
+        assert_eq!(sub.read_line().unwrap(), "");
+        server.shutdown();
+    }
+
+    /// The warm-start cache is session-scoped: it survives query churn,
+    /// so retiring a query and re-admitting the same shape on the same
+    /// named session is a cache hit. `CACHESTATS` exposes the counters.
+    #[test]
+    fn cache_survives_query_churn_within_a_session() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.request("OPEN churn nodes=60 seed=1").unwrap();
+        assert_eq!(
+            c.request("CACHESTATS").unwrap(),
+            "OK CACHESTATS entries=0 hits=0 misses=0 insertions=0 evictions=0"
+        );
+        // §6 learning must be on for retirement to have σ estimates to
+        // harvest — hence the `-learn` algorithm variant.
+        let admit = "ADMIT innet-cmg-learn SELECT s.id, t.id FROM s, t \
+                     [windowsize=2 sampleinterval=100] \
+                     WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u";
+        assert_eq!(c.request(admit).unwrap(), "OK ADMITTED q0");
+        c.request("STEP 25").unwrap();
+        assert_eq!(c.request("RETIRE q0").unwrap(), "OK RETIRED q0");
+        // The retirement harvested learned state; the same shape on the
+        // same session now seeds warm.
+        assert_eq!(c.request(admit).unwrap(), "OK ADMITTED q1");
+        let stats = c.request("CACHESTATS").unwrap();
+        let parsed = Response::decode(&stats).unwrap();
+        match parsed {
+            Response::CacheStats(s) => {
+                assert!(s.insertions >= 1, "harvest recorded: {stats}");
+                assert!(s.hits >= 1, "re-admission hit: {stats}");
+                assert_eq!(s.misses, 1, "first admission missed: {stats}");
+            }
+            other => panic!("expected cache stats, got {other:?}"),
+        }
         server.shutdown();
     }
 }

@@ -102,6 +102,72 @@ fn outcomes_identical_across_worker_counts_and_in_process() {
     }
 }
 
+/// The warm-start cache over the wire, and `CLOSE` under a live
+/// `SUBSCRIBE`: a session that retires a learned query and re-admits the
+/// same shape reports `CACHESTATS` byte-identical to the in-process
+/// control plane, and closing it while a subscriber is attached ends the
+/// event stream with a terminal `EVENT CLOSED` line and a clean EOF —
+/// not a dangling stream — even with multiple shard workers.
+#[test]
+fn warm_churn_cachestats_parity_and_close_terminates_subscriber() {
+    const ADMIT_LEARN: &str = "ADMIT innet-cmg-learn SELECT s.id, t.id FROM s, t \
+                               [windowsize=2 sampleinterval=100] \
+                               WHERE s.id < 20 AND t.id >= 20 AND s.u = t.u";
+    let script = [
+        ADMIT_LEARN,
+        "STEP 25",
+        "RETIRE q0",
+        ADMIT_LEARN,
+        "STEP 5",
+        "CACHESTATS",
+    ];
+
+    let served = {
+        let server = Server::start(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.request("OPEN churn nodes=60 seed=4").unwrap();
+        let mut last = String::new();
+        for l in &script {
+            last = c.request(l).unwrap();
+            assert!(last.starts_with("OK"), "command '{l}' failed: {last}");
+        }
+
+        let mut sub = Client::connect(server.addr()).unwrap();
+        sub.request("USE churn").unwrap();
+        assert_eq!(sub.request("SUBSCRIBE").unwrap(), "OK SUBSCRIBED");
+        assert_eq!(c.request("CLOSE").unwrap(), "OK CLOSED churn");
+        // Nothing advanced the session after SUBSCRIBE, so the terminal
+        // event is the subscriber's very next line…
+        let terminal = sub.read_line().unwrap();
+        assert!(
+            matches!(
+                aspen_join::decode_event(&terminal),
+                Ok(aspen_join::prelude::SessionEvent::Closed { .. })
+            ),
+            "expected EVENT CLOSED, got: {terminal}"
+        );
+        // …followed by a clean EOF.
+        assert_eq!(sub.read_line().unwrap(), "");
+        server.shutdown();
+        last
+    };
+
+    let direct = {
+        let mut s = open_session(&OpenSpec::parse("nodes=60 seed=4").unwrap());
+        let mut last = String::new();
+        for l in &script {
+            last = s.apply(Command::decode(l).unwrap()).encode();
+        }
+        last
+    };
+    assert!(served.starts_with("OK CACHESTATS"), "{served}");
+    assert_eq!(served, direct, "CACHESTATS diverged over the wire");
+}
+
 /// Many concurrent clients hammering disjoint sessions: every client gets
 /// the exact same report it would get alone, regardless of interleaving.
 #[test]
