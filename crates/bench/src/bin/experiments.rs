@@ -18,6 +18,7 @@
 //! wins, by what rough factor, and where crossovers fall. EXPERIMENTS.md
 //! records paper-vs-measured for every experiment.
 
+use aspen_bench::federate::FederateConfig;
 use aspen_bench::multiq::MultiqConfig;
 use aspen_bench::optimize::OptimizeConfig;
 use aspen_bench::sweep::{
@@ -97,6 +98,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "warmstart",
         "warm vs cold admission over a repeated-shape workload",
     ),
+    (
+        "federate",
+        "cross-network joins over gateways, routed vs ship-to-base",
+    ),
 ];
 
 fn usage_string() -> String {
@@ -136,6 +141,10 @@ fn main() {
         }
         Some("warmstart") => {
             warmstart_cmd(&args[1..]);
+            return;
+        }
+        Some("federate") => {
+            federate_cmd(&args[1..]);
             return;
         }
         _ => {}
@@ -215,7 +224,8 @@ const SWEEP_USAGE: &str = "usage: experiments <sweep|recovery> [options]
                        none | randN@C (N random kills at cycle C) | join@C (busiest
                        join node) | regionR@C (all nodes within R radio ranges of a
                        random center) | rateshift@C (swap sigma_s/sigma_t) | lossP@C
-                       (step link loss to P)      (default none)
+                       (step link loss to P) | move@C (re-home a random mobile
+                       leaf, App. G)              (default none)
   --seeds N            replicate seeds per cell  (default 3)
   --cycles N           execution sampling cycles (default 60)
   --trees N            routing trees             (default 3)
@@ -586,6 +596,162 @@ fn warmstart_cmd(args: &[String]) {
     std::fs::write("BENCH_warmstart.json", report.to_json()).expect("write BENCH_warmstart.json");
     eprintln!(
         "warmstart: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv, BENCH_warmstart.json",
+        2 * cfg.seeds.len()
+    );
+}
+
+// ----------------------------------------------------------------------
+// The `federate` subcommand: cross-network joins over a two-network
+// federation, gateway-routed vs ship-everything-to-one-base.
+
+const FEDERATE_USAGE: &str = "usage: experiments federate [options]
+  --quick              CI smoke config (50+40 nodes, 30 cycles, 2 seeds)
+  --nodes-a N          root member (alpha) topology size   (default 50)
+  --nodes-b N          remote member (beta) topology size  (default 40)
+  --cycles N           federation sampling cycles          (default 40;
+                       re-plan opportunities fire every 10)
+  --loss P             loss probability of the lossy link  (default 0.3)
+  --seeds N            replicate seeds per mode            (default 3)
+  --threads N          OS threads fanning runs out, 0 = all cores (default 0)
+  --run-threads N      transmit-phase workers inside each member run,
+                       0 = all cores (default 1; outcomes are identical
+                       for any value)
+  --out PREFIX         output prefix for PREFIX.json / PREFIX.csv
+                       (default target/federate/federate; the JSON is also
+                       recorded as BENCH_federate.json in the working dir)
+  --check-determinism  re-run single-threaded and at --run-threads 1|2|8,
+                       verifying byte-identical output";
+
+fn federate_bad(msg: &str) -> ! {
+    eprintln!("federate: {msg}\n{FEDERATE_USAGE}");
+    std::process::exit(2);
+}
+
+fn federate_cmd(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = if quick {
+        FederateConfig::quick()
+    } else {
+        FederateConfig::default()
+    };
+    let mut out_prefix = "target/federate/federate".to_string();
+    let mut check_determinism = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{FEDERATE_USAGE}");
+                return;
+            }
+            "--quick" => {}
+            "--nodes-a" => {
+                cfg.nodes_a = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --nodes-a"));
+            }
+            "--nodes-b" => {
+                cfg.nodes_b = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --nodes-b"));
+            }
+            "--cycles" => {
+                cfg.cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --cycles"));
+            }
+            "--loss" => {
+                cfg.loss = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --loss"));
+                if !(0.0..1.0).contains(&cfg.loss) {
+                    federate_bad("--loss must be in [0, 1)");
+                }
+            }
+            "--seeds" => {
+                let n: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --seeds"));
+                if n == 0 {
+                    federate_bad("--seeds must be at least 1");
+                }
+                cfg.seeds = seed_range(n);
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --threads"));
+            }
+            "--run-threads" => {
+                cfg.run_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| federate_bad("bad --run-threads"));
+            }
+            "--out" => {
+                out_prefix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| federate_bad("bad --out"));
+            }
+            "--check-determinism" => check_determinism = true,
+            other => federate_bad(&format!("unknown option {other}")),
+        }
+    }
+    // Both networks must cover the chain's four 10-node id bands.
+    if cfg.nodes_a < 40 || cfg.nodes_b < 40 {
+        federate_bad("--nodes-a/--nodes-b must be at least 40 (the chain uses id bands up to 40)");
+    }
+    eprintln!(
+        "federate: {}+{} nodes x {} cycles, 2 modes x {} seeds = {} runs",
+        cfg.nodes_a,
+        cfg.nodes_b,
+        cfg.cycles,
+        cfg.seeds.len(),
+        2 * cfg.seeds.len()
+    );
+    let t0 = std::time::Instant::now();
+    let report = cfg.run();
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("{}", report.to_table().to_aligned_string());
+    println!("{}", report.savings_line());
+    if check_determinism {
+        let mut single = cfg.clone();
+        single.threads = 1;
+        let rerun = single.run();
+        assert_eq!(
+            report.to_json(),
+            rerun.to_json(),
+            "federate output must not depend on thread count"
+        );
+        for run_threads in [1usize, 2, 8] {
+            let mut intra = cfg.clone();
+            intra.run_threads = run_threads;
+            assert_eq!(
+                report.to_json(),
+                intra.run().to_json(),
+                "federate output must not depend on intra-run threads ({run_threads})"
+            );
+        }
+        eprintln!("determinism check: fan-out threads and intra-run threads 1|2|8 all identical ✓");
+    }
+    if let Some(dir) = std::path::Path::new(&out_prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(format!("{out_prefix}.json"), report.to_json()).expect("write JSON");
+    std::fs::write(format!("{out_prefix}.csv"), report.to_csv()).expect("write CSV");
+    // The cross-network comparison of record, next to the other BENCH_*
+    // files when run from the repo root.
+    std::fs::write("BENCH_federate.json", report.to_json()).expect("write BENCH_federate.json");
+    eprintln!(
+        "federate: {} runs in {elapsed:.1}s -> {out_prefix}.json, {out_prefix}.csv, BENCH_federate.json",
         2 * cfg.seeds.len()
     );
 }

@@ -6,8 +6,11 @@
 //! [`multiq`]; the n-way join plan quality comparison
 //! (`experiments optimize`) in [`mod@optimize`]; the warm-vs-cold
 //! admission comparison (`experiments warmstart`) in [`warmstart`]; the
-//! helpers here remain for the figure drivers that predate them.
+//! cross-network federation comparison (`experiments federate`) in
+//! [`federate`]; the helpers here remain for the figure drivers that
+//! predate them.
 
+pub mod federate;
 pub mod multiq;
 pub mod optimize;
 pub mod sweep;

@@ -264,11 +264,14 @@ pub enum DynamicsSpec {
     RateShift { at_cycle: u32 },
     /// Step the link-loss probability to `loss` at `at_cycle`.
     LossRamp { loss: f64, at_cycle: u32 },
+    /// Re-home a uniform-random mobile leaf at `at_cycle` (App. G
+    /// mobility; victim and destination drawn from the run seed).
+    LeafMove { at_cycle: u32 },
 }
 
 impl DynamicsSpec {
     /// Machine-readable slug, e.g. `rand3@20`, `join@20`, `region1.5@20`,
-    /// `rateshift@20`, `loss0.2@20`, `none`.
+    /// `rateshift@20`, `loss0.2@20`, `move@20`, `none`.
     pub fn name(self) -> String {
         match self {
             DynamicsSpec::None => "none".to_string(),
@@ -277,6 +280,7 @@ impl DynamicsSpec {
             DynamicsSpec::RegionKill { radius, at_cycle } => format!("region{radius}@{at_cycle}"),
             DynamicsSpec::RateShift { at_cycle } => format!("rateshift@{at_cycle}"),
             DynamicsSpec::LossRamp { loss, at_cycle } => format!("loss{loss}@{at_cycle}"),
+            DynamicsSpec::LeafMove { at_cycle } => format!("move@{at_cycle}"),
         }
     }
 
@@ -292,6 +296,8 @@ impl DynamicsSpec {
             Some(DynamicsSpec::JoinKill { at_cycle })
         } else if kind == "rateshift" {
             Some(DynamicsSpec::RateShift { at_cycle })
+        } else if kind == "move" {
+            Some(DynamicsSpec::LeafMove { at_cycle })
         } else if let Some(n) = kind.strip_prefix("rand") {
             Some(DynamicsSpec::RandomKill {
                 count: n.parse().ok()?,
@@ -331,6 +337,7 @@ impl DynamicsSpec {
             // only carries the mark for recovery accounting.
             DynamicsSpec::RateShift { at_cycle } => base.mark(at_cycle),
             DynamicsSpec::LossRamp { loss, at_cycle } => base.shift_loss(at_cycle, loss),
+            DynamicsSpec::LeafMove { at_cycle } => base.move_random(at_cycle),
         }
     }
 
@@ -1037,6 +1044,7 @@ mod tests {
                 loss: 0.25,
                 at_cycle: 10,
             },
+            DynamicsSpec::LeafMove { at_cycle: 18 },
         ] {
             assert_eq!(DynamicsSpec::parse(&d.name()), Some(d), "{}", d.name());
         }
@@ -1059,6 +1067,10 @@ mod tests {
         // Rate shifts mark the plan and swap the schedule mid-run.
         let shift = DynamicsSpec::RateShift { at_cycle: 12 };
         assert_eq!(shift.plan(7, &topo).first_event_cycle(), Some(12));
+        // Leaf moves expand to a plan-seeded random re-homing.
+        let mv = DynamicsSpec::LeafMove { at_cycle: 18 }.plan(7, &topo);
+        assert_eq!(mv.first_event_cycle(), Some(18));
+        assert_eq!(mv.moves.len(), 1);
         let rates = Rates::new(10, 1, 5);
         match shift.schedule(rates) {
             Schedule::TemporalSwitch {

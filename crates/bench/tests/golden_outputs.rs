@@ -16,6 +16,7 @@
 //! explaining in the commit message why the numbers moved (see
 //! EXPERIMENTS.md § Golden outputs).
 
+use aspen_bench::federate::FederateConfig;
 use aspen_bench::multiq::MultiqConfig;
 use aspen_bench::optimize::OptimizeConfig;
 use aspen_bench::sweep::SweepGrid;
@@ -111,5 +112,15 @@ fn warmstart_quick_json_matches_golden() {
     check_golden(
         "warmstart_quick.json",
         &WarmstartConfig::quick().run().to_json(),
+    );
+}
+
+/// `experiments federate --quick` JSON (the cross-network federation
+/// comparison: gateway-routed joins vs ship-everything-to-one-base).
+#[test]
+fn federate_quick_json_matches_golden() {
+    check_golden(
+        "federate_quick.json",
+        &FederateConfig::quick().run().to_json(),
     );
 }

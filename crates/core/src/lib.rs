@@ -51,6 +51,7 @@ pub mod cache;
 pub mod centralized;
 pub mod control;
 pub mod cost;
+pub mod federation;
 pub mod learn;
 pub mod msg;
 pub mod multi;
@@ -67,6 +68,10 @@ pub use control::{
     StopWhen, Target,
 };
 pub use cost::{pair_cost_at, pair_cost_at_base, place_join_node, Placement, Sigma};
+pub use federation::{
+    CrossId, CrossMode, Federation, FederationBuilder, FederationOutcome, GatewayReport,
+    MemberReport,
+};
 pub use msg::{Msg, Pair};
 pub use multi::{
     Lifecycle, MultiMsg, MultiNode, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet,
@@ -92,6 +97,9 @@ pub mod prelude {
         Command, ControlError, QuerySummary, ReportSummary, Response, StopWhen, Target,
     };
     pub use crate::cost::Sigma;
+    pub use crate::federation::{
+        CrossId, CrossMode, Federation, FederationBuilder, FederationOutcome,
+    };
     pub use crate::multi::{
         Lifecycle, MultiOutcome, MultiRun, MultiRunStats, QueryInstance, QuerySet, QueryStats,
         Sharing,

@@ -542,7 +542,7 @@ pub struct MultiRun {
     /// The shared routing substrate — held run-level (not just inside each
     /// query's [`Shared`]) so queries can be admitted into a run that
     /// currently hosts none (a freshly opened serve session).
-    sub: Arc<MultiTreeSubstrate>,
+    pub(crate) sub: Arc<MultiTreeSubstrate>,
     /// The workload, same run-level ownership rationale as `sub`.
     pub(crate) data: WorkloadData,
     /// Master death ledger: every node that died so far, so queries

@@ -162,6 +162,15 @@ pub struct RecoveryStats {
     /// Stored path/hops vectors recomputed after a successful repair, so
     /// later placement decisions use post-repair distances.
     pub paths_patched: u64,
+    /// Mobile-leaf re-homings executed by the dynamics plan (App. G
+    /// mobility; session-level, charged by the driver rather than a node).
+    pub leaf_moves: u64,
+    /// Transmission cycles until every tree's summaries were consistent
+    /// again after those moves (App. G's ~19.4-cycle figure).
+    pub move_delay_cycles: u64,
+    /// Bytes of post-move summary-update traffic along the new parents'
+    /// root-ward paths.
+    pub move_update_bytes: u64,
 }
 
 impl RecoveryStats {
@@ -174,6 +183,9 @@ impl RecoveryStats {
         self.control_bytes += o.control_bytes;
         self.base_fallbacks += o.base_fallbacks;
         self.paths_patched += o.paths_patched;
+        self.leaf_moves += o.leaf_moves;
+        self.move_delay_cycles += o.move_delay_cycles;
+        self.move_update_bytes += o.move_update_bytes;
     }
 }
 

@@ -50,6 +50,20 @@ pub struct PlanSpace {
 impl PlanSpace {
     /// Build the candidate space for `graph` over `topo`/`data`.
     pub fn build(topo: &Topology, data: &WorkloadData, graph: &JoinGraph) -> PlanSpace {
+        PlanSpace::build_with_gateways(topo, data, graph, &[])
+    }
+
+    /// Build the candidate space with extra `gateways` forced in as
+    /// candidate sites and path endpoints. The federation layer uses this
+    /// so the DP can price "compute in-network, then deliver the stream to
+    /// a gateway" ([`optimize_to`]) on the same footing as delivery to the
+    /// base. With an empty `gateways` slice this is exactly [`Self::build`].
+    pub fn build_with_gateways(
+        topo: &Topology,
+        data: &WorkloadData,
+        graph: &JoinGraph,
+        gateways: &[NodeId],
+    ) -> PlanSpace {
         let base = topo.base();
         let n = graph.n_relations();
         // Anchor of each relation: among its eligible producers, the node
@@ -105,8 +119,10 @@ impl PlanSpace {
         let mut site_set: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
         site_set.insert(base);
         site_set.extend(anchor_nodes.iter().copied());
+        site_set.extend(gateways.iter().copied());
         let mut endpoints: Vec<NodeId> = anchor_nodes.clone();
         endpoints.push(base);
+        endpoints.extend(gateways.iter().copied());
         for (i, &a) in endpoints.iter().enumerate() {
             for &b in &endpoints[i + 1..] {
                 if let Some(path) = topo.shortest_path(a, b) {
@@ -149,6 +165,17 @@ impl PlanSpace {
 
     fn m(&self) -> usize {
         self.sites.len()
+    }
+
+    /// Index of `v` in `sites`, if it is a candidate site.
+    pub fn site_index(&self, v: NodeId) -> Option<usize> {
+        self.sites.binary_search(&v).ok()
+    }
+
+    /// Hop distance between two candidate sites (`None` if either is not
+    /// in the space).
+    pub fn hops_between(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        Some(self.d(self.site_index(a)?, self.site_index(b)?))
     }
 }
 
@@ -290,7 +317,7 @@ struct DpEntry {
     rate: f64,
 }
 
-fn dp(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, shape: Shape) -> Plan {
+fn dp(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, shape: Shape, sink: usize) -> Plan {
     assert_eq!(sigmas.len(), graph.edges.len(), "one Sigma per join edge");
     let n = graph.n_relations();
     let m = space.m();
@@ -396,8 +423,8 @@ fn dp(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, shape: Shape) -> P
     let root = table[full as usize]
         .as_ref()
         .expect("validated graphs are connected, so the full mask is reachable");
-    let cost = root.deliv[space.base];
-    let root_site_idx = root.deliv_arg[space.base];
+    let cost = root.deliv[sink];
+    let root_site_idx = root.deliv_arg[sink];
 
     // Reconstruct the tree from the split pointers.
     fn rebuild(
@@ -454,13 +481,24 @@ fn dp(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, shape: Shape) -> P
 /// The full bushy-tree DP: optimal placement + join order in this cost
 /// model. Deterministic: ties resolve to the lowest site id / submask.
 pub fn optimize(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace) -> Plan {
-    dp(graph, sigmas, space, Shape::Bushy)
+    dp(graph, sigmas, space, Shape::Bushy, space.base)
+}
+
+/// The bushy DP with the result stream delivered to `sink` instead of the
+/// base — how the federation prices "compute this member's sub-join and
+/// hand the stream to a gateway". `sink` must be a candidate site (use
+/// [`PlanSpace::build_with_gateways`] to force gateways in).
+pub fn optimize_to(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace, sink: NodeId) -> Plan {
+    let s = space
+        .site_index(sink)
+        .expect("delivery sink must be a candidate site of the PlanSpace");
+    dp(graph, sigmas, space, Shape::Bushy, s)
 }
 
 /// The DP restricted to linear (left-deep) trees — the System-R baseline
 /// the bushy plan is measured against.
 pub fn left_deep(graph: &JoinGraph, sigmas: &[Sigma], space: &PlanSpace) -> Plan {
-    dp(graph, sigmas, space, Shape::Linear)
+    dp(graph, sigmas, space, Shape::Linear, space.base)
 }
 
 /// Cheapest-pair-first agglomeration: repeatedly join the two components
@@ -664,6 +702,33 @@ mod tests {
         let p2 = optimize(&g, &sigmas, &space);
         assert_eq!(p1, p2);
         assert_eq!(p1.shape(&g), p2.shape(&g));
+    }
+
+    #[test]
+    fn gateway_space_and_sink_delivery() {
+        let g = chain_graph(3);
+        let topo = sensor_net::random_with_degree(80, 7.0, 5);
+        let data = WorkloadData::new(&topo, Schedule::Uniform(Rates::new(2, 2, 5)), 5);
+        let sigmas = uniform_sigmas(&g, Sigma::new(0.5, 0.5, 0.05));
+        // An empty gateway list reproduces the plain space exactly.
+        let plain = PlanSpace::build(&topo, &data, &g);
+        let with_none = PlanSpace::build_with_gateways(&topo, &data, &g, &[]);
+        assert_eq!(plain.sites, with_none.sites);
+        assert_eq!(
+            optimize(&g, &sigmas, &plain),
+            optimize(&g, &sigmas, &with_none)
+        );
+        // A forced gateway becomes a candidate site the DP can deliver to.
+        let gw = topo.node_ids().filter(|&v| v != topo.base()).max().unwrap();
+        let space = PlanSpace::build_with_gateways(&topo, &data, &g, &[gw]);
+        assert!(space.site_index(gw).is_some());
+        let to_gw = optimize_to(&g, &sigmas, &space, gw);
+        assert!(to_gw.cost.is_finite());
+        // Delivering to the base through the sink parameter is the plain
+        // optimize() answer on the same space.
+        let to_base = optimize_to(&g, &sigmas, &space, topo.base());
+        assert_eq!(to_base, optimize(&g, &sigmas, &space));
+        assert!(space.hops_between(gw, topo.base()).unwrap() >= 1.0);
     }
 
     #[test]

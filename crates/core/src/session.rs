@@ -269,6 +269,9 @@ pub(crate) trait Host {
     fn query_name(&self, q: usize) -> String;
     /// Read access to query `q`'s protocol instance at `id`.
     fn join_node(&self, q: usize, id: NodeId) -> &JoinNode;
+    /// Re-home a mobile leaf at `to` on the routing substrate (App. G);
+    /// returns `(delay_cycles, traffic_bytes)` of the summary updates.
+    fn move_leaf(&mut self, node: NodeId, to: sensor_net::Point) -> (u32, u64);
     // --- engine plumbing ---
     fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome;
     fn kill_node(&mut self, v: NodeId) -> usize;
@@ -394,6 +397,11 @@ impl Host for Run {
 
     fn join_node(&self, _q: usize, id: NodeId) -> &JoinNode {
         self.engine.node(id)
+    }
+
+    fn move_leaf(&mut self, node: NodeId, to: sensor_net::Point) -> (u32, u64) {
+        let mv = sensor_routing::mobility::move_leaf(&self.shared.topo, &self.shared.sub, node, to);
+        (mv.delay_cycles, mv.traffic_bytes)
     }
 
     fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome {
@@ -552,6 +560,11 @@ impl Host for MultiRun {
         self.engine.node(id).query_node(q)
     }
 
+    fn move_leaf(&mut self, node: NodeId, to: sensor_net::Point) -> (u32, u64) {
+        let mv = sensor_routing::mobility::move_leaf(self.engine.topology(), &self.sub, node, to);
+        (mv.delay_cycles, mv.traffic_bytes)
+    }
+
     fn fire_plan(&mut self, cycle: u32, plan: &DynamicsPlan) -> FireOutcome {
         let base = self.base();
         plan.fire(cycle, &mut self.engine, |eng| {
@@ -643,6 +656,12 @@ pub(crate) struct ExecState {
     pub pending_steps: Vec<(u32, usize, InitStep)>,
     pub killed: Vec<(u32, NodeId)>,
     pub queued_msgs_lost: u64,
+    /// App. G mobility accounting: re-homings fired by the plan and the
+    /// summary-update delay/traffic they cost (session-level — the report
+    /// folds these into [`RecoveryStats`]).
+    pub leaf_moves: u64,
+    pub move_delay_cycles: u64,
+    pub move_update_bytes: u64,
     pub per_cycle_tx_bytes: Vec<u64>,
     /// Results at the moment the first scheduled event fired (`None`
     /// until one does).
@@ -670,6 +689,9 @@ impl ExecState {
             pending_steps: Vec::new(),
             killed: Vec::new(),
             queued_msgs_lost: 0,
+            leaf_moves: 0,
+            move_delay_cycles: 0,
+            move_update_bytes: 0,
             per_cycle_tx_bytes: Vec::new(),
             results_pre_event: None,
             first_fired: None,
@@ -804,6 +826,14 @@ pub(crate) fn drive_cycles<H: Host>(
                     loss_prob: p,
                 },
             );
+        }
+        // Mobile-leaf re-homings (App. G): the engine resolved who moves
+        // where; the substrate charges the summary-update delay/traffic.
+        for &(node, to) in &fired.moved {
+            let (delay, bytes) = host.move_leaf(node, to);
+            st.leaf_moves += 1;
+            st.move_delay_cycles += u64::from(delay);
+            st.move_update_bytes += bytes;
         }
         if plan.marks.contains(&c) {
             emit(obs, SessionEvent::WorkloadMark { cycle: c });
@@ -1443,6 +1473,12 @@ impl Session {
         &self.graphs[id.0].plan
     }
 
+    /// The admitted [`JoinGraph`] of slot `id` (the federation layer
+    /// re-prices member shares against this).
+    pub fn graph_of(&self, id: GraphId) -> &JoinGraph {
+        &self.graphs[id.0].graph
+    }
+
     /// The pairwise sub-queries currently executing graph `id`'s skeleton,
     /// in plan order (shared operators appear for every graph referencing
     /// them).
@@ -1657,6 +1693,33 @@ impl Session {
         }
     }
 
+    /// Results delivered to the base so far for query `id`, *without*
+    /// draining in-flight messages (retired queries report their final
+    /// snapshot). The federation layer reads cross-network sub-join output
+    /// streams through this at every cycle boundary, where a draining
+    /// [`Session::report`] would perturb the run.
+    pub fn query_results(&self, id: QueryId) -> u64 {
+        self.st.snapshots[id.0]
+            .map(|s| s.results)
+            .unwrap_or_else(|| self.backend.host().live_snapshot(id.0).results)
+    }
+
+    /// Total bytes transmitted in the execution phase so far, without
+    /// draining.
+    pub fn tx_bytes_so_far(&self) -> u64 {
+        self.backend.host().metrics().total_tx_bytes()
+    }
+
+    /// The network this session executes over.
+    pub fn topology(&self) -> &sensor_net::Topology {
+        self.backend.host().topology()
+    }
+
+    /// The workload data this session executes over.
+    pub fn workload(&self) -> &WorkloadData {
+        self.backend.host().workload()
+    }
+
     /// The alive non-base node currently serving the most join pairs
     /// (failure-target selection, Fig 14).
     pub fn busiest_join_node(&self) -> Option<NodeId> {
@@ -1704,7 +1767,13 @@ impl Session {
             shared_flow: host.shared_flow(&exec),
             base: host.base(),
             expired_frames: host.expired_frames(),
-            recovery: host.recovery_totals(),
+            recovery: {
+                let mut r = host.recovery_totals();
+                r.leaf_moves += st.leaf_moves;
+                r.move_delay_cycles += st.move_delay_cycles;
+                r.move_update_bytes += st.move_update_bytes;
+                r
+            },
             per_query,
             initiation: self
                 .init_metrics

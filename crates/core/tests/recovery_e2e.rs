@@ -177,6 +177,49 @@ fn loss_ramp_fires_at_cycle_boundary() {
     assert!((0..n).map(NodeId).all(|id| run.engine.is_alive(id)));
 }
 
+/// App. G mobility as a dynamics event: a `move@C` re-homes a mobile leaf
+/// via the routing substrate and charges the summary-update delay and
+/// traffic into the recovery totals. (Pre-fix, `DynamicsPlan` had no move
+/// events at all — `mobility::move_leaf` was dormant — so a plan like
+/// this one could not even be expressed, let alone charge its costs.)
+#[test]
+fn scheduled_leaf_move_charges_recovery_stats() {
+    let sc = scenario(53);
+    let center = sc.topo.centroid();
+    let victim = if sc.topo.base() == NodeId(79) {
+        NodeId(78)
+    } else {
+        NodeId(79)
+    };
+    let plan = DynamicsPlan::none()
+        .with_seed(53)
+        .move_node(CYCLES / 2, victim, center)
+        .move_random(CYCLES / 2 + 5);
+    assert!(!plan.is_static());
+    let run_once = || {
+        let mut session = scenario(53).into_session();
+        session.set_plan(plan.clone());
+        session.step(CYCLES);
+        session.report()
+    };
+    let out = run_once();
+    assert_eq!(out.recovery.leaf_moves, 2, "both scheduled moves fire");
+    // The centroid move always finds in-range parents, so the costs of
+    // the updates along the new parents' root-ward paths are nonzero.
+    assert!(out.recovery.move_delay_cycles > 0);
+    assert!(out.recovery.move_update_bytes > 0);
+    // Moves are *events* for the pre/post-event result split.
+    assert_eq!(
+        out.results_pre_event + out.results_post_event,
+        out.results_total()
+    );
+    // And the mobile run replays bit-for-bit.
+    let again = run_once();
+    assert_eq!(out.recovery, again.recovery);
+    assert_eq!(out.results_total(), again.results_total());
+    assert_eq!(out.per_cycle_tx_bytes, again.per_cycle_tx_bytes);
+}
+
 /// Events scheduled at or beyond the run length never fire — and must not
 /// skew the pre/post-event accounting (pre-fix, `results_post_event`
 /// reported every result as post-event for a run with no event at all).

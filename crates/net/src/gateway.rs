@@ -1,0 +1,371 @@
+//! Gateway links bridging federated member networks.
+//!
+//! A federation joins several independent sensor networks (each with its own
+//! topology, density and loss profile) through *gateway pairs*: a designated
+//! node in network A wired — over a long-haul radio or backhaul link — to a
+//! designated node in network B. The link has its own loss probability,
+//! delivery latency and per-cycle byte budget, all distinct from either
+//! member network's in-network radio model.
+//!
+//! Two things live here:
+//!
+//! * [`GatewayLink`] — the declarative description of one gateway pair plus
+//!   its cost model. The optimizer treats a crossing as an *equivalent hop
+//!   distance* ([`GatewayLink::crossing_cost`]) so cross-network edges
+//!   compete with in-network placements inside the same DP.
+//! * [`GatewayChannel`] — the runtime transfer queue: a deterministic,
+//!   per-direction FIFO with seeded loss draws, fixed latency, and byte
+//!   budgeting. Channels are ticked at cycle boundaries in a fixed link
+//!   order, which is what makes a multi-network run replay bit-for-bit.
+//!
+//! Per direction the channel maintains a conservation ledger: every tuple
+//! that enters is eventually delivered, dropped (loss draw or budget
+//! exhaustion), or still in flight — nothing else.
+
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Extra cost units charged per latency cycle when pricing a crossing
+/// (a slow satellite hop should lose to a fast backhaul of equal loss).
+const LATENCY_WEIGHT: f64 = 0.25;
+
+/// One gateway pair: `a_node` in member network `a_net` bridged to `b_node`
+/// in member network `b_net`, with the link's own quality parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayLink {
+    /// Member-network index of the A side.
+    pub a_net: usize,
+    /// Gateway node inside network A.
+    pub a_node: NodeId,
+    /// Member-network index of the B side.
+    pub b_net: usize,
+    /// Gateway node inside network B.
+    pub b_node: NodeId,
+    /// Per-tuple loss probability on the bridge (independent of either
+    /// network's in-network loss).
+    pub loss: f64,
+    /// Cycles between a tuple entering the bridge and becoming deliverable
+    /// on the far side (0 = next cycle boundary).
+    pub latency_cycles: u32,
+    /// Per-direction byte budget per cycle; tuples beyond it are dropped.
+    /// 0 means unlimited.
+    pub budget_bytes_per_cycle: u64,
+}
+
+impl GatewayLink {
+    /// A lossless, zero-latency, unlimited bridge between two networks.
+    pub fn new(a_net: usize, a_node: NodeId, b_net: usize, b_node: NodeId) -> Self {
+        GatewayLink {
+            a_net,
+            a_node,
+            b_net,
+            b_node,
+            loss: 0.0,
+            latency_cycles: 0,
+            budget_bytes_per_cycle: 0,
+        }
+    }
+
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0,1)");
+        self.loss = loss;
+        self
+    }
+
+    pub fn with_latency(mut self, cycles: u32) -> Self {
+        self.latency_cycles = cycles;
+        self
+    }
+
+    pub fn with_budget(mut self, bytes_per_cycle: u64) -> Self {
+        self.budget_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Expected transmissions per delivered tuple (the classic ETX measure):
+    /// retransmitting through loss `p` costs `1/(1-p)` attempts on average.
+    pub fn etx(&self) -> f64 {
+        1.0 / (1.0 - self.loss.min(0.99))
+    }
+
+    /// Equivalent hop distance of one crossing, comparable to the in-network
+    /// `transport_cost` distance units: ETX inflated by a latency term, so
+    /// the optimizer's DP can weigh "route through this gateway" against
+    /// in-network alternatives on one scale.
+    pub fn crossing_cost(&self) -> f64 {
+        self.etx() * (1.0 + LATENCY_WEIGHT * f64::from(self.latency_cycles))
+    }
+
+    /// Crossing cost at an expected byte rate: once the rate exceeds the
+    /// per-cycle budget the link saturates and the cost scales with the
+    /// overload factor, steering the planner toward a roomier gateway.
+    pub fn crossing_cost_at_rate(&self, rate: f64) -> f64 {
+        let base = self.crossing_cost();
+        if self.budget_bytes_per_cycle > 0 && rate > self.budget_bytes_per_cycle as f64 {
+            base * (rate / self.budget_bytes_per_cycle as f64)
+        } else {
+            base
+        }
+    }
+
+    /// Whether this link bridges member networks `x` and `y` (either
+    /// orientation).
+    pub fn connects(&self, x: usize, y: usize) -> bool {
+        (self.a_net == x && self.b_net == y) || (self.a_net == y && self.b_net == x)
+    }
+
+    /// The gateway node on the side of member network `net`, if this link
+    /// touches it.
+    pub fn node_in(&self, net: usize) -> Option<NodeId> {
+        if self.a_net == net {
+            Some(self.a_node)
+        } else if self.b_net == net {
+            Some(self.b_node)
+        } else {
+            None
+        }
+    }
+}
+
+/// Transfer direction over a [`GatewayChannel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    AToB,
+    BToA,
+}
+
+impl Direction {
+    fn idx(self) -> usize {
+        match self {
+            Direction::AToB => 0,
+            Direction::BToA => 1,
+        }
+    }
+}
+
+/// Per-direction conservation ledger of a gateway channel. At every cycle
+/// boundary `entered == delivered + dropped + in_flight` (same for bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectionStats {
+    /// Tuples handed to the channel.
+    pub entered: u64,
+    /// Tuples that surfaced on the far side.
+    pub delivered: u64,
+    /// Tuples lost to a loss draw or to budget exhaustion.
+    pub dropped: u64,
+    /// Bytes handed to the channel.
+    pub bytes_entered: u64,
+    /// Bytes that surfaced on the far side.
+    pub bytes_delivered: u64,
+}
+
+/// What one [`GatewayChannel::tick`] released in one direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Delivered {
+    pub tuples: u64,
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Batch {
+    /// Cycle at which the batch becomes deliverable.
+    due: u64,
+    tuples: u64,
+    bytes: u64,
+}
+
+/// Deterministic runtime queue for one gateway link: seeded per-tuple loss
+/// draws, fixed latency, per-cycle byte budgeting, FIFO delivery.
+///
+/// Determinism contract: federations enqueue and tick channels in a fixed
+/// link order at cycle boundaries only, and each channel owns its own RNG
+/// stream (seeded from the federation seed and the link index), so no
+/// thread interleaving or sibling link can perturb the draws.
+#[derive(Debug)]
+pub struct GatewayChannel {
+    pub link: GatewayLink,
+    rng: StdRng,
+    queues: [VecDeque<Batch>; 2],
+    stats: [DirectionStats; 2],
+    /// (cycle, bytes accepted that cycle) per direction, for budgeting.
+    budget_window: [(u64, u64); 2],
+}
+
+impl GatewayChannel {
+    /// Build the channel for `link`, drawing its loss stream from `seed`
+    /// (callers key the seed by link index so links are independent).
+    pub fn new(link: GatewayLink, seed: u64) -> Self {
+        GatewayChannel {
+            link,
+            rng: StdRng::seed_from_u64(seed),
+            queues: [VecDeque::new(), VecDeque::new()],
+            stats: [DirectionStats::default(), DirectionStats::default()],
+            budget_window: [(0, 0), (0, 0)],
+        }
+    }
+
+    /// Offer `tuples` tuples of `bytes_per_tuple` each to the bridge at
+    /// cycle `now`. Each tuple is individually subjected to the budget
+    /// check and then a loss draw; survivors join one batch due at
+    /// `now + 1 + latency_cycles`.
+    pub fn enqueue(&mut self, dir: Direction, now: u64, tuples: u64, bytes_per_tuple: u64) {
+        let d = dir.idx();
+        if self.budget_window[d].0 != now {
+            self.budget_window[d] = (now, 0);
+        }
+        let mut accepted = Batch {
+            due: now + 1 + u64::from(self.link.latency_cycles),
+            tuples: 0,
+            bytes: 0,
+        };
+        for _ in 0..tuples {
+            self.stats[d].entered += 1;
+            self.stats[d].bytes_entered += bytes_per_tuple;
+            let over_budget = self.link.budget_bytes_per_cycle > 0
+                && self.budget_window[d].1 + bytes_per_tuple > self.link.budget_bytes_per_cycle;
+            if over_budget || self.rng.random::<f64>() < self.link.loss {
+                self.stats[d].dropped += 1;
+                continue;
+            }
+            self.budget_window[d].1 += bytes_per_tuple;
+            accepted.tuples += 1;
+            accepted.bytes += bytes_per_tuple;
+        }
+        if accepted.tuples > 0 {
+            self.queues[d].push_back(accepted);
+        }
+    }
+
+    /// Release every batch due at or before cycle `now` in FIFO order.
+    pub fn tick(&mut self, dir: Direction, now: u64) -> Delivered {
+        let d = dir.idx();
+        let mut out = Delivered::default();
+        while self.queues[d].front().is_some_and(|b| b.due <= now) {
+            let b = self.queues[d].pop_front().expect("front checked");
+            out.tuples += b.tuples;
+            out.bytes += b.bytes;
+        }
+        self.stats[d].delivered += out.tuples;
+        self.stats[d].bytes_delivered += out.bytes;
+        out
+    }
+
+    /// Tuples currently in flight in `dir` (entered, not yet delivered or
+    /// dropped).
+    pub fn in_flight(&self, dir: Direction) -> u64 {
+        self.queues[dir.idx()].iter().map(|b| b.tuples).sum()
+    }
+
+    /// Bytes currently in flight in `dir`.
+    pub fn bytes_in_flight(&self, dir: Direction) -> u64 {
+        self.queues[dir.idx()].iter().map(|b| b.bytes).sum()
+    }
+
+    /// The direction's conservation ledger.
+    pub fn stats(&self, dir: Direction) -> DirectionStats {
+        self.stats[dir.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> GatewayLink {
+        GatewayLink::new(0, NodeId(7), 1, NodeId(3))
+    }
+
+    #[test]
+    fn lossless_link_delivers_next_cycle() {
+        let mut ch = GatewayChannel::new(link(), 1);
+        ch.enqueue(Direction::AToB, 0, 5, 10);
+        assert_eq!(ch.tick(Direction::AToB, 0), Delivered::default());
+        assert_eq!(ch.in_flight(Direction::AToB), 5);
+        let got = ch.tick(Direction::AToB, 1);
+        assert_eq!(
+            got,
+            Delivered {
+                tuples: 5,
+                bytes: 50
+            }
+        );
+        assert_eq!(ch.in_flight(Direction::AToB), 0);
+        let s = ch.stats(Direction::AToB);
+        assert_eq!((s.entered, s.delivered, s.dropped), (5, 5, 0));
+    }
+
+    #[test]
+    fn latency_defers_delivery() {
+        let mut ch = GatewayChannel::new(link().with_latency(3), 1);
+        ch.enqueue(Direction::BToA, 10, 2, 8);
+        assert_eq!(ch.tick(Direction::BToA, 13).tuples, 0);
+        assert_eq!(ch.tick(Direction::BToA, 14).tuples, 2);
+    }
+
+    #[test]
+    fn loss_draws_are_seed_deterministic() {
+        let run = |seed| {
+            let mut ch = GatewayChannel::new(link().with_loss(0.4), seed);
+            ch.enqueue(Direction::AToB, 0, 100, 4);
+            ch.stats(Direction::AToB).dropped
+        };
+        assert_eq!(run(9), run(9));
+        // A lossy link drops something out of 100 tuples but not everything.
+        let d = run(9);
+        assert!(d > 0 && d < 100, "dropped {d}");
+    }
+
+    #[test]
+    fn budget_caps_per_cycle_bytes_and_resets() {
+        let mut ch = GatewayChannel::new(link().with_budget(25), 1);
+        // 4 tuples of 10 bytes: only 2 fit under 25 bytes this cycle.
+        ch.enqueue(Direction::AToB, 0, 4, 10);
+        let s = ch.stats(Direction::AToB);
+        assert_eq!((s.entered, s.dropped), (4, 2));
+        // Budget window resets next cycle.
+        ch.enqueue(Direction::AToB, 1, 2, 10);
+        assert_eq!(ch.stats(Direction::AToB).dropped, 2);
+    }
+
+    #[test]
+    fn conservation_holds_under_loss_latency_and_budget() {
+        let mut ch = GatewayChannel::new(link().with_loss(0.3).with_latency(2).with_budget(64), 7);
+        for c in 0..20u64 {
+            ch.enqueue(Direction::AToB, c, 7, 9);
+            ch.enqueue(Direction::BToA, c, 3, 5);
+            ch.tick(Direction::AToB, c);
+            ch.tick(Direction::BToA, c);
+        }
+        for dir in [Direction::AToB, Direction::BToA] {
+            let s = ch.stats(dir);
+            assert_eq!(s.entered, s.delivered + s.dropped + ch.in_flight(dir));
+        }
+    }
+
+    #[test]
+    fn crossing_cost_orders_links_sensibly() {
+        let clean = link();
+        let lossy = link().with_loss(0.5);
+        let slow = link().with_latency(8);
+        assert!(clean.crossing_cost() < lossy.crossing_cost());
+        assert!(clean.crossing_cost() < slow.crossing_cost());
+        // Saturation: pushing 200 B/cycle through a 50 B/cycle budget
+        // inflates the cost fourfold.
+        let tight = link().with_budget(50);
+        let c0 = tight.crossing_cost_at_rate(40.0);
+        let c1 = tight.crossing_cost_at_rate(200.0);
+        assert!((c1 / c0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_orientation_helpers() {
+        let l = link();
+        assert!(l.connects(0, 1) && l.connects(1, 0));
+        assert!(!l.connects(0, 2));
+        assert_eq!(l.node_in(0), Some(NodeId(7)));
+        assert_eq!(l.node_in(1), Some(NodeId(3)));
+        assert_eq!(l.node_in(2), None);
+    }
+}

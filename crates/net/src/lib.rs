@@ -8,11 +8,13 @@
 //! Everything here is pure geometry and graph structure; message dynamics
 //! live in `sensor-sim`, and routing state lives in `sensor-routing`.
 
+pub mod gateway;
 pub mod gen;
 pub mod geom;
 pub mod intel;
 pub mod topology;
 
+pub use gateway::{Direction, DirectionStats, GatewayChannel, GatewayLink};
 pub use gen::{grid, random_with_degree, DensityClass, TopologySpec};
 pub use geom::{Point, Rect};
 pub use topology::{NodeId, Topology};

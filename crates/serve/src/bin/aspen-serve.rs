@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! aspen-serve [--addr HOST:PORT] [--workers N]
-//!             [--max-sessions N] [--max-queries N]
+//!             [--max-sessions N] [--max-queries N] [--max-federations N]
 //! ```
 //!
 //! Prints the bound address on stdout (`listening on 127.0.0.1:7878`) and
@@ -13,7 +13,7 @@ use aspen_serve::{ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: aspen-serve [--addr HOST:PORT] [--workers N] \
-         [--max-sessions N] [--max-queries N]"
+         [--max-sessions N] [--max-queries N] [--max-federations N]"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,10 @@ fn main() {
             "--max-queries" => {
                 cfg.max_queries_per_client =
                     val("--max-queries").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-federations" => {
+                cfg.max_federations_per_client =
+                    val("--max-federations").parse().unwrap_or_else(|_| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -30,6 +30,26 @@
 //! QUIT                                        close the connection
 //! ```
 //!
+//! Federations — multiple member networks bridged by gateway links — live
+//! in their own namespace and always carry their name (no `USE`):
+//!
+//! ```text
+//! FEDOPEN <name> [members=M] [nodes=N] [degree=D] [seed=S]
+//!                                             create a federation of M member
+//!                                             networks (member i seeds S+100i)
+//! LINK <name> <an>:<anode> <bn>:<bnode> [loss=P] [latency=C] [budget=B]
+//!                                             declare a gateway pair between
+//!                                             member networks an and bn
+//! FEDADMIT <name> <algo> homes=0,0,1,.. [mode=gateway|shipbase] <streamsql>
+//!                                             admit a cross-network join graph,
+//!                                             one home member per relation
+//! FEDREPORT <name> [cycles=N]                 step N federation cycles, then
+//!                                             drain and summarize the outcome
+//! ```
+//!
+//! The first `FEDADMIT` freezes the link set (building the federation and
+//! exchanging boundary summaries); later `LINK`s answer `ERR STATE`.
+//!
 //! Replies are `OK …` / `ERR …` lines ([`Response::encode`]). After
 //! `OK SUBSCRIBED` the server writes `EVENT …` lines
 //! ([`aspen_join::encode_event`]) to the connection as the session
@@ -51,10 +71,15 @@
 //! `ERR QUOTA …` without touching a worker. Attaching to an existing
 //! session costs no session quota; every `ADMIT`/`ADMITGRAPH` that
 //! reaches a worker costs one query quota, even if it is later rejected.
+//! Federations extend the same scheme: a `FEDOPEN` that creates a
+//! federation (which instantiates `members` whole networks at once) is
+//! capped by [`ServeConfig::max_federations_per_client`], and every
+//! `FEDADMIT` reaching a worker costs one query quota.
 
 use aspen_join::control::{Command, Response};
 use aspen_join::prelude::*;
 use aspen_join::{encode_event, Observer, SessionEvent};
+use sensor_net::{GatewayLink, NodeId};
 use sensor_workload::WorkloadData;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -123,6 +148,172 @@ pub fn open_session(spec: &OpenSpec) -> Session {
     Session::builder(topo, data).sim(sim).allow_empty().build()
 }
 
+/// How a wire `FEDOPEN` builds its federation: `members` networks, each
+/// constructed exactly like an `OPEN` session from `member_spec` with the
+/// seed offset by `100 * member_index` (so member networks differ but the
+/// whole federation is keyed by one seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedSpec {
+    pub members: usize,
+    pub member_spec: OpenSpec,
+}
+
+impl Default for FedSpec {
+    fn default() -> Self {
+        FedSpec {
+            members: 2,
+            member_spec: OpenSpec::default(),
+        }
+    }
+}
+
+impl FedSpec {
+    /// Parse the `members=… nodes=… degree=… seed=…` tail of a `FEDOPEN`.
+    pub fn parse(args: &str) -> Result<FedSpec, String> {
+        let mut spec = FedSpec::default();
+        let mut member_args = String::new();
+        for tok in args.split_whitespace() {
+            match tok.split_once('=') {
+                Some(("members", v)) => {
+                    spec.members = v.parse().map_err(|_| format!("bad members '{v}'"))?;
+                }
+                _ => {
+                    member_args.push_str(tok);
+                    member_args.push(' ');
+                }
+            }
+        }
+        spec.member_spec = OpenSpec::parse(&member_args)?;
+        if !(2..=16).contains(&spec.members) {
+            return Err(format!("members={} out of range [2, 16]", spec.members));
+        }
+        Ok(spec)
+    }
+}
+
+/// Build the member sessions a `FEDOPEN` line describes, in member-index
+/// order. Public so parity tests can run the same construction
+/// in-process.
+pub fn open_fed_members(spec: &FedSpec) -> Vec<Session> {
+    (0..spec.members)
+        .map(|i| {
+            open_session(&OpenSpec {
+                seed: spec.member_spec.seed + 100 * i as u64,
+                ..spec.member_spec
+            })
+        })
+        .collect()
+}
+
+/// Assemble the federation a `FEDOPEN` plus its `LINK`s describe (member
+/// `i` is named `net<i>`). The in-process counterpart of the wire path.
+pub fn build_federation(spec: &FedSpec, links: &[GatewayLink]) -> Federation {
+    let mut b = FederationBuilder::new().seed(spec.member_spec.seed);
+    for (i, s) in open_fed_members(spec).into_iter().enumerate() {
+        b = b.member(format!("net{i}"), s);
+    }
+    for l in links {
+        b = b.link(l.clone());
+    }
+    b.build()
+}
+
+/// One parsed federation request, routed to the owning shard worker.
+#[derive(Debug, Clone)]
+pub enum FedRequest {
+    Open(FedSpec),
+    Link(GatewayLink),
+    Admit {
+        algo: String,
+        homes: Vec<usize>,
+        mode: CrossMode,
+        sql: String,
+    },
+    Report {
+        cycles: u32,
+    },
+}
+
+/// Parse `<an>:<anode> <bn>:<bnode> [loss=P] [latency=C] [budget=B]`.
+/// Loss is range-checked here so the builder can never panic on it.
+pub fn parse_link(args: &str) -> Result<GatewayLink, String> {
+    let mut toks = args.split_whitespace();
+    let endpoint = |tok: Option<&str>| -> Result<(usize, NodeId), String> {
+        let t = tok.ok_or("LINK needs two <net>:<node> endpoints")?;
+        let (net, node) = t
+            .split_once(':')
+            .ok_or_else(|| format!("bad endpoint '{t}' (want net:node)"))?;
+        Ok((
+            net.parse().map_err(|_| format!("bad net '{net}'"))?,
+            NodeId(node.parse().map_err(|_| format!("bad node '{node}'"))?),
+        ))
+    };
+    let (a_net, a_node) = endpoint(toks.next())?;
+    let (b_net, b_node) = endpoint(toks.next())?;
+    let mut link = GatewayLink::new(a_net, a_node, b_net, b_node);
+    for tok in toks {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("bad option '{tok}' (want key=value)"))?;
+        match k {
+            "loss" => {
+                let p: f64 = v.parse().map_err(|_| format!("bad loss '{v}'"))?;
+                if !(0.0..1.0).contains(&p) {
+                    return Err(format!("loss={p} out of range [0, 1)"));
+                }
+                link = link.with_loss(p);
+            }
+            "latency" => {
+                link = link.with_latency(v.parse().map_err(|_| format!("bad latency '{v}'"))?);
+            }
+            "budget" => {
+                link = link.with_budget(v.parse().map_err(|_| format!("bad budget '{v}'"))?);
+            }
+            _ => return Err(format!("unknown option '{k}'")),
+        }
+    }
+    Ok(link)
+}
+
+/// Parse `<algo> homes=0,0,1,.. [mode=gateway|shipbase] <streamsql>`.
+/// The SQL tail is passed through byte-exact.
+pub fn parse_fed_admit(args: &str) -> Result<FedRequest, String> {
+    let (algo, rest) = args
+        .split_once(' ')
+        .ok_or("FEDADMIT needs <algo> homes=… <streamsql>")?;
+    let rest = rest.trim_start();
+    let (homes_tok, rest) = rest
+        .split_once(' ')
+        .ok_or("FEDADMIT needs homes=… before the query")?;
+    let homes_val = homes_tok
+        .strip_prefix("homes=")
+        .ok_or_else(|| format!("expected homes=…, got '{homes_tok}'"))?;
+    let homes = homes_val
+        .split(',')
+        .map(|h| h.parse().map_err(|_| format!("bad home '{h}'")))
+        .collect::<Result<Vec<usize>, String>>()?;
+    let mut rest = rest.trim_start();
+    let mut mode = CrossMode::Gateway;
+    if let Some(tail) = rest.strip_prefix("mode=") {
+        let (m, sql) = tail.split_once(' ').ok_or("FEDADMIT needs a query")?;
+        mode = match m {
+            "gateway" => CrossMode::Gateway,
+            "shipbase" | "ship-base" | "ship" => CrossMode::ShipBase,
+            other => return Err(format!("unknown mode '{other}'")),
+        };
+        rest = sql.trim_start();
+    }
+    if rest.is_empty() {
+        return Err("FEDADMIT needs a query".into());
+    }
+    Ok(FedRequest::Admit {
+        algo: algo.to_string(),
+        homes,
+        mode,
+        sql: rest.to_string(),
+    })
+}
+
 /// Server knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -134,6 +325,10 @@ pub struct ServeConfig {
     pub max_sessions_per_client: usize,
     /// Queries one connection may admit across all its sessions.
     pub max_queries_per_client: usize,
+    /// Federations one connection may *create* — each instantiates
+    /// `members` whole networks, so this is the heaviest verb a client
+    /// has and gets the tightest cap.
+    pub max_federations_per_client: usize,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +338,7 @@ impl Default for ServeConfig {
             workers: 4,
             max_sessions_per_client: 4,
             max_queries_per_client: 64,
+            max_federations_per_client: 2,
         }
     }
 }
@@ -198,7 +394,135 @@ enum Job {
         name: String,
         reply: Sender<String>,
     },
+    Fed {
+        name: String,
+        req: FedRequest,
+        /// Whether the connection's federation quota allows *creating*
+        /// one; only the owning worker knows whether this `FEDOPEN`
+        /// creates or attaches.
+        may_create: bool,
+        reply: Sender<String>,
+    },
     Stop,
+}
+
+/// One served federation. Member sessions are held unassembled until the
+/// first `FEDADMIT`/`FEDREPORT`, so `LINK`s can keep arriving; building
+/// freezes the link set (boundary summaries are exchanged exactly once).
+enum FedState {
+    Building(Vec<Session>),
+    Running(Federation),
+}
+
+struct FedEntry {
+    spec: FedSpec,
+    links: Vec<GatewayLink>,
+    state: FedState,
+}
+
+impl FedEntry {
+    /// Assemble on first use; no-op when already running.
+    fn ensure_running(&mut self) -> &mut Federation {
+        if let FedState::Building(sessions) = &mut self.state {
+            let mut b = FederationBuilder::new().seed(self.spec.member_spec.seed);
+            for (i, s) in std::mem::take(sessions).into_iter().enumerate() {
+                b = b.member(format!("net{i}"), s);
+            }
+            for l in &self.links {
+                b = b.link(l.clone());
+            }
+            self.state = FedState::Running(b.build());
+        }
+        match &mut self.state {
+            FedState::Running(f) => f,
+            FedState::Building(_) => unreachable!("just assembled"),
+        }
+    }
+}
+
+fn apply_fed(
+    feds: &mut HashMap<String, FedEntry>,
+    name: String,
+    req: FedRequest,
+    may_create: bool,
+) -> String {
+    if let FedRequest::Open(spec) = req {
+        return if feds.contains_key(&name) {
+            format!("OK FEDATTACHED {name}")
+        } else if !may_create {
+            err_line("QUOTA", "federation quota exhausted")
+        } else {
+            let sessions = open_fed_members(&spec);
+            feds.insert(
+                name.clone(),
+                FedEntry {
+                    spec,
+                    links: Vec::new(),
+                    state: FedState::Building(sessions),
+                },
+            );
+            format!(
+                "OK FEDOPENED {name} members={} nodes={}",
+                spec.members, spec.member_spec.nodes
+            )
+        };
+    }
+    let Some(entry) = feds.get_mut(&name) else {
+        return err_line("NOFED", &format!("no federation '{name}'"));
+    };
+    match req {
+        FedRequest::Open(_) => unreachable!("handled above"),
+        FedRequest::Link(link) => {
+            if matches!(entry.state, FedState::Running(_)) {
+                return err_line("STATE", "links are fixed once the federation is running");
+            }
+            let members = entry.spec.members;
+            if link.a_net >= members || link.b_net >= members {
+                return err_line(
+                    "FED",
+                    &format!("link endpoints must name members 0..{members}"),
+                );
+            }
+            if link.a_net == link.b_net {
+                return err_line("FED", "a link must bridge two different members");
+            }
+            let nodes = entry.spec.member_spec.nodes;
+            if link.a_node.index() >= nodes || link.b_node.index() >= nodes {
+                return err_line("FED", &format!("gateway nodes must be < {nodes}"));
+            }
+            entry.links.push(link);
+            format!("OK LINKED {name} {}", entry.links.len() - 1)
+        }
+        FedRequest::Admit {
+            algo,
+            homes,
+            mode,
+            sql,
+        } => {
+            if entry.links.is_empty() {
+                return err_line("FED", "declare at least one LINK before admitting");
+            }
+            let Some((a, opts)) = aspen_join::shared::parse_algo(&algo) else {
+                return err_line("ALGO", &algo);
+            };
+            let cfg = aspen_join::AlgoConfig::new(a, aspen_join::control::WIRE_ASSUMED_SIGMA)
+                .with_innet_options(opts);
+            let graph = match sensor_query::parse_join_graph(&sql) {
+                Ok(g) => g,
+                Err(e) => return err_line("PARSE", &format!("{} at {}", e.message, e.pos)),
+            };
+            let fed = entry.ensure_running();
+            match fed.admit_cross(&graph, &homes, cfg, mode) {
+                Ok(id) => format!("OK FEDADMITTED x{}", id.0),
+                Err(e) => err_line("FED", &e),
+            }
+        }
+        FedRequest::Report { cycles } => {
+            let fed = entry.ensure_running();
+            fed.step(cycles);
+            format!("OK FEDREPORT {}", fed.report().summary_line())
+        }
+    }
 }
 
 fn err_line(kind: &str, msg: &str) -> String {
@@ -207,8 +531,17 @@ fn err_line(kind: &str, msg: &str) -> String {
 
 fn worker_loop(rx: std::sync::mpsc::Receiver<Job>) {
     let mut sessions: HashMap<String, Entry> = HashMap::new();
+    let mut feds: HashMap<String, FedEntry> = HashMap::new();
     while let Ok(job) = rx.recv() {
         match job {
+            Job::Fed {
+                name,
+                req,
+                may_create,
+                reply,
+            } => {
+                let _ = reply.send(apply_fed(&mut feds, name, req, may_create));
+            }
             Job::Open {
                 name,
                 spec,
@@ -381,6 +714,25 @@ impl Server {
     }
 }
 
+/// Route one federation request to its shard (federations live in their
+/// own shard namespace, keyed by `fed:<name>`) and wait for the reply.
+fn fed_call(shards: &[Sender<Job>], name: &str, req: FedRequest, may_create: bool) -> String {
+    let key = format!("fed:{name}");
+    let name = name.to_string();
+    let (tx, rx) = channel();
+    let job = Job::Fed {
+        name,
+        req,
+        may_create,
+        reply: tx,
+    };
+    if shards[shard_of(&key, shards.len())].send(job).is_err() {
+        return err_line("SHUTDOWN", "server is shutting down");
+    }
+    rx.recv()
+        .unwrap_or_else(|_| err_line("SHUTDOWN", "server is shutting down"))
+}
+
 /// Route one request to its session's shard and wait for the reply line.
 fn call(shards: &[Sender<Job>], name: &str, job: impl FnOnce(Sender<String>) -> Job) -> String {
     let (tx, rx) = channel();
@@ -404,6 +756,7 @@ fn serve_client(
     let mut current: Option<String> = None;
     let mut sessions_created = 0usize;
     let mut queries_admitted = 0usize;
+    let mut federations_created = 0usize;
     let mut line = String::new();
     loop {
         line.clear();
@@ -456,6 +809,86 @@ fn serve_client(
                     // NOSESSION on the next command.
                     current = Some(rest.to_string());
                     format!("OK USING {rest}")
+                }
+            }
+            "FEDOPEN" => {
+                let (name, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                if name.is_empty() {
+                    err_line(
+                        "USAGE",
+                        "FEDOPEN <name> [members=M] [nodes=N] [degree=D] [seed=S]",
+                    )
+                } else {
+                    match FedSpec::parse(args) {
+                        Ok(spec) => {
+                            let may_create = federations_created < cfg.max_federations_per_client;
+                            let r = fed_call(shards, name, FedRequest::Open(spec), may_create);
+                            if r.starts_with("OK FEDOPENED") {
+                                federations_created += 1;
+                            }
+                            r
+                        }
+                        Err(e) => err_line("USAGE", &e),
+                    }
+                }
+            }
+            "LINK" => {
+                let (name, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                if name.is_empty() || args.is_empty() {
+                    err_line(
+                        "USAGE",
+                        "LINK <name> <an>:<anode> <bn>:<bnode> [loss=P] [latency=C] [budget=B]",
+                    )
+                } else {
+                    match parse_link(args) {
+                        Ok(link) => fed_call(shards, name, FedRequest::Link(link), false),
+                        Err(e) => err_line("USAGE", &e),
+                    }
+                }
+            }
+            "FEDADMIT" => {
+                let (name, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                if name.is_empty() || args.is_empty() {
+                    err_line(
+                        "USAGE",
+                        "FEDADMIT <name> <algo> homes=0,0,1,.. [mode=gateway|shipbase] <streamsql>",
+                    )
+                } else {
+                    match parse_fed_admit(args) {
+                        Ok(req) => {
+                            if queries_admitted >= cfg.max_queries_per_client {
+                                err_line(
+                                    "QUOTA",
+                                    &format!(
+                                        "query quota exhausted ({} per client)",
+                                        cfg.max_queries_per_client
+                                    ),
+                                )
+                            } else {
+                                queries_admitted += 1;
+                                fed_call(shards, name, req, false)
+                            }
+                        }
+                        Err(e) => err_line("USAGE", &e),
+                    }
+                }
+            }
+            "FEDREPORT" => {
+                let (name, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                let cycles: Result<u32, String> = match args.trim() {
+                    "" => Ok(0),
+                    c => c
+                        .strip_prefix("cycles=")
+                        .ok_or_else(|| format!("bad option '{c}' (want cycles=N)"))
+                        .and_then(|v| v.parse().map_err(|_| format!("bad cycles '{v}'"))),
+                };
+                if name.is_empty() {
+                    err_line("USAGE", "FEDREPORT <name> [cycles=N]")
+                } else {
+                    match cycles {
+                        Ok(cycles) => fed_call(shards, name, FedRequest::Report { cycles }, false),
+                        Err(e) => err_line("USAGE", &e),
+                    }
                 }
             }
             "CLOSE" => match &current {
@@ -643,6 +1076,174 @@ mod tests {
         assert!(c.request("RETIRE q7").unwrap().starts_with("ERR TARGET"));
         // The connection is still usable after every error.
         assert_eq!(c.request("STEP 1").unwrap(), "OK STEPPED 1");
+        server.shutdown();
+    }
+
+    #[test]
+    fn fed_spec_link_and_admit_parse() {
+        assert_eq!(FedSpec::parse("").unwrap(), FedSpec::default());
+        let s = FedSpec::parse("members=3 nodes=40 degree=6.5 seed=9").unwrap();
+        assert_eq!(s.members, 3);
+        assert_eq!(
+            s.member_spec,
+            OpenSpec {
+                nodes: 40,
+                degree: 6.5,
+                seed: 9
+            }
+        );
+        assert!(FedSpec::parse("members=1").is_err());
+        assert!(FedSpec::parse("members=17").is_err());
+        assert!(FedSpec::parse("widgets=3").is_err());
+
+        let l = parse_link("0:12 1:7 loss=0.1 latency=2 budget=512").unwrap();
+        assert_eq!(
+            (l.a_net, l.a_node, l.b_net, l.b_node),
+            (0, NodeId(12), 1, NodeId(7))
+        );
+        assert_eq!(
+            (l.loss, l.latency_cycles, l.budget_bytes_per_cycle),
+            (0.1, 2, 512)
+        );
+        assert!(parse_link("0:12").is_err());
+        assert!(parse_link("0:12 1:7 loss=1.0").is_err());
+        assert!(parse_link("012 1:7").is_err());
+        assert!(parse_link("0:12 1:7 frob=1").is_err());
+
+        match parse_fed_admit("innet-cmg homes=0,0,1 mode=shipbase SELECT x").unwrap() {
+            FedRequest::Admit {
+                algo,
+                homes,
+                mode,
+                sql,
+            } => {
+                assert_eq!(algo, "innet-cmg");
+                assert_eq!(homes, vec![0, 0, 1]);
+                assert_eq!(mode, CrossMode::ShipBase);
+                assert_eq!(sql, "SELECT x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_fed_admit("innet-cmg SELECT x").is_err());
+        assert!(parse_fed_admit("innet-cmg homes=a,b SELECT x").is_err());
+        assert!(parse_fed_admit("innet-cmg homes=0,1 mode=warp SELECT x").is_err());
+    }
+
+    /// The 4-relation chain the wire federation tests admit: 10-node id
+    /// bands joined on `u` (the routable selection pattern).
+    const FED_SQL: &str = "SELECT r0.id, r3.id FROM r0, r1, r2, r3 \
+                           [windowsize=2 sampleinterval=100] \
+                           WHERE r0.id < 10 AND r1.id >= 10 AND r1.id < 20 \
+                           AND r2.id >= 20 AND r2.id < 30 \
+                           AND r3.id >= 30 AND r3.id < 40 \
+                           AND r0.u = r1.u AND r1.u = r2.u AND r2.u = r3.u";
+
+    #[test]
+    fn federation_end_to_end_over_the_wire() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(
+            c.request("FEDOPEN f members=2 nodes=60 seed=3").unwrap(),
+            "OK FEDOPENED f members=2 nodes=60"
+        );
+        assert_eq!(
+            c.request("LINK f 0:10 1:5 latency=1").unwrap(),
+            "OK LINKED f 0"
+        );
+        assert_eq!(
+            c.request("LINK f 0:20 1:15 loss=0.3").unwrap(),
+            "OK LINKED f 1"
+        );
+        let admitted = c
+            .request(&format!("FEDADMIT f innet-cmg homes=0,0,1,1 {FED_SQL}"))
+            .unwrap();
+        assert_eq!(admitted, "OK FEDADMITTED x0");
+        // The link set is frozen once the federation runs.
+        assert!(c
+            .request("LINK f 0:11 1:6")
+            .unwrap()
+            .starts_with("ERR STATE"));
+        let report = c.request("FEDREPORT f cycles=30").unwrap();
+        assert!(
+            report.starts_with("OK FEDREPORT FED cycles=30 "),
+            "got: {report}"
+        );
+        let cross: u64 = report
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("cross_results="))
+            .expect("report carries cross_results")
+            .parse()
+            .unwrap();
+        assert!(cross > 0, "no tuples crossed the wire federation: {report}");
+        // Errors answer, not disconnect.
+        assert!(c
+            .request("FEDREPORT nosuch")
+            .unwrap()
+            .starts_with("ERR NOFED"));
+        assert!(c
+            .request(&format!("FEDADMIT f quantum homes=0,1 {FED_SQL}"))
+            .unwrap()
+            .starts_with("ERR ALGO"));
+        assert!(c
+            .request("FEDADMIT f innet-cmg homes=0,0,1,1 SELECT FROM")
+            .unwrap()
+            .starts_with("ERR PARSE"));
+        assert!(c
+            .request(&format!("FEDADMIT f innet-cmg homes=0,0,1 {FED_SQL}"))
+            .unwrap()
+            .starts_with("ERR FED"));
+        server.shutdown();
+    }
+
+    /// Satellite regression: a runaway client spamming `FEDOPEN` — the
+    /// most expensive verb on the wire, each one instantiating whole
+    /// member networks — hits `ERR QUOTA` instead of exhausting the
+    /// server, and `FEDADMIT` draws from the same query quota as `ADMIT`.
+    #[test]
+    fn federation_quotas_are_enforced_per_connection() {
+        let server = Server::start(ServeConfig {
+            max_federations_per_client: 1,
+            max_queries_per_client: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c
+            .request("FEDOPEN a nodes=40")
+            .unwrap()
+            .starts_with("OK FEDOPENED"));
+        for name in ["b", "c", "d"] {
+            assert!(
+                c.request(&format!("FEDOPEN {name} nodes=40"))
+                    .unwrap()
+                    .starts_with("ERR QUOTA"),
+                "runaway FEDOPEN {name} must be refused"
+            );
+        }
+        // Re-opening an existing federation attaches and is quota-free.
+        assert!(c
+            .request("FEDOPEN a")
+            .unwrap()
+            .starts_with("OK FEDATTACHED"));
+        c.request("LINK a 0:10 1:5").unwrap();
+        assert!(c
+            .request(&format!("FEDADMIT a innet-cmg homes=0,0,1,1 {FED_SQL}"))
+            .unwrap()
+            .starts_with("OK FEDADMITTED"));
+        assert!(c
+            .request(&format!("FEDADMIT a innet-cmg homes=0,0,1,1 {FED_SQL}"))
+            .unwrap()
+            .starts_with("ERR QUOTA"));
+        // A fresh connection has a fresh quota but shares the namespace.
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert!(c2
+            .request("FEDOPEN a")
+            .unwrap()
+            .starts_with("OK FEDATTACHED"));
+        assert!(c2
+            .request(&format!("FEDADMIT a innet-cmg homes=0,0,1,1 {FED_SQL}"))
+            .unwrap()
+            .starts_with("OK FEDADMITTED"));
         server.shutdown();
     }
 

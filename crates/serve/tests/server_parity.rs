@@ -4,7 +4,9 @@
 //! runs 1 shard worker or 4, and whether there is a server at all.
 
 use aspen_join::control::Command;
-use aspen_serve::{open_session, Client, OpenSpec, ServeConfig, Server};
+use aspen_serve::{
+    build_federation, open_session, parse_link, Client, FedSpec, OpenSpec, ServeConfig, Server,
+};
 
 const ADMIT_PAIR: &str = "ADMIT innet-cmg SELECT s.id, t.id FROM s, t \
                           [windowsize=2 sampleinterval=100] \
@@ -166,6 +168,72 @@ fn warm_churn_cachestats_parity_and_close_terminates_subscriber() {
     };
     assert!(served.starts_with("OK CACHESTATS"), "{served}");
     assert_eq!(served, direct, "CACHESTATS diverged over the wire");
+}
+
+const FED_SQL: &str = "SELECT r0.id, r3.id FROM r0, r1, r2, r3 \
+                       [windowsize=2 sampleinterval=100] \
+                       WHERE r0.id < 10 AND r1.id >= 10 AND r1.id < 20 \
+                       AND r2.id >= 20 AND r2.id < 30 \
+                       AND r3.id >= 30 AND r3.id < 40 \
+                       AND r0.u = r1.u AND r1.u = r2.u AND r2.u = r3.u";
+const FED_LINKS: [&str; 2] = ["0:10 1:5 latency=1", "0:20 1:15 loss=0.3"];
+
+/// Drive one federation script over the wire and return its final
+/// `FEDREPORT` line.
+fn fed_served(workers: usize) -> String {
+    let server = Server::start(ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let opened = c.request("FEDOPEN par members=2 nodes=60 seed=3").unwrap();
+    assert!(opened.starts_with("OK FEDOPENED"), "{opened}");
+    for link in FED_LINKS {
+        let linked = c.request(&format!("LINK par {link}")).unwrap();
+        assert!(linked.starts_with("OK LINKED"), "{linked}");
+    }
+    let admitted = c
+        .request(&format!("FEDADMIT par innet-cmg homes=0,0,1,1 {FED_SQL}"))
+        .unwrap();
+    assert!(admitted.starts_with("OK FEDADMITTED"), "{admitted}");
+    let report = c.request("FEDREPORT par cycles=30").unwrap();
+    server.shutdown();
+    report
+}
+
+/// The federation acceptance contract mirrors the session one: a
+/// federation driven over the wire is *the same federation* you would
+/// assemble in-process, byte-for-byte, whatever the worker count.
+#[test]
+fn federation_outcomes_identical_across_worker_counts_and_in_process() {
+    let one = fed_served(1);
+    let four = fed_served(4);
+    assert_eq!(one, four, "worker count changed federation outcomes");
+
+    let spec = FedSpec::parse("members=2 nodes=60 seed=3").unwrap();
+    let links: Vec<_> = FED_LINKS.iter().map(|l| parse_link(l).unwrap()).collect();
+    let mut fed = build_federation(&spec, &links);
+    let (algo, opts) = aspen_join::shared::parse_algo("innet-cmg").unwrap();
+    let cfg = aspen_join::AlgoConfig::new(algo, aspen_join::control::WIRE_ASSUMED_SIGMA)
+        .with_innet_options(opts);
+    let graph = sensor_query::parse_join_graph(FED_SQL).unwrap();
+    fed.admit_cross(&graph, &[0, 0, 1, 1], cfg, aspen_join::CrossMode::Gateway)
+        .unwrap();
+    fed.step(30);
+    let direct = format!("OK FEDREPORT {}", fed.report().summary_line());
+    assert_eq!(one, direct, "serving changed federation outcomes");
+
+    let cross: u64 = one
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix("cross_results="))
+        .expect("report carries cross_results")
+        .parse()
+        .unwrap();
+    assert!(
+        cross > 0,
+        "parity on an empty federation proves nothing: {one}"
+    );
 }
 
 /// Many concurrent clients hammering disjoint sessions: every client gets

@@ -19,7 +19,7 @@
 use crate::engine::{Engine, Protocol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sensor_net::NodeId;
+use sensor_net::{NodeId, Point};
 
 /// Who a scheduled fault hits. The base station is never a victim: the
 /// paper's failure model (§7) assumes the root survives, and killing it
@@ -47,6 +47,29 @@ pub struct FaultEvent {
     pub target: FaultTarget,
 }
 
+/// Where a scheduled mobile-leaf move goes (App. G mobility). The engine
+/// resolves the victim and destination deterministically at fire time and
+/// reports them in [`FireOutcome::moved`]; the *protocol* layer re-homes
+/// the leaf (only it holds the routing substrate) and charges the update
+/// delay/traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveTarget {
+    /// An explicit node re-homed at an explicit position.
+    Node { node: NodeId, to: Point },
+    /// A uniform-random alive non-base node re-homed at a uniform-random
+    /// position inside the deployment's bounding box, both drawn from the
+    /// plan seed keyed by event index (never the engine's link RNG).
+    UniformRandom,
+}
+
+/// One scheduled mobile-leaf re-homing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveEvent {
+    /// Sampling cycle the move fires at (before the cycle's sampling).
+    pub at_cycle: u32,
+    pub target: MoveTarget,
+}
+
 /// A step change of the link-loss probability (environmental degradation
 /// or recovery; "loss ramps" are a sequence of these).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +83,8 @@ pub struct LossShift {
 pub struct DynamicsPlan {
     pub faults: Vec<FaultEvent>,
     pub loss_shifts: Vec<LossShift>,
+    /// Scheduled mobile-leaf re-homings (App. G mobility).
+    pub moves: Vec<MoveEvent>,
     /// Cycle boundaries of events applied *outside* the engine (e.g. a
     /// workload selectivity shift baked into the `Schedule`). The engine
     /// does nothing with these, but recovery accounting (pre/post-event
@@ -80,6 +105,11 @@ pub struct FireOutcome {
     /// Link-loss probabilities applied this cycle, in plan order (the
     /// session layer's observers turn these into `LossShifted` events).
     pub loss_shifts: Vec<f64>,
+    /// Mobile-leaf moves resolved this cycle, in plan order: who moved
+    /// and where to. The engine only *resolves* these (victim and
+    /// destination); the caller re-homes the leaf on its routing
+    /// substrate and charges the update delay/traffic.
+    pub moved: Vec<(NodeId, Point)>,
 }
 
 impl DynamicsPlan {
@@ -138,6 +168,25 @@ impl DynamicsPlan {
         self
     }
 
+    /// Schedule an explicit mobile-leaf move.
+    pub fn move_node(mut self, at_cycle: u32, node: NodeId, to: Point) -> Self {
+        self.moves.push(MoveEvent {
+            at_cycle,
+            target: MoveTarget::Node { node, to },
+        });
+        self
+    }
+
+    /// Schedule a uniform-random mobile-leaf move (victim and destination
+    /// drawn from the plan seed at fire time).
+    pub fn move_random(mut self, at_cycle: u32) -> Self {
+        self.moves.push(MoveEvent {
+            at_cycle,
+            target: MoveTarget::UniformRandom,
+        });
+        self
+    }
+
     /// Record an external event boundary (see [`DynamicsPlan::marks`]).
     pub fn mark(mut self, at_cycle: u32) -> Self {
         self.marks.push(at_cycle);
@@ -146,7 +195,10 @@ impl DynamicsPlan {
 
     /// Whether the plan schedules nothing at all.
     pub fn is_static(&self) -> bool {
-        self.faults.is_empty() && self.loss_shifts.is_empty() && self.marks.is_empty()
+        self.faults.is_empty()
+            && self.loss_shifts.is_empty()
+            && self.moves.is_empty()
+            && self.marks.is_empty()
     }
 
     /// Earliest cycle at which anything (fault, loss shift, or mark)
@@ -183,6 +235,7 @@ impl DynamicsPlan {
             .iter()
             .map(|f| f.at_cycle)
             .chain(self.loss_shifts.iter().map(|l| l.at_cycle))
+            .chain(self.moves.iter().map(|m| m.at_cycle))
             .chain(self.marks.iter().copied())
     }
 
@@ -244,6 +297,53 @@ impl DynamicsPlan {
                 }
                 out.queued_msgs_dropped += engine.kill(v) as u64;
                 out.killed.push(v);
+            }
+        }
+        // Moves resolve after this cycle's kills so a victim is never a
+        // node that just died. Random draws use their own event-index-keyed
+        // stream (salted apart from the fault stream, so a plan mixing
+        // kills and moves at one cycle keeps both draws independent).
+        for (i, mv) in self
+            .moves
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.at_cycle == cycle)
+        {
+            match mv.target {
+                MoveTarget::Node { node, to } => {
+                    if node != base && engine.is_alive(node) {
+                        out.moved.push((node, to));
+                    }
+                }
+                MoveTarget::UniformRandom => {
+                    let mut rng = StdRng::seed_from_u64(
+                        self.seed ^ 0xA10B_11E5 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let pool: Vec<NodeId> = engine
+                        .topology()
+                        .node_ids()
+                        .filter(|&n| n != base && engine.is_alive(n))
+                        .collect();
+                    if pool.is_empty() {
+                        continue;
+                    }
+                    let node = pool[rng.random_range(0..pool.len())];
+                    // Destination: uniform inside the deployment's
+                    // bounding box.
+                    let (mut lo, mut hi) = (
+                        Point::new(f64::MAX, f64::MAX),
+                        Point::new(f64::MIN, f64::MIN),
+                    );
+                    for p in engine.topology().positions() {
+                        lo = Point::new(lo.x.min(p.x), lo.y.min(p.y));
+                        hi = Point::new(hi.x.max(p.x), hi.y.max(p.y));
+                    }
+                    let to = Point::new(
+                        lo.x + rng.random::<f64>() * (hi.x - lo.x),
+                        lo.y + rng.random::<f64>() * (hi.y - lo.y),
+                    );
+                    out.moved.push((node, to));
+                }
             }
         }
         out
@@ -355,6 +455,37 @@ mod tests {
         });
         let out = plan.fire(0, &mut eng, |_| None);
         assert_eq!(out.queued_msgs_dropped, 2);
+    }
+
+    #[test]
+    fn scheduled_move_resolves_deterministically() {
+        let plan = DynamicsPlan::none().with_seed(7).move_random(2).move_node(
+            2,
+            NodeId(5),
+            Point::new(3.0, 3.0),
+        );
+        assert!(!plan.is_static());
+        assert!(plan.has_event_at(2));
+        assert_eq!(plan.first_event_cycle(), Some(2));
+        let run = || {
+            let mut eng = grid_engine();
+            plan.fire(2, &mut eng, |_| None).moved
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "move resolution must replay bit-for-bit");
+        assert_eq!(a.len(), 2);
+        // Plan order: the random draw first, then the explicit move.
+        assert_eq!(a[1], (NodeId(5), Point::new(3.0, 3.0)));
+        let (victim, to) = a[0];
+        assert!(victim != NodeId(0), "base never moves");
+        // Random destination stays inside the 4x4 deployment bbox.
+        assert!((0.0..=3.0).contains(&to.x) && (0.0..=3.0).contains(&to.y));
+        // Nothing fires off-cycle, and a dead node never moves.
+        let mut eng = grid_engine();
+        assert!(plan.fire(1, &mut eng, |_| None).moved.is_empty());
+        eng.kill(NodeId(5));
+        let out = plan.fire(2, &mut eng, |_| None);
+        assert!(out.moved.iter().all(|&(n, _)| n != NodeId(5)));
     }
 
     #[test]

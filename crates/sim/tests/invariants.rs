@@ -302,6 +302,57 @@ proptest! {
         }
     }
 
+    /// Cross-network gateway channels keep the same ledger discipline as
+    /// the in-network link layer: per direction, every tuple handed to the
+    /// bridge is delivered, dropped (loss draw or budget exhaustion), or
+    /// still in flight — never created or destroyed unaccounted — at every
+    /// cycle boundary of a randomized enqueue/tick schedule.
+    #[test]
+    fn gateway_channel_conserves_tuples_per_direction(
+        loss in 0.0f64..0.9,
+        latency in 0u32..5,
+        budget in 0u64..300,
+        tuple_bytes in 8u64..40,
+        offers in proptest::collection::vec((0u64..8, any::<bool>()), 1..40),
+    ) {
+        use sensor_net::{Direction, GatewayChannel, GatewayLink};
+        let link = GatewayLink::new(0, NodeId(4), 1, NodeId(9))
+            .with_loss(loss)
+            .with_latency(latency)
+            .with_budget(budget);
+        let seed = mix(latency as u64, budget, tuple_bytes);
+        let mut ch = GatewayChannel::new(link, seed);
+        for (now, &(tuples, a_to_b)) in offers.iter().enumerate() {
+            let now = now as u64;
+            let dir = if a_to_b { Direction::AToB } else { Direction::BToA };
+            ch.enqueue(dir, now, tuples, tuple_bytes);
+            for d in [Direction::AToB, Direction::BToA] {
+                ch.tick(d, now);
+                let s = ch.stats(d);
+                prop_assert_eq!(
+                    s.entered,
+                    s.delivered + s.dropped + ch.in_flight(d),
+                    "direction {:?} leaked tuples at cycle {}", d, now
+                );
+                // Constant tuple size makes the byte ledger exact too.
+                prop_assert_eq!(
+                    s.bytes_entered,
+                    s.bytes_delivered + s.dropped * tuple_bytes + ch.bytes_in_flight(d),
+                    "direction {:?} leaked bytes at cycle {}", d, now
+                );
+            }
+        }
+        // Drain: after the maximum latency passes with no new offers,
+        // nothing stays in flight and the ledger closes.
+        let end = offers.len() as u64 + u64::from(latency) + 1;
+        for d in [Direction::AToB, Direction::BToA] {
+            ch.tick(d, end);
+            prop_assert_eq!(ch.in_flight(d), 0);
+            let s = ch.stats(d);
+            prop_assert_eq!(s.entered, s.delivered + s.dropped);
+        }
+    }
+
     /// Cumulative traffic counters are non-negative and monotone over
     /// time, and network-wide deliveries never exceed attempts.
     #[test]
